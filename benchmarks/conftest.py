@@ -1,0 +1,67 @@
+"""Benchmark fixtures.
+
+The expensive experiment artefacts (the four Table-1 case runs, the
+synthesis outcome) are computed once per session and shared by all
+benches; the ``benchmark`` fixture then times the representative kernel of
+each experiment.  Regenerated tables/figures are written to
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.cases import run_case
+from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.technology import generic_060
+from repro.units import PF
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return generic_060()
+
+
+@pytest.fixture(scope="session")
+def specs():
+    """The paper's Table-1 input specification block."""
+    return OtaSpecs(
+        vdd=3.3,
+        gbw=65e6,
+        phase_margin=65.0,
+        cload=3 * PF,
+        input_cm_range=(0.55, 1.84),
+        output_range=(0.51, 2.31),
+    )
+
+
+@pytest.fixture(scope="session")
+def all_cases(tech, specs):
+    """All four Table-1 cases, keyed by ParasiticMode."""
+    return {
+        mode: run_case(tech, specs, mode)
+        for mode in ParasiticMode
+    }
+
+
+@pytest.fixture(scope="session")
+def synthesis_outcome(tech, specs):
+    synthesizer = LayoutOrientedSynthesizer(tech)
+    return synthesizer.run(specs, mode=ParasiticMode.FULL, generate=True)
+
+
+@pytest.fixture(scope="session")
+def plan(tech):
+    return FoldedCascodePlan(tech)

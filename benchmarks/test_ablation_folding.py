@@ -1,0 +1,120 @@
+"""Ablation A1 — the even-fold / internal-drain parasitic control.
+
+Section 3 of the paper singles out one layout style as a design choice:
+even fold counts with the drain on internal diffusions ("case (a)") halve
+the drain junction capacitance on frequency-critical nets, and "this
+parasitic control is used by the language to enhance the frequency
+characteristics of the layout."
+
+The ablation disables the preference (odd fold counts, drains reaching
+the stack ends) and re-runs the case-4 flow: the fold-node capacitance
+rises and the extracted circuit needs more margin for the same spec.
+"""
+
+import pytest
+
+from repro.core.cases import run_case
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.layout.ota import OtaLayoutRequest, generate_ota_layout
+from repro.sizing.specs import ParasiticMode
+
+
+@pytest.fixture(scope="module")
+def ablation(tech, specs, synthesis_outcome, results_dir):
+    """Same converged sizes laid out with and without the control."""
+    sizing = synthesis_outcome.sizing
+    even = synthesis_outcome.feedback
+    odd = generate_ota_layout(
+        OtaLayoutRequest(
+            technology=tech, sizes=sizing.sizes, currents=sizing.currents,
+            aspect=1.0, prefer_even_folds=False,
+        ),
+        mode="estimate",
+    ).report
+
+    lines = ["device  nf(even)  ad(even) pm2   nf(odd)  ad(odd) pm2"]
+    for name in sorted(even.devices):
+        e, o = even.devices[name], odd.devices[name]
+        lines.append(
+            f"{name:<7} {e.nf:^8d} {e.geometry.ad * 1e12:10.2f}   "
+            f"{o.nf:^7d} {o.geometry.ad * 1e12:10.2f}"
+        )
+    text = "\n".join(lines)
+    (results_dir / "ablation_folding.txt").write_text(text + "\n")
+    print("\n" + text)
+    return even, odd
+
+
+def test_benchmark_estimate_mode(benchmark, tech, synthesis_outcome):
+    """Time one parasitic-calculation-mode layout call (the operation the
+    paper requires to be fast, since 'it is normally called several times
+    during circuit sizing')."""
+    sizing = synthesis_outcome.sizing
+    request = OtaLayoutRequest(
+        technology=tech, sizes=sizing.sizes, currents=sizing.currents,
+        aspect=1.0,
+    )
+    result = benchmark.pedantic(
+        generate_ota_layout, args=(request,), kwargs={"mode": "estimate"},
+        rounds=3, iterations=1,
+    )
+    assert result.cell is None
+
+
+class TestFoldingAblation:
+    def test_odd_folds_chosen_when_disabled(self, ablation):
+        _even, odd = ablation
+        multi_fold = [d for d in odd.devices.values() if d.nf > 1]
+        assert any(d.nf % 2 == 1 for d in multi_fold)
+
+    def test_drain_capacitance_rises(self, ablation):
+        """The headline effect: total drain diffusion grows without the
+        internal-drain control.  Odd fold counts asymptote to
+        F = (Nf+1)/(2Nf), so at these fold counts the penalty is several
+        percent of total drain area (it is much larger at low Nf — see
+        the Figure 2 bench)."""
+        even, odd = ablation
+        even_total = sum(d.geometry.ad for d in even.devices.values())
+        odd_total = sum(d.geometry.ad for d in odd.devices.values())
+        assert odd_total > even_total * 1.03
+
+    def test_fold_node_loading_rises(self, ablation):
+        """Per-device view at the PM-critical folding nodes: the drain
+        junctions of the cascodes and sinks grow."""
+        even, odd = ablation
+        for device in ("mn5", "mn6", "mn1c", "mn2c"):
+            if odd.devices[device].nf > 1:
+                assert odd.devices[device].geometry.ad > (
+                    even.devices[device].geometry.ad * 1.04
+                ), device
+
+    def test_compensated_flow_still_converges(self, tech, specs):
+        """The loop absorbs the worse style — at a cost, not a failure."""
+        synthesizer = LayoutOrientedSynthesizer(
+            tech, prefer_even_folds=False
+        )
+        outcome = synthesizer.run(specs, ParasiticMode.FULL, generate=False)
+        metrics = outcome.sizing.predicted
+        assert metrics.gbw == pytest.approx(specs.gbw, rel=0.02)
+        assert metrics.phase_margin_deg == pytest.approx(
+            specs.phase_margin, abs=1.0
+        )
+
+    def test_control_saves_power_or_length(self, tech, specs,
+                                           synthesis_outcome):
+        """With the control disabled, the sizer must spend more: either a
+        hotter cascode branch or shorter (lower-gain) cascodes."""
+        baseline = synthesis_outcome.sizing
+        ablated = LayoutOrientedSynthesizer(
+            tech, prefer_even_folds=False
+        ).run(specs, ParasiticMode.FULL, generate=False).sizing
+        baseline_cost = (
+            baseline.currents["mn1c"],
+            -baseline.sizes["mn1c"][1],
+        )
+        ablated_cost = (
+            ablated.currents["mn1c"],
+            -ablated.sizes["mn1c"][1],
+        )
+        assert ablated_cost >= baseline_cost

@@ -1,0 +1,105 @@
+"""Extension E2 — transient-measured slew rate and settling.
+
+Table 1's slew-rate row is, in the paper and in our metrics harness, an
+``I/C`` estimate.  The transient engine turns it into a measurement: the
+case-1 and case-4 OTAs are wired as unity-gain buffers, stepped, and the
+measured slope/settling compared against the estimates — including the
+asymmetry the estimate cannot see (the folded branch limits one slewing
+direction).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transient import measure_slew_rate, run_transient, step_waveform
+from repro.sizing.specs import ParasiticMode
+
+
+@pytest.fixture(scope="module")
+def transient_measurements(tech, specs, all_cases, results_dir):
+    from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+    from repro.core.synthesis import LayoutOrientedSynthesizer
+
+    plan = FoldedCascodePlan(tech)
+    benches = {}
+    case1 = all_cases[ParasiticMode.NONE]
+    benches[ParasiticMode.NONE] = plan.build_testbench(
+        case1.sizing, specs, ParasiticMode.NONE
+    )
+    case4 = all_cases[ParasiticMode.FULL]
+    outcome = LayoutOrientedSynthesizer(tech, plan=plan).run(
+        specs, ParasiticMode.FULL, generate=False
+    )
+    benches[ParasiticMode.FULL] = plan.build_testbench(
+        outcome.sizing, specs, ParasiticMode.FULL, outcome.feedback
+    )
+
+    rows = {}
+    lines = ["case  SR estimate (V/us)  SR measured  settling (ns)"]
+    for mode, bench in benches.items():
+        slew, result = measure_slew_rate(bench, step_amplitude=0.8)
+        vcm = bench.common_mode_voltage()
+        settle = result.settling_time(
+            bench.output_net, vcm + 0.4, 0.01, t_start=20e-9
+        )
+        estimate = all_cases[mode].synthesized.slew_rate
+        rows[mode] = (estimate, slew, settle, result, bench)
+        lines.append(
+            f"{mode.value:<5} {estimate / 1e6:14.1f} {slew / 1e6:15.1f} "
+            f"{(settle or 0) * 1e9:12.1f}"
+        )
+    text = "\n".join(lines)
+    (results_dir / "extension_transient.txt").write_text(text + "\n")
+    print("\n" + text)
+    return rows
+
+
+def test_benchmark_transient_step(benchmark, transient_measurements):
+    _estimate, _slew, _settle, _result, bench = transient_measurements[
+        ParasiticMode.FULL
+    ]
+    slew, _ = benchmark.pedantic(
+        measure_slew_rate, args=(bench,), kwargs={"step_amplitude": 0.8},
+        rounds=1, iterations=1,
+    )
+    assert slew > 0
+
+
+class TestMeasuredSlew:
+    def test_measured_within_factor_two_of_estimate(
+        self, transient_measurements
+    ):
+        for mode, (estimate, slew, _s, _r, _b) in (
+            transient_measurements.items()
+        ):
+            assert 0.4 * estimate < slew < 1.7 * estimate, mode
+
+    def test_buffers_settle(self, transient_measurements):
+        for mode, (_e, _slew, settle, _r, _b) in (
+            transient_measurements.items()
+        ):
+            assert settle is not None and settle < 300e-9, mode
+
+    def test_slewing_is_asymmetric(self, transient_measurements):
+        """The folded branch limits one direction: the falling-step slope
+        differs from the rising one — invisible to the I/C estimate."""
+        _e, _slew, _settle, _result, bench = transient_measurements[
+            ParasiticMode.FULL
+        ]
+        from repro.analysis.transient import run_transient, step_waveform
+
+        circuit = bench.circuit.clone("down")
+        circuit.remove(bench.source_neg)
+        circuit.add_vsource("_fb", bench.input_neg_net, bench.output_net,
+                            dc=0.0)
+        vcm = bench.common_mode_voltage()
+        down = run_transient(
+            circuit, t_stop=400e-9, dt=1e-9,
+            waveforms={bench.source_pos: step_waveform(
+                vcm + 0.4, vcm - 0.4, 20e-9
+            )},
+        )
+        up = transient_measurements[ParasiticMode.FULL][3]
+        slew_down = down.slew_rate(bench.output_net, t_start=20e-9)
+        slew_up = up.slew_rate(bench.output_net, t_start=20e-9)
+        assert slew_down != pytest.approx(slew_up, rel=0.02)

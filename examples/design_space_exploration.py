@@ -1,0 +1,71 @@
+"""Design-space exploration with the fast sizing tool.
+
+"The fact that the sizing process is very fast and highly accurate allows
+interactive exploration of wide variety of design space points" (paper
+section 4).  This example sweeps the GBW target and the load capacitance
+and tabulates power, gain and area trade-offs.
+
+Usage::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import OtaSpecs, ParasiticMode, generic_060
+from repro.layout.ota import OtaLayoutRequest, generate_ota_layout
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.units import PF, UM
+
+
+def main() -> None:
+    technology = generic_060()
+    plan = FoldedCascodePlan(technology)
+
+    print("GBW sweep at CL = 3 pF")
+    print(f"{'GBW(MHz)':>9} {'Itail(uA)':>10} {'gain(dB)':>9} "
+          f"{'noise(uV)':>10} {'power(mW)':>10} {'area(um^2)':>11} {'t(s)':>6}")
+    for gbw_mhz in (20, 40, 65, 100, 150):
+        specs = OtaSpecs(
+            vdd=3.3, gbw=gbw_mhz * 1e6, phase_margin=65.0, cload=3 * PF,
+            input_cm_range=(0.55, 1.84), output_range=(0.51, 2.31),
+        )
+        started = time.perf_counter()
+        result = plan.size(specs, ParasiticMode.SINGLE_FOLD)
+        elapsed = time.perf_counter() - started
+        layout = generate_ota_layout(
+            OtaLayoutRequest(
+                technology=technology, sizes=result.sizes,
+                currents=result.currents, aspect=1.0,
+            ),
+            mode="estimate",
+        )
+        metrics = result.predicted
+        print(
+            f"{gbw_mhz:>9} {result.currents['mp5'] * 1e6:>10.1f} "
+            f"{metrics.dc_gain_db:>9.1f} "
+            f"{metrics.input_noise_rms * 1e6:>10.1f} "
+            f"{metrics.power * 1e3:>10.2f} "
+            f"{layout.report.area / UM**2:>11.0f} {elapsed:>6.2f}"
+        )
+
+    print()
+    print("Load sweep at GBW = 65 MHz")
+    print(f"{'CL(pF)':>7} {'Itail(uA)':>10} {'SR(V/us)':>9} {'power(mW)':>10}")
+    for cl_pf in (1, 2, 3, 5, 8):
+        specs = OtaSpecs(
+            vdd=3.3, gbw=65e6, phase_margin=65.0, cload=cl_pf * PF,
+            input_cm_range=(0.55, 1.84), output_range=(0.51, 2.31),
+        )
+        result = plan.size(specs, ParasiticMode.SINGLE_FOLD)
+        metrics = result.predicted
+        print(
+            f"{cl_pf:>7} {result.currents['mp5'] * 1e6:>10.1f} "
+            f"{metrics.slew_rate / 1e6:>9.1f} {metrics.power * 1e3:>10.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Traditional vs layout-oriented design flow (paper Figure 1).
+
+Runs both flows on the Table-1 specification and prints what each one
+cost: the traditional flow pays a full layout-generate/extract/simulate
+round per compensation step, the layout-oriented flow only cheap
+parasitic-calculation calls.
+
+Usage::
+
+    python examples/flow_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LayoutOrientedSynthesizer,
+    OtaSpecs,
+    ParasiticMode,
+    TraditionalFlow,
+    generic_060,
+)
+from repro.units import PF
+
+
+def main() -> None:
+    technology = generic_060()
+    specs = OtaSpecs(
+        vdd=3.3, gbw=65e6, phase_margin=65.0, cload=3 * PF,
+        input_cm_range=(0.55, 1.84), output_range=(0.51, 2.31),
+    )
+
+    print("=== Traditional flow (Figure 1a) ===")
+    traditional = TraditionalFlow(technology, max_rounds=8).run(specs)
+    for iteration in traditional.iterations:
+        print(
+            f"  round {iteration.index}: extracted GBW "
+            f"{iteration.extracted.gbw / 1e6:5.1f} MHz "
+            f"(shortfall {iteration.gbw_shortfall * 100:+5.1f} %), "
+            f"PM {iteration.extracted.phase_margin_deg:5.1f} deg "
+            f"(shortfall {iteration.pm_shortfall:+5.1f} deg)"
+        )
+    status = "converged" if traditional.converged else "NOT converged"
+    print(f"  {status} after {traditional.full_layout_rounds} full "
+          f"generate+extract rounds, {traditional.elapsed:.1f} s")
+    print()
+
+    print("=== Layout-oriented flow (Figure 1b) ===")
+    synthesizer = LayoutOrientedSynthesizer(technology)
+    oriented = synthesizer.run(specs, mode=ParasiticMode.FULL, generate=False)
+    for record in oriented.records:
+        distance = (
+            "   --  " if record.distance == float("inf")
+            else f"{record.distance * 1e15:6.2f}fF"
+        )
+        metrics = record.sizing.predicted
+        print(
+            f"  round {record.round_index}: parasitic change {distance}, "
+            f"sized GBW {metrics.gbw / 1e6:5.1f} MHz, "
+            f"PM {metrics.phase_margin_deg:5.1f} deg"
+        )
+    print(f"  converged after {oriented.layout_calls} parasitic-mode "
+          f"layout calls, {oriented.elapsed:.1f} s")
+    print()
+
+    print("=== Outcome comparison ===")
+    print(f"{'':24}{'traditional':>14}{'layout-oriented':>18}")
+    rows = [
+        ("extracted GBW (MHz)",
+         traditional.extracted.gbw / 1e6,
+         oriented.sizing.predicted.gbw / 1e6),
+        ("extracted PM (deg)",
+         traditional.extracted.phase_margin_deg,
+         oriented.sizing.predicted.phase_margin_deg),
+        ("power (mW)",
+         traditional.extracted.power * 1e3,
+         oriented.sizing.predicted.power * 1e3),
+        ("full layout rounds",
+         traditional.full_layout_rounds,
+         0),
+        ("wall time (s)",
+         traditional.elapsed,
+         oriented.elapsed),
+    ]
+    for label, a, b in rows:
+        print(f"{label:<24}{a:>14.2f}{b:>18.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: layout-oriented synthesis of the paper's folded-cascode OTA.
+
+Runs the full coupled loop of the paper (Figure 1b) on the Table-1
+specification: size, call the layout tool in parasitic-calculation mode,
+re-size with the reported parasitics, repeat until convergence, then
+generate the physical layout and export it.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro import LayoutOrientedSynthesizer, OtaSpecs, ParasiticMode, generic_060
+from repro.layout.gds import write_gds
+from repro.layout.svg import write_svg
+from repro.units import PF, UM
+
+
+def main() -> None:
+    technology = generic_060()
+    specs = OtaSpecs(
+        vdd=3.3,
+        gbw=65e6,
+        phase_margin=65.0,
+        cload=3 * PF,
+        input_cm_range=(0.55, 1.84),
+        output_range=(0.51, 2.31),
+    )
+
+    print(f"Technology : {technology.name}")
+    print(f"Target     : GBW {specs.gbw / 1e6:.0f} MHz, "
+          f"PM {specs.phase_margin:.0f} deg, CL {specs.cload / PF:.0f} pF")
+    print()
+
+    synthesizer = LayoutOrientedSynthesizer(technology, aspect=1.0)
+    outcome = synthesizer.run(specs, mode=ParasiticMode.FULL, generate=True)
+
+    print(f"Converged in {outcome.layout_calls} layout-tool calls "
+          f"({outcome.elapsed:.1f} s)")
+    for record in outcome.records:
+        distance = (
+            "     --" if record.distance == float("inf")
+            else f"{record.distance * 1e15:6.2f} fF"
+        )
+        print(f"  round {record.round_index}: parasitic change {distance}")
+    print()
+
+    metrics = outcome.sizing.predicted
+    print("Synthesized performance (with layout parasitics):")
+    print(f"  DC gain          {metrics.dc_gain_db:7.1f} dB")
+    print(f"  GBW              {metrics.gbw / 1e6:7.1f} MHz")
+    print(f"  Phase margin     {metrics.phase_margin_deg:7.1f} deg")
+    print(f"  Slew rate        {metrics.slew_rate / 1e6:7.1f} V/us")
+    print(f"  CMRR             {metrics.cmrr_db:7.1f} dB")
+    print(f"  Output res.      {metrics.output_resistance / 1e6:7.2f} Mohm")
+    print(f"  Input noise      {metrics.input_noise_rms * 1e6:7.1f} uV rms")
+    print(f"  Power            {metrics.power * 1e3:7.2f} mW")
+    print()
+
+    print("Device sizes (W/L in um) and folds:")
+    for name in sorted(outcome.sizing.sizes):
+        width, length = outcome.sizing.sizes[name]
+        info = outcome.feedback.devices[name]
+        print(f"  {name:<5} {width / UM:7.1f} / {length / UM:4.2f}   "
+              f"nf={info.nf:<3d} finger={info.finger_width / UM:5.2f} um")
+    print()
+
+    layout = outcome.layout
+    assert layout is not None and layout.cell is not None
+    out_dir = pathlib.Path(__file__).parent / "output"
+    out_dir.mkdir(exist_ok=True)
+    write_svg(layout.cell, str(out_dir / "quickstart_ota.svg"), scale=6)
+    write_gds(layout.cell, str(out_dir / "quickstart_ota.gds"))
+    print(f"Layout: {layout.report.width / UM:.1f} x "
+          f"{layout.report.height / UM:.1f} um -> "
+          f"{out_dir / 'quickstart_ota.svg'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Future-work scenario: sizing the OTA for a switched-capacitor stage.
+
+The paper closes with "Future work includes synthesis of larger systems
+as switched capacitor filters and A/D converters using the same
+methodology."  :mod:`repro.core.sc` takes that step: it derives the OTA
+requirements of a switched-capacitor integrator (settling to half-LSB
+accuracy within half a clock period) and drives the same layout-oriented
+synthesis flow.
+
+Usage::
+
+    python examples/sc_filter_driver.py
+"""
+
+from __future__ import annotations
+
+from repro import ParasiticMode, generic_060
+from repro.core.sc import ScIntegratorSpecs, synthesize_sc_integrator
+from repro.units import PF
+
+
+def main() -> None:
+    technology = generic_060()
+    specs = ScIntegratorSpecs(
+        clock=10e6,
+        resolution_bits=10,
+        sampling_cap=1 * PF,
+        integration_cap=4 * PF,
+        load_cap=1 * PF,
+    )
+
+    print("Switched-capacitor integrator requirements:")
+    print(f"  clock {specs.clock / 1e6:.0f} MHz, {specs.resolution_bits} bits, "
+          f"Cs={specs.sampling_cap / PF:.1f} pF, "
+          f"Ci={specs.integration_cap / PF:.1f} pF")
+    print(f"  feedback factor beta = {specs.feedback_factor:.2f}")
+    print(f"  required GBW        = {specs.required_gbw() / 1e6:.1f} MHz")
+    print(f"  effective load      = {specs.effective_load / PF:.2f} pF")
+    print(f"  required slew rate  = "
+          f"{specs.required_slew_rate() / 1e6:.1f} V/us")
+    print(f"  required DC gain    = {specs.required_dc_gain():.0f} "
+          f"({20 * __import__('math').log10(specs.required_dc_gain()):.1f} dB)")
+    print()
+
+    outcome = synthesize_sc_integrator(
+        technology, specs, mode=ParasiticMode.FULL, generate=False
+    )
+    metrics = outcome.synthesis.sizing.predicted
+
+    print("Synthesized OTA (layout-aware):")
+    print(f"  GBW          {metrics.gbw / 1e6:7.1f} MHz "
+          f"(target {outcome.ota_specs.gbw / 1e6:.1f})")
+    print(f"  Phase margin {metrics.phase_margin_deg:7.1f} deg")
+    print(f"  DC gain      {metrics.dc_gain_db:7.1f} dB")
+    print(f"  Slew rate    {metrics.slew_rate / 1e6:7.1f} V/us "
+          f"(needs {specs.required_slew_rate() / 1e6:.1f})")
+    print(f"  Power        {metrics.power * 1e3:7.2f} mW")
+    print(f"  Layout calls {outcome.synthesis.layout_calls}")
+    print()
+    print(f"  slew requirement : {'met' if outcome.slew_ok else 'NOT met'}")
+    print(f"  gain requirement : {'met' if outcome.gain_ok else 'NOT met'}")
+    print(f"  stage verdict    : {'PASS' if outcome.passed else 'NEEDS REWORK'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Technology characterisation and selection.
+
+"A technology evaluation interface allows to easily characterize
+different technologies and helps to choose the most suitable technology"
+(paper section 4).  Compares the three bundled processes for the Table-1
+specification and sizes the OTA in each.
+
+Usage::
+
+    python examples/technology_selection.py
+"""
+
+from __future__ import annotations
+
+from repro import OtaSpecs, ParasiticMode, generic_035, generic_060, generic_080
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.technology.evaluation import TechnologyEvaluator, rank_technologies
+from repro.units import PF
+
+
+def main() -> None:
+    technologies = [generic_080(), generic_060(), generic_035()]
+
+    print("=== Characterisation (L = 2 Lmin, Veff = 0.2 V) ===")
+    for technology in technologies:
+        print(TechnologyEvaluator(technology).report().format())
+        print()
+
+    gbw_target = 65e6
+    print(f"=== Ranking for GBW = {gbw_target / 1e6:.0f} MHz ===")
+    for technology, headroom in rank_technologies(technologies, gbw_target):
+        print(f"  {technology.name:<16} fT headroom {headroom:8.1f}x")
+    print()
+
+    print("=== Sizing the Table-1 OTA in each process ===")
+    print(f"{'technology':<16} {'VDD':>4} {'Itail(uA)':>10} {'gain(dB)':>9} "
+          f"{'power(mW)':>10}")
+    for technology in technologies:
+        vdd = technology.supply_nominal
+        # Scale the voltage-range specs with the supply.
+        scale = vdd / 3.3
+        specs = OtaSpecs(
+            vdd=vdd, gbw=gbw_target, phase_margin=65.0, cload=3 * PF,
+            input_cm_range=(0.55 * scale, 1.84 * scale),
+            output_range=(0.51 * scale, 2.31 * scale),
+        )
+        plan = FoldedCascodePlan(technology)
+        result = plan.size(specs, ParasiticMode.SINGLE_FOLD)
+        metrics = result.predicted
+        print(
+            f"{technology.name:<16} {vdd:>4.1f} "
+            f"{result.currents['mp5'] * 1e6:>10.1f} "
+            f"{metrics.dc_gain_db:>9.1f} {metrics.power * 1e3:>10.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — layout-oriented synthesis of high performance analog circuits.
+
+A full-system reproduction of Dessouky, Louërat & Porte (DATE 2000):
+knowledge-based analog circuit sizing coupled with procedural layout
+generation so that layout parasitics are estimated and compensated *during*
+sizing.
+
+Quick start::
+
+    from repro import (
+        OtaSpecs, ParasiticMode, LayoutOrientedSynthesizer, generic_060,
+    )
+
+    technology = generic_060()
+    specs = OtaSpecs(gbw=65e6, phase_margin=65.0, cload=3e-12)
+    synthesizer = LayoutOrientedSynthesizer(technology)
+    outcome = synthesizer.run(specs, mode=ParasiticMode.FULL)
+    print(outcome.sizing.predicted)       # performance of the sized OTA
+    print(outcome.layout_calls)           # layout-tool calls to converge
+
+Packages:
+
+* :mod:`repro.technology` — process parameters, design rules, metal stack;
+* :mod:`repro.mos` — shared device models (level 1 and level 3);
+* :mod:`repro.circuit` — netlists and topology generators;
+* :mod:`repro.analysis` — DC/AC/noise simulator and OTA metrics;
+* :mod:`repro.layout` — procedural layout generation (the CAIRO substrate);
+* :mod:`repro.sizing` — knowledge-based design plans (the COMDIAC
+  substrate);
+* :mod:`repro.core` — the layout-oriented synthesis loop and the Table-1
+  experiment harness.
+"""
+
+from repro.core.synthesis import LayoutOrientedSynthesizer, SynthesisOutcome
+from repro.core.traditional import TraditionalFlow
+from repro.core.cases import CaseResult, run_case
+from repro.core.report import format_table1
+from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
+from repro.sizing.comdiac import Comdiac
+from repro.technology.presets import generic_035, generic_060, generic_080
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaseResult",
+    "Comdiac",
+    "LayoutOrientedSynthesizer",
+    "OtaSpecs",
+    "ParasiticMode",
+    "SizingResult",
+    "SynthesisOutcome",
+    "TraditionalFlow",
+    "format_table1",
+    "generic_035",
+    "generic_060",
+    "generic_080",
+    "run_case",
+    "__version__",
+]

@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiments:
+
+* ``table1``      — the four parasitic-awareness cases (Table 1);
+* ``synthesize``  — layout-oriented synthesis for custom specs (Fig 1b);
+* ``flows``       — traditional vs layout-oriented flow comparison;
+* ``figure2``     — the capacitance reduction factor curves;
+* ``figure3``     — the 1:3:6 current-mirror stack;
+* ``evaluate``    — technology characterisation and ranking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.technology import generic_035, generic_060, generic_080
+from repro.units import UM
+
+_TECHNOLOGIES = {
+    "0.35um": generic_035,
+    "0.6um": generic_060,
+    "0.8um": generic_080,
+}
+
+
+def _add_technology_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--technology", choices=sorted(_TECHNOLOGIES), default="0.6um",
+        help="process preset (default: the paper's 0.6um)",
+    )
+
+
+def _specs_from_args(args: argparse.Namespace) -> OtaSpecs:
+    return OtaSpecs(
+        vdd=args.vdd,
+        gbw=args.gbw * 1e6,
+        phase_margin=args.phase_margin,
+        cload=args.cload * 1e-12,
+        input_cm_range=(0.55 * args.vdd / 3.3, 1.84 * args.vdd / 3.3),
+        output_range=(0.51 * args.vdd / 3.3, 2.31 * args.vdd / 3.3),
+    )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gbw", type=float, default=65.0,
+                        help="gain-bandwidth target, MHz (default 65)")
+    parser.add_argument("--phase-margin", type=float, default=65.0,
+                        help="phase margin target, degrees (default 65)")
+    parser.add_argument("--cload", type=float, default=3.0,
+                        help="load capacitance, pF (default 3)")
+    parser.add_argument("--vdd", type=float, default=3.3,
+                        help="supply voltage, V (default 3.3)")
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.core.cases import run_case
+    from repro.core.report import format_table1
+
+    technology = _TECHNOLOGIES[args.technology]()
+    specs = _specs_from_args(args)
+    results = []
+    for mode in ParasiticMode:
+        print(f"running case {mode.value} ({mode.name.lower()}) ...",
+              file=sys.stderr)
+        results.append(run_case(technology, specs, mode))
+    print(format_table1(results))
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.core.synthesis import LayoutOrientedSynthesizer
+    from repro.layout.gds import write_gds
+    from repro.layout.svg import write_svg
+
+    technology = _TECHNOLOGIES[args.technology]()
+    specs = _specs_from_args(args)
+    synthesizer = LayoutOrientedSynthesizer(technology, aspect=args.aspect)
+    outcome = synthesizer.run(specs, mode=ParasiticMode.FULL, generate=True)
+
+    metrics = outcome.sizing.predicted
+    print(f"converged in {outcome.layout_calls} layout calls "
+          f"({outcome.elapsed:.1f} s)")
+    print(f"  DC gain       {metrics.dc_gain_db:7.1f} dB")
+    print(f"  GBW           {metrics.gbw / 1e6:7.1f} MHz")
+    print(f"  phase margin  {metrics.phase_margin_deg:7.1f} deg")
+    print(f"  slew rate     {metrics.slew_rate / 1e6:7.1f} V/us")
+    print(f"  power         {metrics.power * 1e3:7.2f} mW")
+    assert outcome.layout is not None and outcome.layout.cell is not None
+    report = outcome.layout.report
+    print(f"  layout        {report.width / UM:.1f} x "
+          f"{report.height / UM:.1f} um")
+    for name in sorted(outcome.sizing.sizes):
+        width, length = outcome.sizing.sizes[name]
+        info = outcome.feedback.devices[name]
+        print(f"    {name:<5} W/L {width / UM:7.1f}/{length / UM:4.2f} um  "
+              f"nf={info.nf}")
+    if args.svg:
+        write_svg(outcome.layout.cell, args.svg, scale=8)
+        print(f"layout written to {args.svg}")
+    if args.gds:
+        write_gds(outcome.layout.cell, args.gds)
+        print(f"GDSII written to {args.gds}")
+    return 0
+
+
+def cmd_flows(args: argparse.Namespace) -> int:
+    from repro.core.synthesis import LayoutOrientedSynthesizer
+    from repro.core.traditional import TraditionalFlow
+
+    technology = _TECHNOLOGIES[args.technology]()
+    specs = _specs_from_args(args)
+
+    traditional = TraditionalFlow(technology).run(specs)
+    oriented = LayoutOrientedSynthesizer(technology).run(
+        specs, ParasiticMode.FULL, generate=False
+    )
+    print(f"{'flow':<18}{'rounds':>8}{'time (s)':>10}"
+          f"{'GBW (MHz)':>11}{'PM (deg)':>10}")
+    print(f"{'traditional':<18}{traditional.full_layout_rounds:>8}"
+          f"{traditional.elapsed:>10.1f}"
+          f"{traditional.extracted.gbw / 1e6:>11.1f}"
+          f"{traditional.extracted.phase_margin_deg:>10.1f}")
+    metrics = oriented.sizing.predicted
+    print(f"{'layout-oriented':<18}{oriented.layout_calls:>8}"
+          f"{oriented.elapsed:>10.1f}"
+          f"{metrics.gbw / 1e6:>11.1f}"
+          f"{metrics.phase_margin_deg:>10.1f}")
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    from repro.layout.folding import (
+        DiffusionPosition,
+        capacitance_reduction_factor,
+    )
+
+    print("Nf    F(a) internal   F(b) external   F(c) odd")
+    for nf in range(1, args.max_folds + 1):
+        if nf == 1:
+            print(f"{nf:<5} {1.0:>13.4f} {1.0:>15.4f} {1.0:>10.4f}")
+        elif nf % 2 == 0:
+            internal = capacitance_reduction_factor(
+                nf, DiffusionPosition.INTERNAL
+            )
+            external = capacitance_reduction_factor(
+                nf, DiffusionPosition.EXTERNAL
+            )
+            print(f"{nf:<5} {internal:>13.4f} {external:>15.4f} {'-':>10}")
+        else:
+            odd = capacitance_reduction_factor(
+                nf, DiffusionPosition.ALTERNATING
+            )
+            print(f"{nf:<5} {'-':>13} {'-':>15} {odd:>10.4f}")
+    return 0
+
+
+def cmd_figure3(args: argparse.Namespace) -> int:
+    from repro.layout.devices import current_mirror_layout
+    from repro.layout.svg import write_svg
+
+    technology = _TECHNOLOGIES[args.technology]()
+    mirror = current_mirror_layout(
+        technology, "n", {"m1": 1, "m2": 3, "m3": 6},
+        unit_width=6 * UM, l=2 * UM,
+        drains={"m1": "bias", "m2": "out2", "m3": "out3"},
+        gate="bias", source="0", bulk="0",
+        currents={"m1": 0.1e-3, "m2": 0.3e-3, "m3": 0.6e-3},
+    )
+    assert mirror.plan is not None
+    print("stack  :", mirror.plan.pattern())
+    for device in ("m1", "m2", "m3"):
+        print(f"{device}: centroid {mirror.plan.centroid_offset(device):+.2f} "
+              f"pitches, orientation balance "
+              f"{mirror.plan.orientation_balance(device):+d}")
+    if args.svg:
+        write_svg(mirror.cell, args.svg, scale=12)
+        print(f"layout written to {args.svg}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.technology.evaluation import (
+        TechnologyEvaluator,
+        rank_technologies,
+    )
+
+    technologies = [factory() for factory in _TECHNOLOGIES.values()]
+    for technology in technologies:
+        print(TechnologyEvaluator(technology).report().format())
+        print()
+    print(f"ranking for GBW = {args.gbw:.0f} MHz:")
+    for technology, headroom in rank_technologies(
+        technologies, args.gbw * 1e6
+    ):
+        print(f"  {technology.name:<16} fT headroom {headroom:8.1f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Layout-oriented analog synthesis (DATE 2000 "
+                    "reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="reproduce Table 1")
+    _add_technology_argument(table1)
+    _add_spec_arguments(table1)
+    table1.set_defaults(func=cmd_table1)
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="layout-oriented synthesis (case 4)"
+    )
+    _add_technology_argument(synthesize)
+    _add_spec_arguments(synthesize)
+    synthesize.add_argument("--aspect", type=float, default=1.0,
+                            help="layout aspect ratio H/W (default 1.0)")
+    synthesize.add_argument("--svg", help="write the layout as SVG")
+    synthesize.add_argument("--gds", help="write the layout as GDSII")
+    synthesize.set_defaults(func=cmd_synthesize)
+
+    flows = subparsers.add_parser(
+        "flows", help="traditional vs layout-oriented flow"
+    )
+    _add_technology_argument(flows)
+    _add_spec_arguments(flows)
+    flows.set_defaults(func=cmd_flows)
+
+    figure2 = subparsers.add_parser(
+        "figure2", help="capacitance reduction factor curves"
+    )
+    figure2.add_argument("--max-folds", type=int, default=20)
+    figure2.set_defaults(func=cmd_figure2)
+
+    figure3 = subparsers.add_parser(
+        "figure3", help="the 1:3:6 current-mirror stack"
+    )
+    _add_technology_argument(figure3)
+    figure3.add_argument("--svg", help="write the layout as SVG")
+    figure3.set_defaults(func=cmd_figure3)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="characterise and rank the bundled technologies"
+    )
+    evaluate.add_argument("--gbw", type=float, default=65.0,
+                          help="GBW target for the ranking, MHz")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,398 @@
+"""Nonlinear DC operating-point solver.
+
+Damped Newton-Raphson on the MNA equations with two classic continuation
+safety nets:
+
+* **gmin stepping** — a shunt conductance from every node to ground starts
+  large and is relaxed geometrically to zero, taming the near-singular
+  Jacobians of high-gain nodes;
+* **source stepping** — if gmin stepping fails, supplies are ramped from a
+  fraction of their value to 100 %.
+
+The solver returns a :class:`DcSolution` carrying node voltages and a full
+:class:`~repro.mos.model.OperatingPoint` per MOS device, which the AC and
+noise analyses then stamp directly — the linearisation is shared, never
+recomputed differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.mna import NodeIndex, solve_linear
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Mos,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.errors import ConvergenceError
+from repro.mos import make_model
+from repro.mos.junction import DiffusionGeometry
+from repro.mos.model import MosModel, OperatingPoint
+
+_MODEL_CACHE: Dict[Tuple[int, int], MosModel] = {}
+
+
+def model_for(mos: Mos) -> MosModel:
+    """Shared model instance for a MOS element (cached per params+level)."""
+    assert mos.params is not None
+    key = (id(mos.params), mos.model_level)
+    model = _MODEL_CACHE.get(key)
+    if model is None:
+        model = make_model(mos.params, level=mos.model_level)
+        _MODEL_CACHE[key] = model
+    return model
+
+
+@dataclass
+class MosSolution:
+    """Solved state of one MOS device.
+
+    ``op`` is in forward convention; ``swapped`` records whether the
+    effective drain is the element's source terminal (reverse conduction).
+    ``terminal_current`` is the current into the element's drain pin.
+    """
+
+    element: Mos
+    op: OperatingPoint
+    swapped: bool
+    terminal_current: float
+
+    @property
+    def eff_drain(self) -> str:
+        """Net acting as drain in forward convention."""
+        return self.element.s if self.swapped else self.element.d
+
+    @property
+    def eff_source(self) -> str:
+        """Net acting as source in forward convention."""
+        return self.element.d if self.swapped else self.element.s
+
+
+@dataclass
+class DcSolution:
+    """Result of a DC analysis."""
+
+    voltages: Dict[str, float]
+    devices: Dict[str, MosSolution]
+    source_currents: Dict[str, float]
+    """Branch current of each voltage source, flowing pos -> neg through
+    the source (so a supply delivering power has a negative entry)."""
+    iterations: int
+    gmin: float
+    """Residual gmin at convergence (0.0 for a fully relaxed solve)."""
+
+    def voltage(self, net: str) -> float:
+        if net.lower() in ("0", "gnd", "vss", "ground"):
+            return 0.0
+        return self.voltages[net]
+
+    def source_power(self, name: str) -> float:
+        """Power delivered by a voltage source, W (positive = delivering)."""
+        current = self.source_currents[name]
+        return -current * self._source_dc[name]
+
+    def total_supply_power(self) -> float:
+        """Total power delivered by all voltage sources, W."""
+        return sum(self.source_power(name) for name in self.source_currents)
+
+    # populated by solve_dc
+    _source_dc: Dict[str, float] = None  # type: ignore[assignment]
+
+
+def _device_terminal_state(
+    mos: Mos, voltages: np.ndarray, index: NodeIndex
+) -> Tuple[float, float, float, float]:
+    """Terminal voltages (vd, vg, vs, vb) from the solution vector."""
+
+    def v(net: str) -> float:
+        node = index.node(net)
+        return 0.0 if node < 0 else float(voltages[node])
+
+    return v(mos.d), v(mos.g), v(mos.s), v(mos.b)
+
+
+def _evaluate_mos(
+    mos: Mos, voltages: np.ndarray, index: NodeIndex
+) -> Tuple[float, float, float, float, bool]:
+    """Evaluate a MOS at the present iterate.
+
+    Returns ``(i_ds, gm, gds, gmb, swapped)`` where ``i_ds`` is the current
+    from the *effective* drain node to the effective source node, and the
+    small-signal parameters are in forward convention.
+    """
+    assert mos.params is not None
+    model = model_for(mos)
+    sign = mos.params.sign
+    vd, vg, vs, vb = _device_terminal_state(mos, voltages, index)
+    swapped = sign * (vd - vs) < 0.0
+    if swapped:
+        vd, vs = vs, vd
+    vgs = sign * (vg - vs) - mos.mismatch_vth
+    vds = sign * (vd - vs)
+    vsb = sign * (vs - vb)
+    current, gm, gds, gmb, _region = model.evaluate(mos.w, mos.l, vgs, vds, vsb)
+    beta_scale = 1.0 + mos.mismatch_beta
+    current *= beta_scale
+    gm *= beta_scale
+    gds *= beta_scale
+    gmb *= beta_scale
+    return sign * current, gm, gds, gmb, swapped
+
+
+def _build_system(
+    circuit: Circuit,
+    index: NodeIndex,
+    voltages: np.ndarray,
+    gmin: float,
+    source_scale: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Residual vector f(v) and Jacobian J(v) at the current iterate."""
+    size = index.size
+    jacobian = np.zeros((size, size))
+    residual = np.zeros(size)
+
+    def v_at(node: int) -> float:
+        return 0.0 if node < 0 else float(voltages[node])
+
+    def add_out(node: int, current: float) -> None:
+        if node >= 0:
+            residual[node] += current
+
+    def add_jac(row: int, col: int, value: float) -> None:
+        if row >= 0 and col >= 0:
+            jacobian[row, col] += value
+
+    for element in circuit:
+        if isinstance(element, Resistor):
+            i = index.node(element.a)
+            j = index.node(element.b)
+            conductance = 1.0 / element.value
+            current = conductance * (v_at(i) - v_at(j))
+            add_out(i, current)
+            add_out(j, -current)
+            add_jac(i, i, conductance)
+            add_jac(i, j, -conductance)
+            add_jac(j, j, conductance)
+            add_jac(j, i, -conductance)
+        elif isinstance(element, Capacitor):
+            continue  # open at DC
+        elif isinstance(element, VoltageSource):
+            pos = index.node(element.pos)
+            neg = index.node(element.neg)
+            branch = index.branch(element.name)
+            i_branch = float(voltages[branch])
+            add_out(pos, i_branch)
+            add_out(neg, -i_branch)
+            add_jac(pos, branch, 1.0)
+            add_jac(neg, branch, -1.0)
+            residual[branch] += v_at(pos) - v_at(neg) - element.dc * source_scale
+            add_jac(branch, pos, 1.0)
+            add_jac(branch, neg, -1.0)
+        elif isinstance(element, CurrentSource):
+            pos = index.node(element.pos)
+            neg = index.node(element.neg)
+            add_out(pos, element.dc * source_scale)
+            add_out(neg, -element.dc * source_scale)
+        elif isinstance(element, Mos):
+            i_ds, gm, gds, gmb, swapped = _evaluate_mos(element, voltages, index)
+            if swapped:
+                drain = index.node(element.s)
+                source = index.node(element.d)
+            else:
+                drain = index.node(element.d)
+                source = index.node(element.s)
+            gate = index.node(element.g)
+            bulk = index.node(element.b)
+            add_out(drain, i_ds)
+            add_out(source, -i_ds)
+            # d(i_ds)/d(v_x) in actual node voltages; the polarity signs
+            # cancel as derived in the module docstring of repro.mos.model.
+            for row, row_sign in ((drain, 1.0), (source, -1.0)):
+                add_jac(row, drain, row_sign * gds)
+                add_jac(row, gate, row_sign * gm)
+                add_jac(row, source, row_sign * (-gm - gds - gmb))
+                add_jac(row, bulk, row_sign * gmb)
+        else:  # pragma: no cover - future element types
+            raise NotImplementedError(f"DC stamp for {type(element).__name__}")
+
+    # gmin shunts on every node.
+    for node in range(index.node_count):
+        residual[node] += gmin * float(voltages[node])
+        jacobian[node, node] += gmin
+
+    return residual, jacobian
+
+
+def _newton(
+    circuit: Circuit,
+    index: NodeIndex,
+    start: np.ndarray,
+    gmin: float,
+    source_scale: float = 1.0,
+    max_iterations: int = 200,
+    abs_tolerance: float = 1e-10,
+    step_limit: float = 0.6,
+) -> Tuple[np.ndarray, bool, int]:
+    """Damped Newton from ``start``; returns (solution, converged, iters)."""
+    voltages = start.copy()
+    for iteration in range(1, max_iterations + 1):
+        residual, jacobian = _build_system(
+            circuit, index, voltages, gmin, source_scale
+        )
+        residual_norm = float(np.max(np.abs(residual)))
+        try:
+            delta = solve_linear(jacobian, -residual)
+        except Exception:
+            return voltages, False, iteration
+        max_step = float(np.max(np.abs(delta))) if delta.size else 0.0
+        if max_step > step_limit:
+            delta *= step_limit / max_step
+        voltages += delta
+        if residual_norm < abs_tolerance and max_step < 1e-9:
+            return voltages, True, iteration
+        if max_step < 1e-12 and residual_norm < 1e-6:
+            # Stalled but electrically negligible residual.
+            return voltages, True, iteration
+    return voltages, False, max_iterations
+
+
+def _initial_guess(circuit: Circuit, index: NodeIndex) -> np.ndarray:
+    """Start vector: DC-source-pinned nets at their value, others midway."""
+    guess = np.zeros(index.size)
+    supply = 0.0
+    for source in index.sources:
+        supply = max(supply, abs(source.dc))
+    midpoint = 0.5 * supply
+    for net, node in ((net, index.node(net)) for net in index.nets):
+        guess[node] = midpoint
+    for source in index.sources:
+        pos = index.node(source.pos)
+        neg = index.node(source.neg)
+        if neg < 0 and pos >= 0:
+            guess[pos] = source.dc
+        elif pos < 0 and neg >= 0:
+            guess[neg] = -source.dc
+    return guess
+
+
+GMIN_SEQUENCE = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12, 0.0)
+
+
+def solve_dc(
+    circuit: Circuit,
+    gmin_sequence: Tuple[float, ...] = GMIN_SEQUENCE,
+    max_iterations: int = 200,
+) -> DcSolution:
+    """Find the DC operating point of ``circuit``.
+
+    Raises :class:`ConvergenceError` when neither gmin stepping nor source
+    stepping converges.
+    """
+    circuit.validate()
+    index = NodeIndex(circuit)
+    voltages = _initial_guess(circuit, index)
+    total_iterations = 0
+    converged = False
+    achieved_gmin = gmin_sequence[0] if gmin_sequence else 0.0
+
+    for gmin in gmin_sequence:
+        voltages, converged, iterations = _newton(
+            circuit, index, voltages, gmin, max_iterations=max_iterations
+        )
+        total_iterations += iterations
+        if not converged:
+            break
+        achieved_gmin = gmin
+
+    if not converged or achieved_gmin != 0.0:
+        # Source stepping from a cold start.
+        voltages = np.zeros(index.size)
+        converged = True
+        for scale in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0):
+            voltages, step_ok, iterations = _newton(
+                circuit,
+                index,
+                voltages,
+                gmin=1e-12,
+                source_scale=scale,
+                max_iterations=max_iterations,
+            )
+            total_iterations += iterations
+            if not step_ok:
+                converged = False
+                break
+        if converged:
+            voltages, converged, iterations = _newton(
+                circuit, index, voltages, gmin=0.0, max_iterations=max_iterations
+            )
+            total_iterations += iterations
+            achieved_gmin = 0.0
+
+    if not converged:
+        raise ConvergenceError(
+            f"DC analysis of {circuit.name!r} failed after "
+            f"{total_iterations} Newton iterations"
+        )
+
+    return _package_solution(circuit, index, voltages, total_iterations, achieved_gmin)
+
+
+def _package_solution(
+    circuit: Circuit,
+    index: NodeIndex,
+    voltages: np.ndarray,
+    iterations: int,
+    gmin: float,
+) -> DcSolution:
+    devices: Dict[str, MosSolution] = {}
+    for mos in circuit.mos_devices:
+        assert mos.params is not None
+        model = model_for(mos)
+        sign = mos.params.sign
+        vd, vg, vs, vb = _device_terminal_state(mos, voltages, index)
+        swapped = sign * (vd - vs) < 0.0
+        if swapped:
+            vd, vs = vs, vd
+        vgs = sign * (vg - vs) - mos.mismatch_vth
+        vds = sign * (vd - vs)
+        vsb = sign * (vs - vb)
+        geometry = mos.geometry
+        if geometry is not None and swapped:
+            geometry = DiffusionGeometry(
+                ad=geometry.as_, pd=geometry.ps, as_=geometry.ad, ps=geometry.pd
+            )
+        op = model.operating_point(mos.w, mos.l, vgs, vds, vsb, geometry)
+        beta_scale = 1.0 + mos.mismatch_beta
+        op.id *= beta_scale
+        op.gm *= beta_scale
+        op.gds *= beta_scale
+        op.gmb *= beta_scale
+        i_ds = sign * op.id
+        terminal_current = -i_ds if swapped else i_ds
+        devices[mos.name] = MosSolution(
+            element=mos,
+            op=op,
+            swapped=swapped,
+            terminal_current=terminal_current,
+        )
+
+    source_currents = {
+        source.name: float(voltages[index.branch(source.name)])
+        for source in index.sources
+    }
+    solution = DcSolution(
+        voltages=index.voltages_to_dict(voltages),
+        devices=devices,
+        source_currents=source_currents,
+        iterations=iterations,
+        gmin=gmin,
+    )
+    solution._source_dc = {source.name: source.dc for source in index.sources}
+    return solution

@@ -1,0 +1,130 @@
+"""Modified nodal analysis scaffolding.
+
+:class:`NodeIndex` maps net names to matrix rows; voltage sources get extra
+branch-current unknowns.  Stamp helpers write conductances, capacitances and
+controlled sources into dense numpy matrices — dense is the right choice for
+cell-level circuits (tens of nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.circuit.elements import VoltageSource
+from repro.circuit.net import canonical, is_ground
+from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
+
+
+class NodeIndex:
+    """Net-name to unknown-index mapping for one circuit.
+
+    Index layout: node voltages first (ground excluded), then one branch
+    current per voltage source, in deterministic (sorted/insertion) order.
+    """
+
+    def __init__(self, circuit: Circuit):
+        nets = [net for net in circuit.nets if not is_ground(net)]
+        self._node_of: Dict[str, int] = {net: i for i, net in enumerate(nets)}
+        self.node_count = len(nets)
+        sources = [e for e in circuit if isinstance(e, VoltageSource)]
+        self._branch_of: Dict[str, int] = {
+            source.name: self.node_count + i for i, source in enumerate(sources)
+        }
+        self.size = self.node_count + len(sources)
+        self.nets: List[str] = nets
+        self.sources: List[VoltageSource] = sources
+
+    def node(self, net: str) -> int:
+        """Matrix index of a net, or -1 for ground."""
+        net = canonical(net)
+        if net == "0":
+            return -1
+        try:
+            return self._node_of[net]
+        except KeyError:
+            raise AnalysisError(f"unknown net {net!r}") from None
+
+    def branch(self, source_name: str) -> int:
+        """Matrix index of a voltage source's branch current."""
+        try:
+            return self._branch_of[source_name]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown voltage source {source_name!r}"
+            ) from None
+
+    def voltages_to_dict(self, solution: Sequence[float]) -> Dict[str, float]:
+        """Map a solution vector back to {net: voltage} (plus ground)."""
+        result = {"0": 0.0}
+        for net, index in self._node_of.items():
+            result[net] = float(np.real(solution[index]))
+        return result
+
+
+def stamp_conductance(matrix: np.ndarray, i: int, j: int, value: float) -> None:
+    """Stamp a two-terminal conductance between matrix rows i and j.
+
+    Either index may be -1 (ground).
+    """
+    if i >= 0:
+        matrix[i, i] += value
+        if j >= 0:
+            matrix[i, j] -= value
+    if j >= 0:
+        matrix[j, j] += value
+        if i >= 0:
+            matrix[j, i] -= value
+
+
+def stamp_vccs(
+    matrix: np.ndarray,
+    out_pos: int,
+    out_neg: int,
+    ctrl_pos: int,
+    ctrl_neg: int,
+    gm: float,
+) -> None:
+    """Stamp a voltage-controlled current source.
+
+    Current ``gm * (v_ctrl_pos - v_ctrl_neg)`` flows from ``out_pos`` to
+    ``out_neg`` through the source (out of out_pos node).
+    """
+    for out, sign_out in ((out_pos, 1.0), (out_neg, -1.0)):
+        if out < 0:
+            continue
+        for ctrl, sign_ctrl in ((ctrl_pos, 1.0), (ctrl_neg, -1.0)):
+            if ctrl < 0:
+                continue
+            matrix[out, ctrl] += sign_out * sign_ctrl * gm
+
+
+def stamp_voltage_source(
+    matrix: np.ndarray, rhs: np.ndarray, pos: int, neg: int, branch: int, value: float
+) -> None:
+    """Stamp an ideal voltage source with its branch-current row."""
+    if pos >= 0:
+        matrix[pos, branch] += 1.0
+        matrix[branch, pos] += 1.0
+    if neg >= 0:
+        matrix[neg, branch] -= 1.0
+        matrix[branch, neg] -= 1.0
+    rhs[branch] += value
+
+
+def stamp_current(rhs: np.ndarray, pos: int, neg: int, value: float) -> None:
+    """Stamp an independent current source (pos -> neg through the source)."""
+    if pos >= 0:
+        rhs[pos] -= value
+    if neg >= 0:
+        rhs[neg] += value
+
+
+def solve_linear(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve the MNA system, raising :class:`AnalysisError` when singular."""
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as error:
+        raise AnalysisError(f"singular MNA matrix: {error}") from error

@@ -1,0 +1,35 @@
+"""Circuit representation: nets, elements, netlists, topology generators.
+
+A :class:`~repro.circuit.netlist.Circuit` is a flat container of typed
+elements connected by named nets.  The simulator (:mod:`repro.analysis`)
+stamps these elements into MNA matrices; the layout generators consume the
+same objects to derive device geometry and connectivity.
+"""
+
+from repro.circuit.net import GROUND_NAMES, is_ground
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Mos,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.circuit.spice import to_spice
+from repro.circuit.parser import from_spice, parse_value
+
+__all__ = [
+    "Capacitor",
+    "Circuit",
+    "CurrentSource",
+    "Element",
+    "GROUND_NAMES",
+    "Mos",
+    "Resistor",
+    "VoltageSource",
+    "from_spice",
+    "is_ground",
+    "parse_value",
+    "to_spice",
+]

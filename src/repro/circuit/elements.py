@@ -1,0 +1,160 @@
+"""Circuit elements.
+
+Elements are plain data; all physics lives in :mod:`repro.mos` (device
+models) and :mod:`repro.analysis` (stamping).  Every element has a unique
+name and an ordered tuple of net names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import CircuitError
+from repro.mos.junction import DiffusionGeometry
+from repro.technology.process import MosParams
+
+
+@dataclass
+class Element:
+    """Base class: a named element attached to nets."""
+
+    name: str
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        if not self.name:
+            raise CircuitError("element needs a non-empty name")
+        for net in self.nets:
+            if not net:
+                raise CircuitError(f"element {self.name!r} has an empty net name")
+
+
+@dataclass
+class Resistor(Element):
+    """Linear resistor between nets ``a`` and ``b``."""
+
+    a: str = "0"
+    b: str = "0"
+    value: float = 0.0
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.value <= 0.0:
+            raise CircuitError(f"resistor {self.name!r} must be positive")
+
+
+@dataclass
+class Capacitor(Element):
+    """Linear capacitor between nets ``a`` and ``b``."""
+
+    a: str = "0"
+    b: str = "0"
+    value: float = 0.0
+    parasitic: bool = False
+    """Marks capacitors injected by parasitic estimation/extraction."""
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        return (self.a, self.b)
+
+    def validate(self) -> None:
+        super().validate()
+        if self.value < 0.0:
+            raise CircuitError(f"capacitor {self.name!r} must be non-negative")
+
+
+@dataclass
+class VoltageSource(Element):
+    """Independent voltage source; ``pos`` is the + terminal.
+
+    ``ac`` is the small-signal amplitude used in AC analysis.
+    """
+
+    pos: str = "0"
+    neg: str = "0"
+    dc: float = 0.0
+    ac: float = 0.0
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        return (self.pos, self.neg)
+
+
+@dataclass
+class CurrentSource(Element):
+    """Independent current source; positive current flows pos -> neg
+    through the source (SPICE convention)."""
+
+    pos: str = "0"
+    neg: str = "0"
+    dc: float = 0.0
+    ac: float = 0.0
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        return (self.pos, self.neg)
+
+
+@dataclass
+class Mos(Element):
+    """MOS transistor instance.
+
+    Terminal order follows SPICE: drain, gate, source, bulk.  ``params``
+    selects the polarity and model parameters; ``model_level`` picks the
+    equation set.  ``geometry`` carries the (layout-accurate, when known)
+    source/drain diffusion shape used for junction capacitance; ``nf`` is
+    the number of folds chosen by the layout tool.
+    """
+
+    d: str = "0"
+    g: str = "0"
+    s: str = "0"
+    b: str = "0"
+    params: Optional[MosParams] = None
+    w: float = 0.0
+    l: float = 0.0
+    nf: int = 1
+    model_level: int = 1
+    geometry: Optional[DiffusionGeometry] = None
+    mismatch_vth: float = 0.0
+    """Threshold shift applied to this instance (Monte-Carlo mismatch), V."""
+    mismatch_beta: float = 0.0
+    """Relative current-factor error applied to this instance."""
+
+    @property
+    def nets(self) -> Tuple[str, ...]:
+        return (self.d, self.g, self.s, self.b)
+
+    @property
+    def polarity(self) -> str:
+        if self.params is None:
+            raise CircuitError(f"mos {self.name!r} has no model parameters")
+        return self.params.polarity
+
+    def validate(self) -> None:
+        super().validate()
+        if self.params is None:
+            raise CircuitError(f"mos {self.name!r} has no model parameters")
+        if self.w <= 0.0 or self.l <= 0.0:
+            raise CircuitError(
+                f"mos {self.name!r} has non-positive geometry "
+                f"(W={self.w}, L={self.l})"
+            )
+        if self.nf < 1:
+            raise CircuitError(f"mos {self.name!r} has nf < 1")
+
+    def resized(self, w: Optional[float] = None, l: Optional[float] = None) -> "Mos":
+        """Copy with new geometry (used by the sizing iterations)."""
+        return replace(
+            self,
+            w=self.w if w is None else w,
+            l=self.l if l is None else l,
+        )

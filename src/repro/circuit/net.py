@@ -1,0 +1,22 @@
+"""Net naming conventions.
+
+Nets are plain strings; the names in :data:`GROUND_NAMES` all refer to the
+global reference node.
+"""
+
+from __future__ import annotations
+
+GROUND_NAMES = frozenset({"0", "gnd", "vss", "ground"})
+"""Aliases accepted for the reference node."""
+
+
+def is_ground(net: str) -> bool:
+    """True if ``net`` names the global reference node."""
+    return net.lower() in GROUND_NAMES
+
+
+def canonical(net: str) -> str:
+    """Canonical form of a net name ('0' for any ground alias)."""
+    if is_ground(net):
+        return "0"
+    return net

@@ -1,0 +1,225 @@
+"""Netlist container.
+
+:class:`Circuit` is a flat, ordered collection of elements with unique
+names.  It offers convenience constructors per element type, net queries,
+deep cloning (sizing iterations mutate clones, never the original) and a
+merge operation for attaching extracted parasitics.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterator, List, Optional
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Mos,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.net import canonical, is_ground
+from repro.errors import CircuitError
+from repro.mos.junction import DiffusionGeometry
+from repro.technology.process import MosParams
+
+
+class Circuit:
+    """A named, flat netlist."""
+
+    def __init__(self, name: str = "circuit"):
+        self.name = name
+        self._elements: Dict[str, Element] = {}
+
+    # -- Container protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._elements
+
+    # -- Element management ------------------------------------------------------
+
+    def add(self, element: Element) -> Element:
+        """Add an element; names must be unique within the circuit."""
+        element.validate()
+        if element.name in self._elements:
+            raise CircuitError(
+                f"circuit {self.name!r} already has an element "
+                f"named {element.name!r}"
+            )
+        self._elements[element.name] = element
+        return element
+
+    def remove(self, name: str) -> Element:
+        """Remove and return an element by name."""
+        try:
+            return self._elements.pop(name)
+        except KeyError:
+            raise CircuitError(
+                f"circuit {self.name!r} has no element {name!r}"
+            ) from None
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        try:
+            return self._elements[name]
+        except KeyError:
+            raise CircuitError(
+                f"circuit {self.name!r} has no element {name!r}"
+            ) from None
+
+    def mos(self, name: str) -> Mos:
+        """Look up a MOS element by name, type-checked."""
+        element = self.element(name)
+        if not isinstance(element, Mos):
+            raise CircuitError(f"element {name!r} is not a MOS device")
+        return element
+
+    @property
+    def elements(self) -> List[Element]:
+        return list(self._elements.values())
+
+    @property
+    def mos_devices(self) -> List[Mos]:
+        return [e for e in self if isinstance(e, Mos)]
+
+    @property
+    def capacitors(self) -> List[Capacitor]:
+        return [e for e in self if isinstance(e, Capacitor)]
+
+    @property
+    def nets(self) -> List[str]:
+        """All nets, canonicalised, ground first when present."""
+        seen = {}
+        for element in self:
+            for net in element.nets:
+                seen[canonical(net)] = True
+        ordered = sorted(seen)
+        if "0" in seen:
+            ordered.remove("0")
+            ordered.insert(0, "0")
+        return ordered
+
+    def elements_on_net(self, net: str) -> List[Element]:
+        """Every element with a terminal on ``net``."""
+        target = canonical(net)
+        return [
+            element
+            for element in self
+            if any(canonical(n) == target for n in element.nets)
+        ]
+
+    # -- Convenience constructors ---------------------------------------------
+
+    def add_mos(
+        self,
+        name: str,
+        d: str,
+        g: str,
+        s: str,
+        b: str,
+        params: MosParams,
+        w: float,
+        l: float,
+        nf: int = 1,
+        model_level: int = 1,
+        geometry: Optional[DiffusionGeometry] = None,
+    ) -> Mos:
+        return self.add(
+            Mos(
+                name=name,
+                d=d,
+                g=g,
+                s=s,
+                b=b,
+                params=params,
+                w=w,
+                l=l,
+                nf=nf,
+                model_level=model_level,
+                geometry=geometry,
+            )
+        )
+
+    def add_resistor(self, name: str, a: str, b: str, value: float) -> Resistor:
+        return self.add(Resistor(name=name, a=a, b=b, value=value))
+
+    def add_capacitor(
+        self, name: str, a: str, b: str, value: float, parasitic: bool = False
+    ) -> Capacitor:
+        return self.add(
+            Capacitor(name=name, a=a, b=b, value=value, parasitic=parasitic)
+        )
+
+    def add_vsource(
+        self, name: str, pos: str, neg: str, dc: float = 0.0, ac: float = 0.0
+    ) -> VoltageSource:
+        return self.add(VoltageSource(name=name, pos=pos, neg=neg, dc=dc, ac=ac))
+
+    def add_isource(
+        self, name: str, pos: str, neg: str, dc: float = 0.0, ac: float = 0.0
+    ) -> CurrentSource:
+        return self.add(CurrentSource(name=name, pos=pos, neg=neg, dc=dc, ac=ac))
+
+    # -- Whole-circuit operations ------------------------------------------------
+
+    def clone(self, name: Optional[str] = None) -> "Circuit":
+        """Deep copy; sizing iterations mutate clones."""
+        duplicate = copy.deepcopy(self)
+        if name is not None:
+            duplicate.name = name
+        return duplicate
+
+    def validate(self) -> None:
+        """Structural checks: elements valid, some ground reference exists."""
+        if not self._elements:
+            raise CircuitError(f"circuit {self.name!r} is empty")
+        for element in self:
+            element.validate()
+        if not any(is_ground(net) for e in self for net in e.nets):
+            raise CircuitError(
+                f"circuit {self.name!r} has no ground reference net"
+            )
+
+    def strip_parasitics(self) -> int:
+        """Remove every parasitic-marked capacitor; returns the count."""
+        names = [c.name for c in self.capacitors if c.parasitic]
+        for name in names:
+            self.remove(name)
+        return len(names)
+
+    def attach_parasitic_cap(self, net_a: str, net_b: str, value: float) -> Capacitor:
+        """Add (or grow) a parasitic capacitor between two nets."""
+        if value < 0.0:
+            raise CircuitError("parasitic capacitance must be non-negative")
+        key = f"cpar_{canonical(net_a)}_{canonical(net_b)}"
+        if key in self._elements:
+            existing = self._elements[key]
+            assert isinstance(existing, Capacitor)
+            existing.value += value
+            return existing
+        return self.add_capacitor(key, net_a, net_b, value, parasitic=True)
+
+    def total_parasitic_on_net(self, net: str) -> float:
+        """Sum of parasitic capacitance touching ``net``, F."""
+        target = canonical(net)
+        return sum(
+            c.value
+            for c in self.capacitors
+            if c.parasitic and target in (canonical(c.a), canonical(c.b))
+        )
+
+    def summary(self) -> str:
+        """One-line content summary, useful in logs."""
+        mos = len(self.mos_devices)
+        caps = len(self.capacitors)
+        return (
+            f"{self.name}: {len(self)} elements ({mos} MOS, {caps} C), "
+            f"{len(self.nets)} nets"
+        )

@@ -1,0 +1,246 @@
+"""SPICE netlist importer.
+
+Parses the deck subset the exporter (:mod:`repro.circuit.spice`) emits —
+R/C/V/I/M cards plus ``.MODEL`` cards with level-1/3 parameters — so
+externally authored netlists (or round-tripped ones) can be simulated and
+laid out.  Continuation lines (``+``), comments (``*``) and the usual SPICE
+engineering suffixes (``k``, ``meg``, ``u``, ``n``, ``p``, ``f``) are
+supported.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+from repro.technology.process import MosParams
+
+_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+}
+
+_NUMBER_RE = re.compile(
+    r"^([+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)([a-zA-Z]*)$"
+)
+
+
+def parse_value(token: str) -> float:
+    """Parse a SPICE number with an optional engineering suffix.
+
+    >>> parse_value("3p")
+    3e-12
+    >>> parse_value("2.5MEG")
+    2500000.0
+    """
+    match = _NUMBER_RE.match(token.strip())
+    if not match:
+        raise CircuitError(f"cannot parse SPICE number {token!r}")
+    mantissa = float(match.group(1))
+    suffix = match.group(2).lower()
+    if not suffix:
+        return mantissa
+    if suffix.startswith("meg"):
+        return mantissa * _SUFFIXES["meg"]
+    if suffix[0] in _SUFFIXES and suffix[0] != "m":
+        return mantissa * _SUFFIXES[suffix[0]]
+    if suffix[0] == "m":
+        return mantissa * _SUFFIXES["m"]
+    raise CircuitError(f"unknown SPICE suffix in {token!r}")
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Join continuation lines, drop comments and blanks."""
+    lines: List[str] = []
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("*"):
+            continue
+        if stripped.startswith("+"):
+            if not lines:
+                raise CircuitError("continuation line with nothing to continue")
+            lines[-1] += " " + stripped[1:].strip()
+        else:
+            lines.append(stripped)
+    return lines
+
+
+def _parse_assignments(tokens: List[str]) -> Dict[str, str]:
+    """Parse KEY=VALUE tokens (case-insensitive keys)."""
+    values: Dict[str, str] = {}
+    for token in tokens:
+        if "=" not in token:
+            raise CircuitError(f"expected KEY=VALUE, got {token!r}")
+        key, _, value = token.partition("=")
+        values[key.lower()] = value
+    return values
+
+
+_MODEL_DEFAULTS = dict(
+    gamma=0.5, phi=0.7, tox=14e-9, cj=0.0, cjsw=0.0, mj=0.5, mjsw=0.33,
+    pb=0.8, cgso=0.0, cgdo=0.0, cgbo=0.0, kf=0.0, af=1.0,
+)
+
+
+def _model_from_card(
+    name: str, kind: str, values: Dict[str, str]
+) -> Tuple[MosParams, int]:
+    polarity = "n" if kind.upper() == "NMOS" else "p"
+    level = int(float(values.pop("level", "1")))
+    numbers = {key: parse_value(value) for key, value in values.items()}
+    vto = numbers.pop("vto", 0.7 if polarity == "n" else -0.7)
+    tox = numbers.pop("tox", _MODEL_DEFAULTS["tox"])
+    cox = 3.9 * 8.8541878128e-12 / tox
+    if "kp" in numbers:
+        u0 = numbers.pop("kp") / cox
+    else:
+        u0 = numbers.pop("u0", 0.045)  # m^2/Vs when given directly
+    params = MosParams(
+        name=name,
+        polarity=polarity,
+        vto=vto,
+        u0=u0,
+        tox=tox,
+        gamma=numbers.pop("gamma", _MODEL_DEFAULTS["gamma"]),
+        phi=numbers.pop("phi", _MODEL_DEFAULTS["phi"]),
+        lambda_l=numbers.pop("lambda", 0.1e-6),
+        theta=numbers.pop("theta", 0.0),
+        vmax=numbers.pop("vmax", 0.0),
+        cj=numbers.pop("cj", _MODEL_DEFAULTS["cj"]),
+        cjsw=numbers.pop("cjsw", _MODEL_DEFAULTS["cjsw"]),
+        mj=numbers.pop("mj", _MODEL_DEFAULTS["mj"]),
+        mjsw=numbers.pop("mjsw", _MODEL_DEFAULTS["mjsw"]),
+        pb=numbers.pop("pb", _MODEL_DEFAULTS["pb"]),
+        cgso=numbers.pop("cgso", _MODEL_DEFAULTS["cgso"]),
+        cgdo=numbers.pop("cgdo", _MODEL_DEFAULTS["cgdo"]),
+        cgbo=numbers.pop("cgbo", _MODEL_DEFAULTS["cgbo"]),
+        kf=numbers.pop("kf", _MODEL_DEFAULTS["kf"]),
+        af=numbers.pop("af", _MODEL_DEFAULTS["af"]),
+        rsh_diff=numbers.pop("rsh", 0.0) or 50.0,
+    )
+    params.validate()
+    return params, level
+
+
+def _parse_source_card(tokens: List[str]) -> Tuple[str, str, float, float]:
+    """``pos neg [DC] value [AC value]`` -> (pos, neg, dc, ac)."""
+    pos, neg = tokens[0], tokens[1]
+    rest = [t for t in tokens[2:]]
+    dc = 0.0
+    ac = 0.0
+    i = 0
+    while i < len(rest):
+        token = rest[i].upper()
+        if token == "DC":
+            dc = parse_value(rest[i + 1])
+            i += 2
+        elif token == "AC":
+            ac = parse_value(rest[i + 1])
+            i += 2
+        else:
+            dc = parse_value(rest[i])
+            i += 1
+    return pos, neg, dc, ac
+
+
+def from_spice(text: str, name: Optional[str] = None) -> Circuit:
+    """Parse a SPICE deck into a :class:`Circuit`.
+
+    The first line of the deck is the title (SPICE convention).
+    ``.MODEL`` cards may appear anywhere; device cards referencing a model
+    resolve after the full deck is read.
+    """
+    raw_lines = text.splitlines()
+    if not any(line.strip() for line in raw_lines):
+        raise CircuitError("empty SPICE deck")
+    title = raw_lines[0].strip().lstrip("*").strip()
+    lines = _logical_lines("\n".join(raw_lines[1:]))
+
+    models: Dict[str, Tuple[MosParams, int]] = {}
+    pending_mos: List[Tuple[str, List[str]]] = []
+    circuit = Circuit(name or (title.split()[0] if title else "imported"))
+
+    def element_name(card: str) -> str:
+        """Card name without the type letter; full card on collision."""
+        candidate = card[1:] or card
+        if candidate in circuit:
+            return card
+        return candidate
+
+    for line in lines:
+        tokens = line.split()
+        card = tokens[0]
+        kind = card[0].upper()
+        if kind == ".":
+            directive = card.lower()
+            if directive == ".model":
+                model_name = tokens[1]
+                model_kind = tokens[2]
+                blob = " ".join(tokens[3:]).strip()
+                if blob.startswith("(") and blob.endswith(")"):
+                    blob = blob[1:-1]
+                models[model_name] = _model_from_card(
+                    model_name, model_kind, _parse_assignments(blob.split())
+                )
+            elif directive in (".end", ".ends"):
+                break
+            else:
+                continue  # other directives ignored
+        elif kind == "R":
+            circuit.add_resistor(
+                element_name(card), tokens[1], tokens[2],
+                parse_value(tokens[3]),
+            )
+        elif kind == "C":
+            circuit.add_capacitor(
+                element_name(card), tokens[1], tokens[2],
+                parse_value(tokens[3]),
+            )
+        elif kind == "V":
+            pos, neg, dc, ac = _parse_source_card(tokens[1:])
+            circuit.add_vsource(element_name(card), pos, neg, dc=dc, ac=ac)
+        elif kind == "I":
+            pos, neg, dc, ac = _parse_source_card(tokens[1:])
+            circuit.add_isource(element_name(card), pos, neg, dc=dc, ac=ac)
+        elif kind == "M":
+            pending_mos.append((card, tokens[1:]))
+        else:
+            raise CircuitError(f"unsupported SPICE card {card!r}")
+
+    for card, tokens in pending_mos:
+        device_name = element_name(card)
+        d, g, s, b, model_name = tokens[:5]
+        if model_name not in models:
+            raise CircuitError(
+                f"device {card!r} references unknown model "
+                f"{model_name!r}"
+            )
+        params, level = models[model_name]
+        values = _parse_assignments(
+            [t for t in tokens[5:] if "=" in t]
+        )
+        width = parse_value(values.get("w", "0"))
+        length = parse_value(values.get("l", "0"))
+        mos = circuit.add_mos(
+            device_name, d=d, g=g, s=s, b=b, params=params,
+            w=width, l=length, model_level=level,
+        )
+        if "ad" in values:
+            from repro.mos.junction import DiffusionGeometry
+
+            mos.geometry = DiffusionGeometry(
+                ad=parse_value(values.get("ad", "0")),
+                pd=parse_value(values.get("pd", "0")),
+                as_=parse_value(values.get("as", "0")),
+                ps=parse_value(values.get("ps", "0")),
+            )
+    return circuit

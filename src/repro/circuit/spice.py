@@ -1,0 +1,91 @@
+"""SPICE netlist export.
+
+Produces a standard ``.cktsp``-style deck: one card per element plus
+``.model`` cards for each distinct MOS parameter set.  Useful for eyeballing
+a synthesised circuit or feeding an external simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Mos,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit
+from repro.technology.process import MosParams
+
+
+def _model_card(params: MosParams, level: int) -> str:
+    kind = "NMOS" if params.polarity == "n" else "PMOS"
+    fields = [
+        f"LEVEL={level}",
+        f"VTO={params.vto:.4g}",
+        f"KP={params.kp:.4g}",
+        f"GAMMA={params.gamma:.4g}",
+        f"PHI={params.phi:.4g}",
+        f"TOX={params.tox:.4g}",
+        # Non-standard but self-consistent: the length-scaled CLM
+        # coefficient (lambda = LAMBDA / L) and level-3 degradation terms.
+        f"LAMBDA={params.lambda_l:.4g}",
+        f"THETA={params.theta:.4g}",
+        f"VMAX={params.vmax:.4g}",
+        f"CJ={params.cj:.4g}",
+        f"CJSW={params.cjsw:.4g}",
+        f"MJ={params.mj:.4g}",
+        f"MJSW={params.mjsw:.4g}",
+        f"PB={params.pb:.4g}",
+        f"CGSO={params.cgso:.4g}",
+        f"CGDO={params.cgdo:.4g}",
+        f"CGBO={params.cgbo:.4g}",
+        f"KF={params.kf:.4g}",
+        f"AF={params.af:.4g}",
+    ]
+    return f".MODEL {params.name} {kind} ({' '.join(fields)})"
+
+
+def to_spice(circuit: Circuit, title: str | None = None) -> str:
+    """Render a circuit as a SPICE deck string."""
+    lines: List[str] = [f"* {title or circuit.name}"]
+    models: Dict[str, str] = {}
+    for element in circuit:
+        if isinstance(element, Mos):
+            assert element.params is not None
+            card = (
+                f"M{element.name} {element.d} {element.g} {element.s} "
+                f"{element.b} {element.params.name} "
+                f"W={element.w:.4g} L={element.l:.4g} M=1"
+            )
+            if element.geometry is not None:
+                geom = element.geometry
+                card += (
+                    f" AD={geom.ad:.4g} PD={geom.pd:.4g}"
+                    f" AS={geom.as_:.4g} PS={geom.ps:.4g}"
+                )
+            lines.append(card)
+            models[element.params.name] = _model_card(
+                element.params, element.model_level
+            )
+        elif isinstance(element, Resistor):
+            lines.append(f"R{element.name} {element.a} {element.b} {element.value:.6g}")
+        elif isinstance(element, Capacitor):
+            lines.append(f"C{element.name} {element.a} {element.b} {element.value:.6g}")
+        elif isinstance(element, VoltageSource):
+            card = f"V{element.name} {element.pos} {element.neg} DC {element.dc:.6g}"
+            if element.ac:
+                card += f" AC {element.ac:.6g}"
+            lines.append(card)
+        elif isinstance(element, CurrentSource):
+            card = f"I{element.name} {element.pos} {element.neg} DC {element.dc:.6g}"
+            if element.ac:
+                card += f" AC {element.ac:.6g}"
+            lines.append(card)
+        else:  # pragma: no cover - future element types
+            raise NotImplementedError(f"no SPICE card for {type(element).__name__}")
+    lines.extend(sorted(models.values()))
+    lines.append(".END")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,38 @@
+"""Testbench description shared by topology builders and measurements.
+
+Lives in the circuit package (not analysis) so that topology generators can
+produce ready-to-measure benches without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.circuit.elements import VoltageSource
+from repro.circuit.netlist import Circuit
+
+
+@dataclass
+class OtaTestbench:
+    """An OTA wired for measurement.
+
+    The circuit must contain voltage sources named ``source_pos`` and
+    ``source_neg`` driving the two inputs at the common-mode level, a load
+    at ``output_net`` and supply sources listed in ``supply_sources``.
+    ``slew_devices`` names the transistors whose bias currents bound the
+    large-signal output current (the tail source for a folded cascode).
+    """
+
+    circuit: Circuit
+    source_pos: str = "vinp"
+    source_neg: str = "vinn"
+    input_neg_net: str = "inn"
+    output_net: str = "vout"
+    supply_sources: Tuple[str, ...] = ("vdd",)
+    slew_devices: Tuple[str, ...] = ()
+
+    def common_mode_voltage(self) -> float:
+        source = self.circuit.element(self.source_pos)
+        assert isinstance(source, VoltageSource)
+        return source.dc

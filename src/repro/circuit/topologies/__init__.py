@@ -1,0 +1,27 @@
+"""Schematic generators for the topologies used in the paper and tests.
+
+Each builder returns a ready-to-measure
+:class:`~repro.circuit.testbench.OtaTestbench` (or a plain circuit for the
+sub-blocks).  Device naming follows the paper's Figure 4 where applicable.
+"""
+
+from repro.circuit.topologies.folded_cascode import (
+    FOLDED_CASCODE_DEVICES,
+    DeviceSize,
+    FoldedCascodeDesign,
+    build_folded_cascode,
+)
+from repro.circuit.topologies.two_stage import TwoStageDesign, build_two_stage
+from repro.circuit.topologies.current_mirror import build_current_mirror
+from repro.circuit.topologies.diff_pair import build_diff_pair
+
+__all__ = [
+    "DeviceSize",
+    "FOLDED_CASCODE_DEVICES",
+    "FoldedCascodeDesign",
+    "TwoStageDesign",
+    "build_current_mirror",
+    "build_diff_pair",
+    "build_folded_cascode",
+    "build_two_stage",
+]

@@ -1,0 +1,88 @@
+"""Simple current mirror circuit (paper Figure 3's electrical view).
+
+One diode-connected reference device and N output devices with integer
+width ratios — the circuit whose *layout* (stacked, dummy-guarded,
+current-direction-controlled) the paper shows in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.errors import CircuitError
+from repro.technology.process import Technology
+
+
+def build_current_mirror(
+    technology: Technology,
+    reference_current: float,
+    ratios: Sequence[int],
+    unit_width: float,
+    length: float,
+    polarity: str = "n",
+    vdd: float | None = None,
+    model_level: int = 1,
+) -> Circuit:
+    """NMOS (or PMOS) current mirror with output branches ``ratios``.
+
+    Device ``m1`` is the diode reference carrying ``reference_current``;
+    devices ``m2..`` have widths ``ratio * unit_width`` and drive resistive
+    loads to the supply so every output current is observable at DC.
+    Returns the complete testbench circuit.
+    """
+    if reference_current <= 0.0:
+        raise CircuitError("mirror needs a positive reference current")
+    if not ratios:
+        raise CircuitError("mirror needs at least one output branch")
+    if any(r < 1 for r in ratios):
+        raise CircuitError("mirror ratios must be positive integers")
+
+    tech = technology
+    if vdd is None:
+        vdd = tech.supply_nominal
+    params = tech.device(polarity)
+    circuit = Circuit("current_mirror")
+    circuit.add_vsource("vdd", "vdd!", "0", dc=vdd)
+
+    if polarity == "n":
+        rail, far_rail = "0", "vdd!"
+    else:
+        rail, far_rail = "vdd!", "0"
+
+    circuit.add_mos(
+        "m1",
+        d="gate",
+        g="gate",
+        s=rail,
+        b=rail,
+        params=params,
+        w=unit_width,
+        l=length,
+        model_level=model_level,
+    )
+    # Reference current pulled through the diode device.
+    if polarity == "n":
+        circuit.add_isource("iref", far_rail, "gate", dc=reference_current)
+    else:
+        circuit.add_isource("iref", "gate", far_rail, dc=reference_current)
+
+    for i, ratio in enumerate(ratios, start=2):
+        out = f"out{i}"
+        circuit.add_mos(
+            f"m{i}",
+            d=out,
+            g="gate",
+            s=rail,
+            b=rail,
+            params=params,
+            w=ratio * unit_width,
+            l=length,
+            model_level=model_level,
+        )
+        # Modest load keeping the output device in saturation.
+        load_voltage = vdd / 2.0
+        load = load_voltage / (ratio * reference_current)
+        circuit.add_resistor(f"rload{i}", far_rail, out, load)
+
+    return circuit

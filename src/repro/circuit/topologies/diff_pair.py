@@ -1,0 +1,66 @@
+"""Resistively loaded differential pair.
+
+A minimal gain stage used by unit/integration tests: its small-signal gain
+``gm * R`` and pole are textbook-checkable against the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.testbench import OtaTestbench
+from repro.errors import CircuitError
+from repro.technology.process import Technology
+
+
+def build_diff_pair(
+    technology: Technology,
+    w: float,
+    l: float,
+    tail_current: float,
+    load_resistance: float,
+    vdd: float | None = None,
+    vcm: float | None = None,
+    cload: float = 0.0,
+    model_level: int = 1,
+) -> OtaTestbench:
+    """NMOS differential pair with resistor loads and an ideal tail sink.
+
+    Output is taken single-ended at M2's drain (``vout``); the circuit is
+    deliberately small so analytic expectations are exact.
+    """
+    if tail_current <= 0.0 or load_resistance <= 0.0:
+        raise CircuitError("tail current and load resistance must be positive")
+    tech = technology
+    if vdd is None:
+        vdd = tech.supply_nominal
+    if vcm is None:
+        vcm = vdd / 2.0
+
+    params = tech.device("n")
+    circuit = Circuit("diff_pair")
+    circuit.add_vsource("vdd", "vdd!", "0", dc=vdd)
+    circuit.add_vsource("vinp", "inp", "0", dc=vcm)
+    circuit.add_vsource("vinn", "inn", "0", dc=vcm)
+    circuit.add_mos(
+        "m1", d="out1", g="inp", s="tail", b="0",
+        params=params, w=w, l=l, model_level=model_level,
+    )
+    circuit.add_mos(
+        "m2", d="vout", g="inn", s="tail", b="0",
+        params=params, w=w, l=l, model_level=model_level,
+    )
+    circuit.add_resistor("r1", "vdd!", "out1", load_resistance)
+    circuit.add_resistor("r2", "vdd!", "vout", load_resistance)
+    circuit.add_isource("itail", "tail", "0", dc=tail_current)
+    if cload > 0.0:
+        circuit.add_capacitor("cload", "vout", "0", cload)
+
+    return OtaTestbench(
+        circuit=circuit,
+        source_pos="vinp",
+        source_neg="vinn",
+        input_neg_net="inn",
+        output_net="vout",
+        supply_sources=("vdd",),
+        slew_devices=(),
+    )

@@ -1,0 +1,166 @@
+"""Folded-cascode OTA (paper Figure 4).
+
+PMOS input pair MP1/MP2 with tail source MP5, folded into NMOS cascodes
+MN1C/MN2C over current sinks MN5/MN6, loaded by the cascoded PMOS current
+mirror MP3/MP4 with cascodes MP3C/MP4C.  Net and device names follow the
+paper so the layout generator and the sizing plan can speak the same
+vocabulary.
+
+Canonical nets::
+
+    inp, inn     differential inputs
+    tail         common source of the input pair
+    fold1, fold2 folding nodes (drains of MP1/MP2)
+    mir          mirror gate node (drain of MP3C and MN1C)
+    x3, x4       sources of the PMOS cascodes
+    vout         single-ended output
+    vp1, vbn, vc1, vc3   bias voltages
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.testbench import OtaTestbench
+from repro.errors import CircuitError
+from repro.mos.junction import DiffusionGeometry
+from repro.technology.process import Technology
+
+FOLDED_CASCODE_DEVICES = (
+    "mp1",
+    "mp2",
+    "mp5",
+    "mn5",
+    "mn6",
+    "mn1c",
+    "mn2c",
+    "mp3",
+    "mp4",
+    "mp3c",
+    "mp4c",
+)
+"""Canonical device names of the topology (paper Figure 4)."""
+
+#: Device name -> (drain, gate, source, bulk) net mapping.
+_CONNECTIVITY = {
+    "mp5": ("tail", "vp1", "vdd!", "vdd!"),
+    "mp1": ("fold1", "inp", "tail", "vdd!"),
+    "mp2": ("fold2", "inn", "tail", "vdd!"),
+    "mn5": ("fold1", "vbn", "0", "0"),
+    "mn6": ("fold2", "vbn", "0", "0"),
+    "mn1c": ("mir", "vc1", "fold1", "0"),
+    "mn2c": ("vout", "vc1", "fold2", "0"),
+    "mp3": ("x3", "mir", "vdd!", "vdd!"),
+    "mp3c": ("mir", "vc3", "x3", "vdd!"),
+    "mp4": ("x4", "mir", "vdd!", "vdd!"),
+    "mp4c": ("vout", "vc3", "x4", "vdd!"),
+}
+
+#: Nets whose total capacitance limits the non-dominant pole(s); the layout
+#: tool minimises drain capacitance here by choosing even folds with
+#: internal drains (paper section 3, "Parasitic constraints").
+CRITICAL_NETS = ("fold1", "fold2", "vout", "mir")
+
+
+@dataclass
+class DeviceSize:
+    """Geometry of one device as decided by sizing/layout."""
+
+    w: float
+    l: float
+    nf: int = 1
+    geometry: Optional[DiffusionGeometry] = None
+
+    def __post_init__(self) -> None:
+        if self.w <= 0.0 or self.l <= 0.0:
+            raise CircuitError("device sizes must be positive")
+        if self.nf < 1:
+            raise CircuitError("fold count must be >= 1")
+
+
+@dataclass
+class FoldedCascodeDesign:
+    """Complete electrical design of the folded-cascode OTA.
+
+    ``sizes`` maps every canonical device name to its geometry; ``biases``
+    provides the four bias voltages.  The builder adds the supply, input
+    sources at the common mode and the load capacitor.
+    """
+
+    technology: Technology
+    sizes: Dict[str, DeviceSize]
+    biases: Dict[str, float]
+    vdd: float
+    vcm: float
+    cload: float
+    model_level: int = 1
+    extra_net_caps: Dict[str, float] = dataclass_field(default_factory=dict)
+    """Parasitic (routing/well) capacitance to ground per net, F."""
+    coupling_caps: Dict[tuple, float] = dataclass_field(default_factory=dict)
+    """Parasitic coupling capacitance between net pairs, F."""
+
+    def validate(self) -> None:
+        missing = [name for name in FOLDED_CASCODE_DEVICES if name not in self.sizes]
+        if missing:
+            raise CircuitError(f"missing device sizes: {missing}")
+        for bias in ("vp1", "vbn", "vc1", "vc3"):
+            if bias not in self.biases:
+                raise CircuitError(f"missing bias voltage {bias!r}")
+        if self.cload < 0.0:
+            raise CircuitError("load capacitance must be non-negative")
+
+    def device_polarity(self, name: str) -> str:
+        return "p" if name.startswith("mp") else "n"
+
+
+def build_folded_cascode(design: FoldedCascodeDesign) -> OtaTestbench:
+    """Materialise the design into a measurable testbench circuit."""
+    design.validate()
+    tech = design.technology
+    circuit = Circuit("folded_cascode_ota")
+
+    for name in FOLDED_CASCODE_DEVICES:
+        drain, gate, source, bulk = _CONNECTIVITY[name]
+        size = design.sizes[name]
+        circuit.add_mos(
+            name,
+            d=drain,
+            g=gate,
+            s=source,
+            b=bulk,
+            params=tech.device(design.device_polarity(name)),
+            w=size.w,
+            l=size.l,
+            nf=size.nf,
+            model_level=design.model_level,
+            geometry=size.geometry,
+        )
+
+    circuit.add_vsource("vdd", "vdd!", "0", dc=design.vdd)
+    circuit.add_vsource("vinp", "inp", "0", dc=design.vcm)
+    circuit.add_vsource("vinn", "inn", "0", dc=design.vcm)
+    for bias_name in ("vp1", "vbn", "vc1", "vc3"):
+        circuit.add_vsource(
+            f"src_{bias_name}", bias_name, "0", dc=design.biases[bias_name]
+        )
+    if design.cload > 0.0:
+        circuit.add_capacitor("cload", "vout", "0", design.cload)
+
+    for net, value in design.extra_net_caps.items():
+        if value > 0.0:
+            circuit.attach_parasitic_cap(net, "0", value)
+    for (net_a, net_b), value in design.coupling_caps.items():
+        if value > 0.0:
+            circuit.attach_parasitic_cap(net_a, net_b, value)
+
+    return OtaTestbench(
+        circuit=circuit,
+        source_pos="vinp",
+        source_neg="vinn",
+        input_neg_net="inn",
+        output_net="vout",
+        supply_sources=("vdd",),
+        slew_devices=("mp5",),
+    )

@@ -1,0 +1,140 @@
+"""Two-stage Miller-compensated OTA.
+
+A second topology exercising the paper's claim that the hierarchical,
+plan-based sizing tool makes "the addition of new topologies" simple.
+NMOS input pair M1/M2 with PMOS mirror load M3/M4 and tail M5; common-source
+PMOS output M6 with sink M7; Miller capacitor Cc (optionally with a nulling
+resistor Rz).
+
+Canonical nets::
+
+    inp, inn   inputs
+    tail       input-pair common source
+    d1         first-stage mirror (diode) node, drain of M1/M3
+    d2         first-stage output, drain of M2/M4, gate of M6
+    vout       output
+    vbn        tail/sink bias
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.testbench import OtaTestbench
+from repro.circuit.topologies.folded_cascode import DeviceSize
+from repro.errors import CircuitError
+from repro.technology.process import Technology
+
+TWO_STAGE_DEVICES = ("m1", "m2", "m3", "m4", "m5", "m6", "m7")
+
+_CONNECTIVITY = {
+    # m1 (mirror/diode side) is the inverting input of the composite: its
+    # signal reaches d2 non-inverted via the mirror and is then inverted by
+    # the m6 output stage.
+    "m1": ("d1", "inn", "tail", "0"),
+    "m2": ("d2", "inp", "tail", "0"),
+    "m3": ("d1", "d1", "vdd!", "vdd!"),
+    "m4": ("d2", "d1", "vdd!", "vdd!"),
+    "m5": ("tail", "vbn", "0", "0"),
+    "m6": ("vout", "d2", "vdd!", "vdd!"),
+    "m7": ("vout", "vbn", "0", "0"),
+}
+
+_POLARITY = {
+    "m1": "n",
+    "m2": "n",
+    "m3": "p",
+    "m4": "p",
+    "m5": "n",
+    "m6": "p",
+    "m7": "n",
+}
+
+
+@dataclass
+class TwoStageDesign:
+    """Electrical design of the two-stage OTA."""
+
+    technology: Technology
+    sizes: Dict[str, DeviceSize]
+    vbn: float
+    vdd: float
+    vcm: float
+    cload: float
+    cc: float
+    """Miller compensation capacitance, F."""
+    rz: float = 0.0
+    """Optional nulling resistor in series with Cc, ohm (0 = none)."""
+    model_level: int = 1
+    extra_net_caps: Dict[str, float] = dataclass_field(default_factory=dict)
+    coupling_caps: Dict[tuple, float] = dataclass_field(default_factory=dict)
+
+    def validate(self) -> None:
+        missing = [name for name in TWO_STAGE_DEVICES if name not in self.sizes]
+        if missing:
+            raise CircuitError(f"missing device sizes: {missing}")
+        if self.cc <= 0.0:
+            raise CircuitError("two-stage OTA needs a positive Miller cap")
+        if self.rz < 0.0:
+            raise CircuitError("nulling resistor cannot be negative")
+
+
+def build_two_stage(design: TwoStageDesign) -> OtaTestbench:
+    """Materialise the two-stage design into a measurable testbench.
+
+    Input polarity: the mirror sits on M1's side, so M1's gate path is
+    non-inverting into d2 and the M6 stage inverts — M1's gate is the
+    inverting input (wired to ``inn``), M2's gate the non-inverting one
+    (``inp``).
+    """
+    design.validate()
+    tech = design.technology
+    circuit = Circuit("two_stage_ota")
+
+    for name in TWO_STAGE_DEVICES:
+        drain, gate, source, bulk = _CONNECTIVITY[name]
+        size = design.sizes[name]
+        circuit.add_mos(
+            name,
+            d=drain,
+            g=gate,
+            s=source,
+            b=bulk,
+            params=tech.device(_POLARITY[name]),
+            w=size.w,
+            l=size.l,
+            nf=size.nf,
+            model_level=design.model_level,
+            geometry=size.geometry,
+        )
+
+    circuit.add_vsource("vdd", "vdd!", "0", dc=design.vdd)
+    circuit.add_vsource("vinp", "inp", "0", dc=design.vcm)
+    circuit.add_vsource("vinn", "inn", "0", dc=design.vcm)
+    circuit.add_vsource("src_vbn", "vbn", "0", dc=design.vbn)
+    circuit.add_capacitor("cload", "vout", "0", design.cload)
+
+    if design.rz > 0.0:
+        circuit.add_resistor("rz", "d2", "ccx", design.rz)
+        circuit.add_capacitor("cc", "ccx", "vout", design.cc)
+    else:
+        circuit.add_capacitor("cc", "d2", "vout", design.cc)
+
+    for net, value in design.extra_net_caps.items():
+        if value > 0.0:
+            circuit.attach_parasitic_cap(net, "0", value)
+    for (net_a, net_b), value in design.coupling_caps.items():
+        if value > 0.0:
+            circuit.attach_parasitic_cap(net_a, net_b, value)
+
+    return OtaTestbench(
+        circuit=circuit,
+        source_pos="vinp",
+        source_neg="vinn",
+        input_neg_net="inn",
+        output_net="vout",
+        supply_sources=("vdd",),
+        slew_devices=("m5",),
+    )

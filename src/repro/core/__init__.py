@@ -1,0 +1,34 @@
+"""The paper's primary contribution: layout-oriented synthesis.
+
+* :mod:`repro.core.synthesis` — the coupled sizing/layout loop of
+  Figure 1(b): size, call the layout tool in parasitic-calculation mode,
+  re-size with the reported parasitics, repeat until the parasitics stop
+  changing, then generate the physical layout;
+* :mod:`repro.core.traditional` — the Figure 1(a) baseline: size with
+  assumptions, generate, extract, evaluate, re-size, repeat;
+* :mod:`repro.core.cases` — the four parasitic-awareness cases of Table 1,
+  each measured twice (synthesized netlist and extracted layout);
+* :mod:`repro.core.report` — Table-1-style formatting.
+"""
+
+from repro.core.synthesis import (
+    LayoutOrientedSynthesizer,
+    SynthesisOutcome,
+    SynthesisRecord,
+)
+from repro.core.traditional import TraditionalFlow, TraditionalOutcome
+from repro.core.cases import CaseResult, extract_and_measure, run_case
+from repro.core.report import format_table1, metrics_rows
+
+__all__ = [
+    "CaseResult",
+    "LayoutOrientedSynthesizer",
+    "SynthesisOutcome",
+    "SynthesisRecord",
+    "TraditionalFlow",
+    "TraditionalOutcome",
+    "extract_and_measure",
+    "format_table1",
+    "metrics_rows",
+    "run_case",
+]

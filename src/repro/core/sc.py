@@ -1,0 +1,172 @@
+"""Switched-capacitor system synthesis (the paper's future work).
+
+"Future work includes synthesis of larger systems as switched capacitor
+filters and A/D converters using the same methodology."  This module takes
+the first concrete step: it translates system-level switched-capacitor
+specifications into the OTA specifications the existing flow consumes, and
+drives the layout-oriented synthesizer per stage.
+
+The settling model is the standard single-pole one: during the
+integration phase (half a clock period) the amplifier must settle a
+full-scale step to half an LSB — a linear part governed by the closed-loop
+bandwidth ``beta * GBW`` and a slewing part governed by the tail current.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from repro.errors import SizingError
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+
+
+@dataclass
+class ScIntegratorSpecs:
+    """System-level specification of one switched-capacitor integrator."""
+
+    clock: float
+    """Sampling clock, Hz."""
+    resolution_bits: int
+    """Settling accuracy target: half an LSB at this resolution."""
+    sampling_cap: float
+    """Cs, F."""
+    integration_cap: float
+    """Ci, F."""
+    load_cap: float = 0.0
+    """Additional fixed load on the OTA output, F."""
+    full_scale_step: float = 1.0
+    """Worst-case output step to settle, V."""
+    slew_fraction: float = 0.25
+    """Fraction of the settling window budgeted to slewing."""
+
+    def validate(self) -> None:
+        if self.clock <= 0.0:
+            raise SizingError("clock must be positive")
+        if self.resolution_bits < 1:
+            raise SizingError("resolution must be at least 1 bit")
+        if self.sampling_cap <= 0.0 or self.integration_cap <= 0.0:
+            raise SizingError("capacitor values must be positive")
+        if not 0.0 < self.slew_fraction < 1.0:
+            raise SizingError("slew fraction must be in (0, 1)")
+
+    @property
+    def feedback_factor(self) -> float:
+        """beta = Ci / (Ci + Cs) during integration."""
+        return self.integration_cap / (self.integration_cap + self.sampling_cap)
+
+    @property
+    def effective_load(self) -> float:
+        """Load seen by the OTA while integrating: CL + Cs in series Ci."""
+        series = (
+            self.sampling_cap * self.integration_cap
+            / (self.sampling_cap + self.integration_cap)
+        )
+        return self.load_cap + series
+
+    @property
+    def settling_window(self) -> float:
+        """Half a clock period, s."""
+        return 0.5 / self.clock
+
+    def required_time_constants(self) -> float:
+        """Linear-settling taus for half-LSB accuracy: (N+1) ln 2."""
+        return (self.resolution_bits + 1) * math.log(2.0)
+
+    def required_gbw(self) -> float:
+        """Unity-gain bandwidth the OTA needs, Hz."""
+        linear_window = (1.0 - self.slew_fraction) * self.settling_window
+        omega = self.required_time_constants() / (
+            self.feedback_factor * linear_window
+        )
+        return omega / (2.0 * math.pi)
+
+    def required_slew_rate(self) -> float:
+        """Slew rate to cross the full-scale step in the slewing budget."""
+        return self.full_scale_step / (
+            self.slew_fraction * self.settling_window
+        )
+
+    def required_dc_gain(self) -> float:
+        """Linear gain bound: static error below half an LSB.
+
+        ``1/(A beta) < 0.5 LSB / Vfs``  =>  ``A > 2^(N+1) / beta``.
+        """
+        return 2.0 ** (self.resolution_bits + 1) / self.feedback_factor
+
+    def ota_specs(
+        self,
+        vdd: float = 3.3,
+        phase_margin: float = 70.0,
+        margin: float = 1.1,
+    ) -> OtaSpecs:
+        """The OTA specification block for the existing synthesis flow.
+
+        ``margin`` over-designs GBW slightly for the switch resistance and
+        parasitics the system model ignores; SC stages want extra phase
+        margin, hence the 70-degree default.
+        """
+        self.validate()
+        scale = vdd / 3.3
+        return OtaSpecs(
+            vdd=vdd,
+            gbw=margin * self.required_gbw(),
+            phase_margin=phase_margin,
+            cload=self.effective_load,
+            input_cm_range=(0.8 * scale, 1.8 * scale),
+            output_range=(0.5 * scale, 2.8 * scale),
+            slew_rate=margin * self.required_slew_rate(),
+        )
+
+
+@dataclass
+class ScSynthesisOutcome:
+    """An SC-integrator stage synthesized through the coupled flow."""
+
+    specs: ScIntegratorSpecs
+    ota_specs: OtaSpecs
+    synthesis: object
+    """The :class:`~repro.core.synthesis.SynthesisOutcome`."""
+    slew_ok: bool
+    gain_ok: bool
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.synthesis.converged
+            and self.slew_ok
+            and self.gain_ok
+        )
+
+
+def synthesize_sc_integrator(
+    technology,
+    specs: ScIntegratorSpecs,
+    vdd: float = 3.3,
+    mode: ParasiticMode = ParasiticMode.FULL,
+    generate: bool = False,
+    synthesizer=None,
+) -> ScSynthesisOutcome:
+    """Drive the layout-oriented flow from SC system specifications.
+
+    Checks the two requirements the GBW-driven sizing does not directly
+    enforce — slew rate and static-gain accuracy — against the synthesized
+    amplifier, so the caller knows whether the stage meets the system
+    target or needs a bigger tail current.
+    """
+    from repro.core.synthesis import LayoutOrientedSynthesizer
+
+    specs.validate()
+    ota_specs = specs.ota_specs(vdd=vdd)
+    if synthesizer is None:
+        synthesizer = LayoutOrientedSynthesizer(technology)
+    outcome = synthesizer.run(ota_specs, mode=mode, generate=generate)
+    metrics = outcome.sizing.predicted
+    slew_ok = metrics.slew_rate >= specs.required_slew_rate()
+    gain_ok = 10.0 ** (metrics.dc_gain_db / 20.0) >= specs.required_dc_gain()
+    return ScSynthesisOutcome(
+        specs=specs,
+        ota_specs=ota_specs,
+        synthesis=outcome,
+        slew_ok=slew_ok,
+        gain_ok=gain_ok,
+    )

@@ -1,0 +1,155 @@
+"""Layout-oriented synthesis loop (paper Figure 1b).
+
+The sizing tool and the layout tool call each other until the layout
+parasitics converge:
+
+1. size the circuit (first pass assumes one fold per transistor and
+   diffusion capacitance only);
+2. call the layout tool in *parasitic calculation mode* — area
+   optimisation fixes fold counts and wiring, and the parasitic report
+   comes back (no geometry emitted);
+3. re-size compensating the reported parasitics;
+4. repeat until the report stops changing ("till the calculated parasitics
+   remain unchanged" — three layout calls in the paper's example);
+5. call the layout tool in *generation mode* for the physical layout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import SynthesisError
+from repro.layout.ota import OtaLayoutRequest, OtaLayoutResult, generate_ota_layout
+from repro.layout.parasitics import ParasiticReport
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
+from repro.technology.process import Technology
+from repro.units import FF
+
+
+@dataclass
+class SynthesisRecord:
+    """One sizing + layout-estimation round."""
+
+    round_index: int
+    sizing: SizingResult
+    report: ParasiticReport
+    distance: float
+    """Parasitic change vs the previous round, F (inf for the first)."""
+
+
+@dataclass
+class SynthesisOutcome:
+    """Result of a full layout-oriented synthesis."""
+
+    sizing: SizingResult
+    feedback: ParasiticReport
+    layout_calls: int
+    records: List[SynthesisRecord] = field(default_factory=list)
+    layout: Optional[OtaLayoutResult] = None
+    elapsed: float = 0.0
+    converged: bool = True
+
+
+class LayoutOrientedSynthesizer:
+    """Couples the sizing plan with the layout generator (Figure 1b)."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        model_level: int = 1,
+        aspect: Optional[float] = 1.0,
+        convergence_tolerance: float = 2.0 * FF,
+        max_layout_calls: int = 6,
+        prefer_even_folds: bool = True,
+        plan=None,
+        layout_tool=None,
+    ):
+        """``plan`` defaults to the folded-cascode plan; ``layout_tool``
+        is a callable ``(sizing, mode) -> result-with-.report`` letting
+        other topologies (e.g. the two-stage OTA) reuse the same loop."""
+        technology.validate()
+        self.technology = technology
+        self.model_level = model_level
+        self.aspect = aspect
+        self.convergence_tolerance = convergence_tolerance
+        self.max_layout_calls = max_layout_calls
+        self.prefer_even_folds = prefer_even_folds
+        self.plan = plan or FoldedCascodePlan(technology, model_level)
+        self.layout_tool = layout_tool or self._default_layout_tool
+
+    def _layout_request(self, sizing: SizingResult) -> OtaLayoutRequest:
+        return OtaLayoutRequest(
+            technology=self.technology,
+            sizes=sizing.sizes,
+            currents=sizing.currents,
+            aspect=self.aspect,
+            prefer_even_folds=self.prefer_even_folds,
+        )
+
+    def _default_layout_tool(self, sizing: SizingResult, mode: str):
+        return generate_ota_layout(self._layout_request(sizing), mode=mode)
+
+    def run(
+        self,
+        specs: OtaSpecs,
+        mode: ParasiticMode = ParasiticMode.FULL,
+        generate: bool = True,
+    ) -> SynthesisOutcome:
+        """Run the coupled loop.
+
+        ``mode`` must be one of the layout-aware modes (cases 3/4); the
+        non-layout cases have nothing to iterate with.
+        """
+        if not mode.uses_layout:
+            raise SynthesisError(
+                "layout-oriented synthesis needs a layout-aware parasitic "
+                "mode (LAYOUT_DIFFUSION or FULL)"
+            )
+        start = time.perf_counter()
+        records: List[SynthesisRecord] = []
+        feedback: Optional[ParasiticReport] = None
+        sizing: Optional[SizingResult] = None
+        converged = False
+
+        for round_index in range(1, self.max_layout_calls + 1):
+            sizing = self.plan.size(specs, mode, feedback)
+            estimate = self.layout_tool(sizing, "estimate")
+            if feedback is None:
+                distance = float("inf")
+            else:
+                distance = estimate.report.distance(feedback)
+            records.append(
+                SynthesisRecord(
+                    round_index=round_index,
+                    sizing=sizing,
+                    report=estimate.report,
+                    distance=distance,
+                )
+            )
+            previous = feedback
+            feedback = estimate.report
+            if previous is not None and distance <= self.convergence_tolerance:
+                converged = True
+                break
+
+        assert sizing is not None and feedback is not None
+        if not converged and len(records) >= self.max_layout_calls:
+            # Accept the last round but flag non-convergence.
+            converged = records[-1].distance <= 10.0 * self.convergence_tolerance
+
+        layout = None
+        if generate:
+            layout = self.layout_tool(sizing, "generate")
+
+        return SynthesisOutcome(
+            sizing=sizing,
+            feedback=feedback,
+            layout_calls=len(records),
+            records=records,
+            layout=layout,
+            elapsed=time.perf_counter() - start,
+            converged=converged,
+        )

@@ -1,0 +1,147 @@
+"""Traditional design flow baseline (paper Figure 1a).
+
+Sizing with fixed assumptions, then the expensive loop: generate the
+layout, extract it, simulate, and — when the extracted performance misses
+the specifications — re-size with inflated targets to compensate, repeating
+until the extracted circuit passes.  The layout-oriented flow replaces
+these full generate/extract rounds with cheap parasitic-calculation calls;
+the flow-comparison bench measures the difference.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.metrics import OtaMetrics
+from repro.core.cases import extract_and_measure
+from repro.errors import SynthesisError
+from repro.layout.ota import OtaLayoutRequest, OtaLayoutResult, generate_ota_layout
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
+from repro.technology.process import Technology
+
+
+@dataclass
+class TraditionalIteration:
+    """One generate-extract-evaluate-resize round."""
+
+    index: int
+    sizing: SizingResult
+    extracted: OtaMetrics
+    gbw_shortfall: float
+    pm_shortfall: float
+
+
+@dataclass
+class TraditionalOutcome:
+    """Result of the traditional flow."""
+
+    sizing: SizingResult
+    extracted: OtaMetrics
+    layout: OtaLayoutResult
+    iterations: List[TraditionalIteration] = field(default_factory=list)
+    elapsed: float = 0.0
+    converged: bool = True
+
+    @property
+    def full_layout_rounds(self) -> int:
+        """Number of expensive generate+extract rounds performed."""
+        return len(self.iterations)
+
+
+class TraditionalFlow:
+    """Figure 1(a): sizing -> layout -> extraction -> evaluation loop."""
+
+    def __init__(
+        self,
+        technology: Technology,
+        model_level: int = 1,
+        aspect: Optional[float] = 1.0,
+        max_rounds: int = 8,
+        gbw_tolerance: float = 0.02,
+        pm_tolerance: float = 1.0,
+    ):
+        technology.validate()
+        self.technology = technology
+        self.model_level = model_level
+        self.aspect = aspect
+        self.max_rounds = max_rounds
+        self.gbw_tolerance = gbw_tolerance
+        self.pm_tolerance = pm_tolerance
+
+    def run(self, specs: OtaSpecs) -> TraditionalOutcome:
+        """Iterate full layout rounds until the extracted circuit passes."""
+        start = time.perf_counter()
+        plan = FoldedCascodePlan(self.technology, self.model_level)
+        # The sizer only ever sees the nominal (no-parasitics) netlist —
+        # the defining limitation of the traditional flow.  Every missed
+        # spec therefore needs a full generate+extract+resize round.
+        target = OtaSpecs(
+            vdd=specs.vdd,
+            gbw=specs.gbw,
+            phase_margin=specs.phase_margin,
+            cload=specs.cload,
+            input_cm_range=specs.input_cm_range,
+            output_range=specs.output_range,
+            vcm=specs.vcm,
+        )
+
+        iterations: List[TraditionalIteration] = []
+        sizing: Optional[SizingResult] = None
+        layout: Optional[OtaLayoutResult] = None
+        extracted: Optional[OtaMetrics] = None
+        converged = False
+
+        for index in range(1, self.max_rounds + 1):
+            sizing = plan.size(target, ParasiticMode.NONE)
+            request = OtaLayoutRequest(
+                technology=self.technology,
+                sizes=sizing.sizes,
+                currents=sizing.currents,
+                aspect=self.aspect,
+            )
+            layout = generate_ota_layout(request, mode="generate")
+            extracted = extract_and_measure(
+                plan, sizing, specs, layout, self.technology
+            )
+
+            gbw_shortfall = (specs.gbw - extracted.gbw) / specs.gbw
+            pm_shortfall = specs.phase_margin - extracted.phase_margin_deg
+            iterations.append(
+                TraditionalIteration(
+                    index=index,
+                    sizing=sizing,
+                    extracted=extracted,
+                    gbw_shortfall=gbw_shortfall,
+                    pm_shortfall=pm_shortfall,
+                )
+            )
+            if (
+                gbw_shortfall <= self.gbw_tolerance
+                and pm_shortfall <= self.pm_tolerance
+            ):
+                converged = True
+                break
+
+            # Compensation: inflate the sizing targets by the observed
+            # shortfalls and try again (the classic manual recipe).
+            if gbw_shortfall > self.gbw_tolerance:
+                target.gbw *= 1.0 + 1.1 * gbw_shortfall
+            if pm_shortfall > self.pm_tolerance:
+                target.phase_margin = min(
+                    88.0, target.phase_margin + 1.1 * pm_shortfall
+                )
+
+        if sizing is None or layout is None or extracted is None:
+            raise SynthesisError("traditional flow produced no iterations")
+
+        return TraditionalOutcome(
+            sizing=sizing,
+            extracted=extracted,
+            layout=layout,
+            iterations=iterations,
+            elapsed=time.perf_counter() - start,
+            converged=converged,
+        )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+client can catch one type to handle any library failure.  Sub-types separate
+the main failure domains: technology description, device modelling,
+simulation, layout generation and sizing/synthesis.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TechnologyError(ReproError):
+    """A technology description is inconsistent or incomplete."""
+
+
+class ModelError(ReproError):
+    """A device model was evaluated outside its validity domain."""
+
+
+class CircuitError(ReproError):
+    """A netlist is malformed (unknown net, duplicate element, ...)."""
+
+
+class AnalysisError(ReproError):
+    """A simulation failed (singular matrix, no DC convergence, ...)."""
+
+
+class ConvergenceError(AnalysisError):
+    """An iterative solver exhausted its iteration budget."""
+
+
+class LayoutError(ReproError):
+    """Layout generation failed (unsatisfiable constraint, bad geometry)."""
+
+
+class DesignRuleError(LayoutError):
+    """Generated geometry violates a design rule."""
+
+
+class SizingError(ReproError):
+    """A design plan could not realise the requested specifications."""
+
+
+class SynthesisError(ReproError):
+    """The layout-oriented synthesis loop failed to converge."""

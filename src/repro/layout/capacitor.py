@@ -1,0 +1,135 @@
+"""Double-poly plate capacitor generator.
+
+Analog-grade capacitors (Miller compensation, switched-capacitor arrays)
+drawn as a poly-1 bottom plate with a poly-2 top plate.  The top plate
+connects through a contact pad at the module's top edge, the bottom plate
+at the bottom edge — the channel router reaches both without crossing the
+plates.
+
+The drawn capacitance is ``cap_density * top-plate area``; the geometric
+extractor reports the bottom plate's parasitic to substrate (poly area +
+fringe), the reason real designs connect the bottom plate to the less
+sensitive node.
+"""
+
+from __future__ import annotations
+
+import math
+from repro.errors import LayoutError
+from repro.layout.cell import Cell
+from repro.layout.devices import ModuleLayout
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer
+from repro.technology.process import Technology
+
+
+def plate_capacitor(
+    tech: Technology,
+    value: float,
+    net_top: str,
+    net_bottom: str,
+    name: str = "cap",
+    aspect: float = 1.0,
+) -> ModuleLayout:
+    """Draw a plate capacitor of ``value`` farads.
+
+    ``aspect`` is the top plate's height/width ratio.  Returns a
+    :class:`ModuleLayout` whose ``actual_widths[name]`` records the drawn
+    capacitance (post grid snapping) for the parasitic report.
+    """
+    if value <= 0.0:
+        raise LayoutError("capacitor value must be positive")
+    if tech.cap_density <= 0.0:
+        raise LayoutError(
+            f"technology {tech.name!r} has no poly-poly capacitor"
+        )
+    rules = tech.rules
+
+    area = value / tech.cap_density
+    width = rules.snap(math.sqrt(area / aspect))
+    height = rules.snap(area / width)
+    if width < rules.poly_min_width or height < rules.poly_min_width:
+        raise LayoutError("capacitor too small to draw; increase the value")
+
+    cell = Cell(name)
+    margin = rules.contact_active_enclosure
+    # Bottom plate (poly 1) overlaps the top plate all around and extends
+    # further at the bottom for its contact row.
+    tap = rules.contact_size + 2.0 * rules.contact_metal_enclosure
+    bottom_rect = Rect(
+        -margin, -(margin + tap + rules.contact_poly_spacing),
+        width + margin, height + margin,
+    )
+    cell.add_shape(Layer.POLY, bottom_rect, net=net_bottom)
+    top_rect = Rect(0.0, 0.0, width, height)
+    cell.add_shape(Layer.POLY2, top_rect, net=net_top)
+
+    rail_height = max(
+        rules.metal2_min_width, rules.via_size + 2.0 * rules.via_metal_enclosure
+    )
+    via = rules.via_size
+    via_pad = via + 2.0 * rules.via_metal_enclosure
+
+    def tap_row(y_center: float, net: str, rail_y0: float) -> None:
+        """Contact pad + metal-1 riser + metal-2 rail pin."""
+        x_center = width / 2.0
+        cell.add_shape(
+            Layer.CONTACT,
+            Rect.centered(x_center, y_center,
+                          rules.contact_size, rules.contact_size),
+            net=net,
+        )
+        cell.add_shape(
+            Layer.METAL1,
+            Rect.centered(x_center, y_center, tap, tap),
+            net=net,
+        )
+        riser_lo = min(y_center, rail_y0 + rail_height / 2.0)
+        riser_hi = max(y_center, rail_y0 + rail_height / 2.0)
+        cell.add_shape(
+            Layer.METAL1,
+            Rect(
+                x_center - rules.metal1_min_width / 2.0, riser_lo,
+                x_center + rules.metal1_min_width / 2.0, riser_hi,
+            ),
+            net=net,
+        )
+        cell.add_shape(
+            Layer.VIA1,
+            Rect.centered(x_center, rail_y0 + rail_height / 2.0, via, via),
+            net=net,
+        )
+        cell.add_shape(
+            Layer.METAL1,
+            Rect.centered(x_center, rail_y0 + rail_height / 2.0,
+                          via_pad, via_pad),
+            net=net,
+        )
+        rail = Rect(
+            x_center - 2.0 * via_pad, rail_y0,
+            x_center + 2.0 * via_pad, rail_y0 + rail_height,
+        )
+        cell.add_pin(net, Layer.METAL2, rail)
+
+    # Top-plate tap at the top edge.
+    top_tap_y = height - tap / 2.0 - rules.contact_poly_spacing
+    top_rail_y0 = height + margin + rules.metal2_spacing
+    tap_row(top_tap_y, net_top, top_rail_y0)
+    # Bottom-plate tap below the top plate.
+    bottom_tap_y = -(margin + tap / 2.0)
+    bottom_rail_y0 = (
+        bottom_rect.y0 - rules.metal2_spacing - rail_height
+    )
+    tap_row(bottom_tap_y, net_bottom, bottom_rail_y0)
+
+    drawn_value = tech.cap_density * top_rect.area
+    return ModuleLayout(
+        cell=cell,
+        device_geometry={},
+        device_nf={},
+        finger_width=width,
+        length=height,
+        plan=None,
+        well_rect=None,
+        actual_widths={name: drawn_value},
+    )

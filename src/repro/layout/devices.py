@@ -1,0 +1,724 @@
+"""Device generators: rendered stacks, differential pairs, current mirrors.
+
+Built on the motif/stack machinery, these produce :class:`ModuleLayout`
+objects — a drawn cell plus the *exact* per-device junction geometry the
+sizing tool consumes during layout-aware synthesis.
+
+Rendering conventions: gates are vertical poly fingers; diffusion strips
+between them carry contact columns and vertical metal-1 straps; horizontal
+metal-2 rails collect each net (drains below the row, source/gates/dummy
+ties above), with electromigration-derived widths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import LayoutError
+from repro.layout.cell import Cell
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer
+from repro.layout.motif import generate_mos_motif
+from repro.layout.stack import DUMMY, StackPlan, generate_stack
+from repro.mos.junction import DiffusionGeometry
+from repro.technology.process import Technology
+
+
+@dataclass
+class ModuleLayout:
+    """A generated module: geometry plus electrical annotations."""
+
+    cell: Cell
+    device_geometry: Dict[str, DiffusionGeometry]
+    device_nf: Dict[str, int]
+    finger_width: float
+    length: float
+    plan: Optional[StackPlan] = None
+    well_rect: Optional[Rect] = None
+    actual_widths: Dict[str, float] = field(default_factory=dict)
+    """Drawn total width per device (after grid snapping)."""
+
+    @property
+    def width(self) -> float:
+        return self.cell.width
+
+    @property
+    def height(self) -> float:
+        return self.cell.height
+
+
+@dataclass
+class _Strip:
+    net: str
+    x0: float
+    width: float
+    is_end: bool
+    adjacent: List[Tuple[str, bool]] = field(default_factory=list)
+    """(device, edge_is_drain) for each neighbouring finger."""
+
+
+def _layout_strips_and_gates(
+    plan: StackPlan,
+    strip_nets: List[str],
+    length: float,
+    end_width: float,
+    internal_width: float,
+    gap: float,
+) -> Tuple[List[_Strip], List[Tuple[int, float]], List[Tuple[float, float]]]:
+    """Geometric walk: strip records, gate x positions, active segments."""
+    strips: List[_Strip] = []
+    gates: List[Tuple[int, float]] = []
+    segments: List[Tuple[float, float]] = []
+    x = 0.0
+    segment_start = x
+    net_index = 0
+
+    strips.append(_Strip(net=strip_nets[0], x0=x, width=end_width, is_end=True))
+    x += end_width
+    net_index = 1
+
+    for i, finger in enumerate(plan.fingers):
+        gates.append((i, x))
+        x += length
+        last = i == len(plan.fingers) - 1
+        if last:
+            strips.append(
+                _Strip(net=strip_nets[net_index], x0=x, width=end_width, is_end=True)
+            )
+            x += end_width
+            net_index += 1
+        elif i in plan.breaks:
+            strips.append(
+                _Strip(net=strip_nets[net_index], x0=x, width=end_width, is_end=True)
+            )
+            x += end_width
+            net_index += 1
+            segments.append((segment_start, x))
+            x += gap
+            segment_start = x
+            strips.append(
+                _Strip(net=strip_nets[net_index], x0=x, width=end_width, is_end=True)
+            )
+            x += end_width
+            net_index += 1
+        else:
+            strips.append(
+                _Strip(
+                    net=strip_nets[net_index],
+                    x0=x,
+                    width=internal_width,
+                    is_end=False,
+                )
+            )
+            x += internal_width
+            net_index += 1
+    segments.append((segment_start, x))
+
+    # Adjacency by position: a finger's left strip is the one ending at the
+    # gate's x0, its right strip starts at gate x0 + length.
+    for finger_index, gate_x in gates:
+        finger = plan.fingers[finger_index]
+        for strip in strips:
+            if abs(strip.x0 + strip.width - gate_x) < 1e-12:
+                strip.adjacent.append((finger.device, finger.drain_left))
+            elif abs(strip.x0 - (gate_x + length)) < 1e-12:
+                strip.adjacent.append((finger.device, not finger.drain_left))
+    return strips, gates, segments
+
+
+def render_stack(
+    tech: Technology,
+    plan: StackPlan,
+    polarity: str,
+    finger_width: float,
+    length: float,
+    terminals: Mapping[str, Tuple[str, str, str]],
+    bulk_net: str,
+    currents: Optional[Mapping[str, float]] = None,
+    dummy_net: Optional[str] = None,
+    name: str = "stack",
+) -> ModuleLayout:
+    """Draw a planned stack.
+
+    ``terminals`` maps device name to ``(drain, gate, source)`` nets; all
+    devices must share the source net.  ``currents`` (A per device) drives
+    the electromigration wire widths and contact counts; ``dummy_net``
+    defaults to the shared source net.
+    """
+    if polarity not in ("n", "p"):
+        raise LayoutError(f"polarity must be 'n' or 'p', got {polarity!r}")
+    rules = tech.rules
+    metal1 = tech.metal("metal1")
+    metal2 = tech.metal("metal2")
+    currents = dict(currents or {})
+
+    source_nets = {t[2] for t in terminals.values()}
+    if len(source_nets) != 1:
+        raise LayoutError(f"stack devices must share one source net: {source_nets}")
+    source_net = source_nets.pop()
+    if dummy_net is None:
+        dummy_net = source_net
+
+    finger = rules.snap(finger_width)
+    if finger < rules.active_min_width:
+        raise LayoutError(
+            f"finger width {finger:.3e} m below the active minimum"
+        )
+    length = rules.snap(length)
+
+    terminal_ds = {d: (t[0], t[2]) for d, t in terminals.items()}
+    strip_nets = plan.strip_nets(terminal_ds, dummy_net=dummy_net)
+    end_w = rules.end_diffusion_width
+    int_w = rules.contacted_diffusion_width
+    strips, gates, segments = _layout_strips_and_gates(
+        plan, strip_nets, length, end_w, int_w, rules.active_spacing
+    )
+
+    cell = Cell(name)
+
+    # Active segments and implant.
+    for x0, x1 in segments:
+        cell.add_shape(Layer.ACTIVE, Rect(x0, 0.0, x1, finger))
+    total_width = segments[-1][1]
+    implant = Layer.NIMPLANT if polarity == "n" else Layer.PIMPLANT
+    margin = rules.contact_active_enclosure
+    cell.add_shape(
+        implant,
+        Rect(-margin, -margin, total_width + margin, finger + margin),
+    )
+
+    # Net bookkeeping for EM rules.
+    net_current: Dict[str, float] = {}
+    strips_per_net: Dict[str, int] = {}
+    for strip in strips:
+        strips_per_net[strip.net] = strips_per_net.get(strip.net, 0) + 1
+    for device, (drain, _gate, source) in terminals.items():
+        current = abs(currents.get(device, 0.0))
+        net_current[drain] = net_current.get(drain, 0.0) + current
+        net_current[source] = net_current.get(source, 0.0) + current
+
+    # Rails land via cuts, so they must be at least one via plus its
+    # enclosure wide, besides the electromigration requirement.
+    rail_floor = max(
+        rules.metal2_min_width,
+        rules.via_size + 2.0 * rules.via_metal_enclosure,
+    )
+
+    def rail_width(net: str) -> float:
+        return rules.snap_up(
+            metal2.min_width_for_current(net_current.get(net, 0.0), rail_floor)
+        )
+
+    # Track assignment: drain nets below the row, the shared source track
+    # directly above the gates, then the gate pad row, then one
+    # gate-level track per distinct gate net.  Keeping the pads *above*
+    # the source track guarantees the gate metal-1 stubs never run beside
+    # the source/drain metal-1 columns (which stop at their tracks).
+    drain_nets: List[str] = []
+    for device in sorted(terminals):
+        drain = terminals[device][0]
+        if drain not in drain_nets:
+            drain_nets.append(drain)
+
+    pitch_gap = rules.metal2_spacing
+    gate_top = finger + rules.poly_endcap
+    tap_size = rules.contact_size + 2.0 * rules.contact_metal_enclosure
+    column_width = max(
+        rules.contact_size + 2.0 * rules.contact_metal_enclosure,
+        rules.metal1_min_width,
+    )
+
+    # Below-row drain tracks.
+    track_y: Dict[str, Tuple[float, float]] = {}
+    y = -rules.poly_endcap - pitch_gap
+    for net in drain_nets:
+        width = rail_width(net)
+        track_y[net] = (y - width, y)
+        y -= width + pitch_gap
+
+    # Source track.
+    source_width = rail_width(source_net)
+    source_y0 = gate_top + pitch_gap
+    track_y[source_net] = (source_y0, source_y0 + source_width)
+
+    # Pad row and gate-level tracks.  A gate net may coincide with the
+    # source net (dummy ties) or a drain net (diode-connected devices);
+    # it still gets its own gate-level rail, tied back by a metal-1
+    # connector column past the module's left edge.
+    pad_row_y = (
+        source_y0 + source_width + rules.metal1_spacing + tap_size / 2.0
+    )
+    gate_rail_nets: List[str] = []
+    for finger_index, _gate_x in gates:
+        finger_spec = plan.fingers[finger_index]
+        net = (
+            dummy_net if finger_spec.is_dummy
+            else terminals[finger_spec.device][1]
+        )
+        if net not in gate_rail_nets:
+            gate_rail_nets.append(net)
+    gate_track_y: Dict[str, Tuple[float, float]] = {}
+    y = pad_row_y + tap_size / 2.0 + rules.metal1_spacing
+    for net in gate_rail_nets:
+        width = rail_width(net) if net in track_y else rail_floor
+        gate_track_y[net] = (y, y + width)
+        y += width + pitch_gap
+
+    via = rules.via_size
+    via_pad = via + 2.0 * rules.via_metal_enclosure
+
+    # Left-margin column allocator (connectors and escapes).  Columns are
+    # spaced so their via landing pads keep metal-1 spacing.
+    column_effective = max(column_width, via_pad)
+    next_column_left = -(rules.metal1_spacing + column_effective)
+
+    def allocate_column() -> float:
+        """Left edge of a fresh left-margin metal-1 column."""
+        nonlocal next_column_left
+        x = next_column_left + (column_effective - column_width) / 2.0
+        next_column_left -= column_effective + rules.metal1_spacing
+        return x
+
+    # Connector columns for gate rails that duplicate a source/drain net.
+    connectors: List[Tuple[str, float, float, float]] = []
+    for net in gate_rail_nets:
+        if net in track_y:
+            main_y = sum(track_y[net]) / 2.0
+            gate_y = sum(gate_track_y[net]) / 2.0
+            connectors.append((net, allocate_column(), main_y, gate_y))
+
+    # Only the outermost rails are directly reachable from the channels:
+    # the bottom-most drain track (a stub below crosses nothing) and the
+    # top-most gate track.  Every other rail *escapes* through a
+    # left-margin column ending in a small pad at the module's top or
+    # bottom edge, which becomes that net's pin.
+    bottom_net = drain_nets[-1] if drain_nets else None
+    top_net = gate_rail_nets[-1] if gate_rail_nets else None
+    escape_top_y = (
+        max(y1 for _y0, y1 in gate_track_y.values()) + pitch_gap
+        if gate_track_y
+        else track_y[source_net][1] + pitch_gap
+    )
+    escape_bottom_y = (
+        min(y0 for net in drain_nets for y0 in (track_y[net][0],))
+        - pitch_gap
+        if drain_nets
+        else -rules.poly_endcap - pitch_gap
+    )
+
+    escapes: List[Tuple[str, float, float, float]] = []
+    pinned_nets = set()
+    if bottom_net is not None:
+        pinned_nets.add(bottom_net)
+    if top_net is not None:
+        pinned_nets.add(top_net)
+    escape_rails: Dict[str, Rect] = {}
+    all_nets = list(dict.fromkeys(drain_nets + [source_net] + gate_rail_nets))
+    for net in all_nets:
+        if net in pinned_nets:
+            continue
+        if net in gate_track_y:
+            # Escape upward from the gate rail.
+            from_y = sum(gate_track_y[net]) / 2.0
+            to_y = escape_top_y + rail_floor / 2.0
+        elif net == source_net:
+            from_y = sum(track_y[net]) / 2.0
+            to_y = escape_top_y + rail_floor / 2.0
+        else:
+            from_y = sum(track_y[net]) / 2.0
+            to_y = escape_bottom_y - rail_floor / 2.0
+        x = allocate_column()
+        escapes.append((net, x, from_y, to_y))
+        center_x = x + column_width / 2.0
+        escape_rails[net] = Rect.centered(
+            center_x, to_y, via_pad, rail_floor
+        )
+        pinned_nets.add(net)
+
+    # Rails span only the connection points they collect (plus a via pad
+    # of margin), not the whole module.
+    rail_extent: Dict[str, Tuple[float, float]] = {}
+    gate_rail_extent: Dict[str, Tuple[float, float]] = {}
+
+    def extend(extents: Dict[str, Tuple[float, float]], net: str,
+               x_center: float) -> None:
+        pad = max(rail_width(net), via_pad)
+        lo, hi = extents.get(net, (x_center, x_center))
+        extents[net] = (min(lo, x_center - pad), max(hi, x_center + pad))
+
+    for strip in strips:
+        extend(rail_extent, strip.net, strip.x0 + strip.width / 2.0)
+    for finger_index, gate_x in gates:
+        finger_spec = plan.fingers[finger_index]
+        net = (
+            dummy_net if finger_spec.is_dummy
+            else terminals[finger_spec.device][1]
+        )
+        extend(gate_rail_extent, net, gate_x + length / 2.0)
+    for net, x, _main_y, _gate_y in connectors:
+        extend(rail_extent, net, x + column_width / 2.0)
+        extend(gate_rail_extent, net, x + column_width / 2.0)
+    for net, x, _from_y, _to_y in escapes:
+        if net in gate_track_y:
+            extend(gate_rail_extent, net, x + column_width / 2.0)
+        else:
+            extend(rail_extent, net, x + column_width / 2.0)
+
+    def emit_rail(net: str, y0: float, y1: float,
+                  extents: Dict[str, Tuple[float, float]],
+                  is_pin: bool) -> None:
+        lo, hi = extents.get(net, (0.0, total_width))
+        rail = Rect(lo, y0, min(total_width, hi), y1)
+        if is_pin:
+            cell.add_pin(net, Layer.METAL2, rail)
+        else:
+            cell.add_shape(Layer.METAL2, rail, net=net)
+
+    for net, (y0, y1) in track_y.items():
+        emit_rail(net, y0, y1, rail_extent, is_pin=(net == bottom_net))
+    for net, (y0, y1) in gate_track_y.items():
+        emit_rail(net, y0, y1, gate_rail_extent, is_pin=(net == top_net))
+    for net, rail in escape_rails.items():
+        cell.add_pin(net, Layer.METAL2, rail)
+
+    def add_via(x_center: float, y_center: float, net: str) -> None:
+        cell.add_shape(
+            Layer.VIA1, Rect.centered(x_center, y_center, via, via), net=net
+        )
+        cell.add_shape(
+            Layer.METAL1,
+            Rect.centered(x_center, y_center, via_pad, via_pad),
+            net=net,
+        )
+
+    for net, x, main_y, gate_y in connectors:
+        lo, hi = sorted((main_y, gate_y))
+        cell.add_shape(
+            Layer.METAL1, Rect(x, lo, x + column_width, hi), net=net
+        )
+        add_via(x + column_width / 2.0, main_y, net)
+        add_via(x + column_width / 2.0, gate_y, net)
+    for net, x, from_y, to_y in escapes:
+        lo, hi = sorted((from_y, to_y))
+        cell.add_shape(
+            Layer.METAL1, Rect(x, lo, x + column_width, hi), net=net
+        )
+        add_via(x + column_width / 2.0, from_y, net)
+        add_via(x + column_width / 2.0, to_y, net)
+
+    # Contacts, metal-1 verticals per strip.
+    contact_pitch = rules.contact_size + rules.contact_spacing
+    for strip in strips:
+        per_strip = net_current.get(strip.net, 0.0) / max(
+            strips_per_net.get(strip.net, 1), 1
+        )
+        needed = tech.contact.cuts_for_current(per_strip)
+        usable = finger - 2.0 * rules.contact_active_enclosure
+        fit = (
+            max(1, int(math.floor((usable - rules.contact_size) / contact_pitch)) + 1)
+            if usable >= rules.contact_size
+            else 0
+        )
+        if fit == 0:
+            raise LayoutError("finger too narrow for a contact")
+        count = fit
+        if count < needed:
+            raise LayoutError(
+                f"strip on net {strip.net!r} needs {needed} contact cuts, "
+                f"only {count} fit"
+            )
+        x_center = strip.x0 + strip.width / 2.0
+        total_h = count * rules.contact_size + (count - 1) * rules.contact_spacing
+        cy = finger / 2.0 - total_h / 2.0 + rules.contact_size / 2.0
+        for _ in range(count):
+            cell.add_shape(
+                Layer.CONTACT,
+                Rect.centered(x_center, cy, rules.contact_size, rules.contact_size),
+                net=strip.net,
+            )
+            cy += contact_pitch
+
+        y0, y1 = track_y[strip.net]
+        track_center = (y0 + y1) / 2.0
+        if y0 < 0.0:  # below-row track
+            rect = Rect(
+                x_center - column_width / 2.0,
+                track_center,
+                x_center + column_width / 2.0,
+                finger,
+            )
+        else:
+            rect = Rect(
+                x_center - column_width / 2.0,
+                0.0,
+                x_center + column_width / 2.0,
+                track_center,
+            )
+        cell.add_shape(Layer.METAL1, rect, net=strip.net)
+        add_via(x_center, track_center, strip.net)
+
+    # Gate fingers, pads and stubs to gate tracks.
+    for finger_index, gate_x in gates:
+        finger_spec = plan.fingers[finger_index]
+        if finger_spec.is_dummy:
+            gate_net = dummy_net
+        else:
+            gate_net = terminals[finger_spec.device][1]
+        cell.add_shape(
+            Layer.POLY,
+            Rect(gate_x, -rules.poly_endcap, gate_x + length, gate_top),
+            net=gate_net,
+        )
+        x_center = gate_x + length / 2.0
+        cell.add_shape(
+            Layer.POLY,
+            Rect.centered(x_center, pad_row_y, tap_size, tap_size),
+            net=gate_net,
+        )
+        # Poly neck from the gate finger up to the pad.
+        cell.add_shape(
+            Layer.POLY,
+            Rect(
+                gate_x,
+                gate_top,
+                gate_x + length,
+                pad_row_y,
+            ),
+            net=gate_net,
+        )
+        cell.add_shape(
+            Layer.CONTACT,
+            Rect.centered(
+                x_center, pad_row_y, rules.contact_size, rules.contact_size
+            ),
+            net=gate_net,
+        )
+        # Metal-1 landing pad over the gate contact.
+        cell.add_shape(
+            Layer.METAL1,
+            Rect.centered(x_center, pad_row_y, tap_size, tap_size),
+            net=gate_net,
+        )
+        y0, y1 = gate_track_y[gate_net]
+        track_center = (y0 + y1) / 2.0
+        cell.add_shape(
+            Layer.METAL1,
+            Rect(
+                x_center - rules.metal1_min_width / 2.0,
+                pad_row_y - tap_size / 2.0,
+                x_center + rules.metal1_min_width / 2.0,
+                track_center,
+            ),
+            net=gate_net,
+        )
+        add_via(x_center, track_center, gate_net)
+
+    # Well for PMOS rows.
+    well_rect: Optional[Rect] = None
+    if polarity == "p":
+        well_margin = rules.active_well_enclosure
+        well_rect = Rect(
+            -well_margin,
+            -well_margin,
+            total_width + well_margin,
+            finger + well_margin,
+        )
+        cell.add_shape(Layer.NWELL, well_rect, net=bulk_net)
+
+    # Per-device junction geometry from the drawn strips.
+    device_geometry = _accumulate_geometry(strips, terminals, finger)
+
+    return ModuleLayout(
+        cell=cell,
+        device_geometry=device_geometry,
+        device_nf={d: plan.units[d] for d in terminals},
+        finger_width=finger,
+        length=length,
+        plan=plan,
+        well_rect=well_rect,
+        actual_widths={d: finger * plan.units[d] for d in terminals},
+    )
+
+
+def _accumulate_geometry(
+    strips: List[_Strip],
+    terminals: Mapping[str, Tuple[str, str, str]],
+    finger: float,
+) -> Dict[str, DiffusionGeometry]:
+    """Split each strip's area/perimeter among the adjacent device edges."""
+    accum: Dict[str, Dict[str, float]] = {
+        device: {"ad": 0.0, "pd": 0.0, "as": 0.0, "ps": 0.0} for device in terminals
+    }
+    for strip in strips:
+        owners: List[Tuple[str, bool]] = []
+        for device, edge_is_drain in strip.adjacent:
+            if device == DUMMY or device not in terminals:
+                continue
+            drain, _gate, source = terminals[device]
+            terminal_net = drain if edge_is_drain else source
+            if terminal_net == strip.net:
+                owners.append((device, edge_is_drain))
+        if not owners:
+            continue
+        area = strip.width * finger
+        # Exposed perimeter: top+bottom edges always; outer vertical edge
+        # for end strips not facing a gate on that side.
+        perimeter = 2.0 * strip.width
+        if strip.is_end and len(strip.adjacent) < 2:
+            perimeter += finger
+        share = 1.0 / len(owners)
+        for device, edge_is_drain in owners:
+            keys = ("ad", "pd") if edge_is_drain else ("as", "ps")
+            accum[device][keys[0]] += area * share
+            accum[device][keys[1]] += perimeter * share
+    return {
+        device: DiffusionGeometry(
+            ad=values["ad"], pd=values["pd"], as_=values["as"], ps=values["ps"]
+        )
+        for device, values in accum.items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# High-level generators
+# ---------------------------------------------------------------------------
+
+
+def single_device_layout(
+    tech: Technology,
+    polarity: str,
+    w: float,
+    l: float,
+    nf: int,
+    nets: Tuple[str, str, str, str],
+    drain_current: float = 0.0,
+    drain_internal: bool = True,
+    name: str = "device",
+) -> ModuleLayout:
+    """One transistor as a module (motif wrapper).
+
+    ``nets`` is ``(drain, gate, source, bulk)``.
+    """
+    drain, gate, source, bulk = nets
+    motif = generate_mos_motif(
+        tech,
+        polarity,
+        w,
+        l,
+        nf=nf,
+        drain_internal=drain_internal,
+        net_d=drain,
+        net_g=gate,
+        net_s=source,
+        net_b=bulk,
+        drain_current=drain_current,
+        name=name,
+    )
+    device_name = name
+    return ModuleLayout(
+        cell=motif.cell,
+        device_geometry={device_name: motif.geometry},
+        device_nf={device_name: motif.nf},
+        finger_width=motif.finger_width,
+        length=motif.length,
+        plan=None,
+        well_rect=motif.well_rect,
+        actual_widths={device_name: motif.actual_w},
+    )
+
+
+def differential_pair_layout(
+    tech: Technology,
+    polarity: str,
+    w: float,
+    l: float,
+    nf: int,
+    names: Tuple[str, str],
+    drains: Tuple[str, str],
+    gates: Tuple[str, str],
+    source: str,
+    bulk: str,
+    current_per_side: float = 0.0,
+    style: str = "common_centroid",
+    with_dummies: bool = True,
+    name: str = "diffpair",
+) -> ModuleLayout:
+    """Matched pair in common-centroid or interdigitated style.
+
+    ``w`` is the width of *each* device, implemented as ``nf`` fingers.
+    """
+    if style not in ("common_centroid", "interdigitated"):
+        raise LayoutError(f"unknown differential pair style {style!r}")
+    a, b = names
+    if style == "common_centroid":
+        plan = generate_stack({a: nf, b: nf}, with_dummies=with_dummies)
+    else:
+        # Explicit ABAB sequence with sharing-greedy orientations.
+        from repro.layout.stack import _assign_orientations, StackFinger
+
+        sequence = [a if i % 2 == 0 else b for i in range(2 * nf)]
+        fingers, breaks = _assign_orientations(sequence)
+        if with_dummies:
+            fingers = (
+                [StackFinger(device=DUMMY, drain_left=False)]
+                + fingers
+                + [StackFinger(device=DUMMY, drain_left=True)]
+            )
+            breaks = [i + 1 for i in breaks]
+        plan = StackPlan(fingers=fingers, units={a: nf, b: nf}, breaks=breaks)
+
+    terminals = {
+        a: (drains[0], gates[0], source),
+        b: (drains[1], gates[1], source),
+    }
+    currents = {a: current_per_side, b: current_per_side}
+    return render_stack(
+        tech,
+        plan,
+        polarity,
+        finger_width=w / nf,
+        length=l,
+        terminals=terminals,
+        bulk_net=bulk,
+        currents=currents,
+        dummy_net=source,
+        name=name,
+    )
+
+
+def current_mirror_layout(
+    tech: Technology,
+    polarity: str,
+    ratios: Mapping[str, int],
+    unit_width: float,
+    l: float,
+    drains: Mapping[str, str],
+    gate: str,
+    source: str,
+    bulk: str,
+    currents: Optional[Mapping[str, float]] = None,
+    with_dummies: bool = True,
+    name: str = "mirror",
+) -> ModuleLayout:
+    """Stacked current mirror (paper Figure 3).
+
+    ``ratios`` maps device names to integer unit counts; every device has
+    width ``ratio * unit_width`` drawn as ``ratio`` fingers of
+    ``unit_width``.
+    """
+    plan = generate_stack(dict(ratios), with_dummies=with_dummies)
+    terminals = {d: (drains[d], gate, source) for d in ratios}
+    return render_stack(
+        tech,
+        plan,
+        polarity,
+        finger_width=unit_width,
+        length=l,
+        terminals=terminals,
+        bulk_net=bulk,
+        currents=currents,
+        dummy_net=source,
+        name=name,
+    )

@@ -1,0 +1,284 @@
+"""Design-rule checking.
+
+A geometric checker over flattened cells, covering the rule classes the
+generators must honour:
+
+* **minimum width** per drawn layer;
+* **minimum spacing** between same-layer shapes of *different* nets
+  (same-net shapes may abut or overlap freely — the generators compose
+  terminals from several rectangles);
+* **shorts**: overlapping same-layer conducting shapes on different nets;
+* **cut geometry**: contacts and vias must be drawn at the exact cut size
+  and be enclosed by their landing metal.
+
+The checker is used by the test-suite to keep every generator (motif,
+stacks, mirrors, the full OTA assembly) clean, standing in for the
+"technology design rules" the paper's procedural language guarantees by
+construction.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.layout.cell import Cell, Shape
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer
+from repro.technology.process import Technology
+
+_EPSILON = 1e-12
+
+
+def _subtract(outer: Rect, hole: Rect) -> List[Rect]:
+    """Up to four rectangles covering ``outer`` minus ``hole``.
+
+    ``hole`` must lie within ``outer``.
+    """
+    remainders: List[Rect] = []
+    if hole.y1 < outer.y1:
+        remainders.append(Rect(outer.x0, hole.y1, outer.x1, outer.y1))
+    if hole.y0 > outer.y0:
+        remainders.append(Rect(outer.x0, outer.y0, outer.x1, hole.y0))
+    if hole.x0 > outer.x0:
+        remainders.append(Rect(outer.x0, hole.y0, hole.x0, hole.y1))
+    if hole.x1 < outer.x1:
+        remainders.append(Rect(hole.x1, hole.y0, outer.x1, hole.y1))
+    return remainders
+
+
+def _union_covers(needed: Rect, rects: List[Rect], depth: int = 32) -> bool:
+    """True when the union of ``rects`` covers ``needed``."""
+    if needed.width < _EPSILON or needed.height < _EPSILON:
+        return True
+    if depth <= 0:
+        return False
+    for rect in rects:
+        if rect.contains(needed):
+            return True
+    for rect in rects:
+        overlap = needed.intersection(rect)
+        if overlap is None:
+            continue
+        return all(
+            _union_covers(piece, rects, depth - 1)
+            for piece in _subtract(needed, overlap)
+        )
+    return False
+
+
+@dataclass
+class DrcViolation:
+    """One design-rule violation."""
+
+    kind: str
+    layer: Layer
+    rect: Rect
+    message: str
+    other: Optional[Rect] = None
+
+    def __str__(self) -> str:
+        return f"{self.kind} on {self.layer.value}: {self.message}"
+
+
+class DrcChecker:
+    """Checks flattened cells against a technology's design rules."""
+
+    #: Layers whose shapes conduct (participate in spacing/short checks).
+    CONDUCTING = (Layer.POLY, Layer.METAL1, Layer.METAL2)
+
+    def __init__(self, technology: Technology):
+        technology.validate()
+        self.technology = technology
+        rules = technology.rules
+        self.min_width: Dict[Layer, float] = {
+            Layer.ACTIVE: rules.active_min_width,
+            Layer.POLY: rules.poly_min_width,
+            Layer.METAL1: rules.metal1_min_width,
+            Layer.METAL2: rules.metal2_min_width,
+        }
+        self.min_spacing: Dict[Layer, float] = {
+            Layer.ACTIVE: rules.active_spacing,
+            Layer.POLY: rules.poly_spacing,
+            Layer.METAL1: rules.metal1_spacing,
+            Layer.METAL2: rules.metal2_spacing,
+            Layer.CONTACT: rules.contact_spacing,
+            Layer.VIA1: rules.via_spacing,
+        }
+        self.cut_size: Dict[Layer, float] = {
+            Layer.CONTACT: rules.contact_size,
+            Layer.VIA1: rules.via_size,
+        }
+
+    # -- Entry point --------------------------------------------------------
+
+    def check(self, cell: Cell) -> List[DrcViolation]:
+        """Run all checks; returns the (possibly empty) violation list."""
+        shapes = list(cell.flattened())
+        violations: List[DrcViolation] = []
+        violations.extend(self._check_widths(shapes))
+        violations.extend(self._check_cuts(shapes))
+        violations.extend(self._check_spacing_and_shorts(shapes))
+        return violations
+
+    def assert_clean(self, cell: Cell, limit: int = 5) -> None:
+        """Raise ``AssertionError`` listing violations, if any."""
+        violations = self.check(cell)
+        if violations:
+            summary = "; ".join(str(v) for v in violations[:limit])
+            raise AssertionError(
+                f"{len(violations)} DRC violation(s) in {cell.name!r}: "
+                f"{summary}"
+            )
+
+    # -- Width -----------------------------------------------------------------
+
+    def _check_widths(self, shapes: List[Shape]) -> List[DrcViolation]:
+        violations = []
+        for shape in shapes:
+            minimum = self.min_width.get(shape.layer)
+            if minimum is None:
+                continue
+            narrow = min(shape.rect.width, shape.rect.height)
+            if narrow < minimum - _EPSILON:
+                violations.append(
+                    DrcViolation(
+                        kind="min_width",
+                        layer=shape.layer,
+                        rect=shape.rect,
+                        message=(
+                            f"width {narrow:.3e} m below minimum "
+                            f"{minimum:.3e} m (net {shape.net})"
+                        ),
+                    )
+                )
+        return violations
+
+    # -- Cuts ------------------------------------------------------------------------
+
+    def _check_cuts(self, shapes: List[Shape]) -> List[DrcViolation]:
+        violations = []
+        landing = {
+            Layer.CONTACT: (Layer.METAL1,),
+            Layer.VIA1: (Layer.METAL1, Layer.METAL2),
+        }
+        enclosure = {
+            Layer.CONTACT: self.technology.rules.contact_metal_enclosure,
+            Layer.VIA1: self.technology.rules.via_metal_enclosure,
+        }
+        by_layer: Dict[Layer, List[Shape]] = defaultdict(list)
+        for shape in shapes:
+            by_layer[shape.layer].append(shape)
+
+        for cut_layer, size in self.cut_size.items():
+            for cut in by_layer.get(cut_layer, []):
+                if (
+                    abs(cut.rect.width - size) > _EPSILON
+                    or abs(cut.rect.height - size) > _EPSILON
+                ):
+                    violations.append(
+                        DrcViolation(
+                            kind="cut_size",
+                            layer=cut_layer,
+                            rect=cut.rect,
+                            message=(
+                                f"cut must be {size:.3e} m square, drawn "
+                                f"{cut.rect.width:.3e} x {cut.rect.height:.3e}"
+                            ),
+                        )
+                    )
+                    continue
+                margin = enclosure[cut_layer]
+                # Back the required window off by a femto-margin so exact
+                # float arithmetic (enclosure == margin) passes.
+                needed = cut.rect.expanded(margin - _EPSILON)
+                for metal_layer in landing[cut_layer]:
+                    candidates = [
+                        shape.rect
+                        for shape in by_layer.get(metal_layer, [])
+                        if (cut.net is None or shape.net == cut.net)
+                        and shape.rect.intersects(needed)
+                    ]
+                    covered = _union_covers(needed, candidates)
+                    if not covered:
+                        violations.append(
+                            DrcViolation(
+                                kind="enclosure",
+                                layer=cut_layer,
+                                rect=cut.rect,
+                                message=(
+                                    f"cut on net {cut.net} lacks "
+                                    f"{margin:.3e} m of "
+                                    f"{metal_layer.value} enclosure"
+                                ),
+                            )
+                        )
+        return violations
+
+    # -- Spacing / shorts --------------------------------------------------------------
+
+    def _check_spacing_and_shorts(
+        self, shapes: List[Shape]
+    ) -> List[DrcViolation]:
+        violations = []
+        by_layer: Dict[Layer, List[Shape]] = defaultdict(list)
+        for shape in shapes:
+            if shape.layer in self.min_spacing:
+                by_layer[shape.layer].append(shape)
+
+        for layer, members in by_layer.items():
+            spacing = self.min_spacing[layer]
+            conducting = layer in self.CONDUCTING
+            members = sorted(members, key=lambda s: s.rect.x0)
+            for i, a in enumerate(members):
+                for b in members[i + 1:]:
+                    if b.rect.x0 > a.rect.x1 + spacing + _EPSILON:
+                        break
+                    same_net = (
+                        a.net is not None and b.net is not None
+                        and a.net == b.net
+                    )
+                    if same_net:
+                        continue
+                    if conducting and (a.net is None or b.net is None):
+                        # Un-netted conducting shapes are device-internal
+                        # bodies (resistor serpentines, dummy fill): they
+                        # deliberately bridge or abut terminals.
+                        continue
+                    if a.net is None and b.net is None and not conducting:
+                        # Merged drawing layers (active, implant): only a
+                        # genuine gap below spacing is reportable; abutting
+                        # or overlapping shapes merge.
+                        if a.rect.intersects(b.rect):
+                            continue
+                        if a.rect.distance_to(b.rect) < _EPSILON:
+                            continue
+                    if conducting and a.rect.intersects(b.rect):
+                        violations.append(
+                            DrcViolation(
+                                kind="short",
+                                layer=layer,
+                                rect=a.rect,
+                                other=b.rect,
+                                message=(
+                                    f"nets {a.net!r} and {b.net!r} overlap"
+                                ),
+                            )
+                        )
+                        continue
+                    distance = a.rect.distance_to(b.rect)
+                    if distance < spacing - _EPSILON:
+                        violations.append(
+                            DrcViolation(
+                                kind="spacing",
+                                layer=layer,
+                                rect=a.rect,
+                                other=b.rect,
+                                message=(
+                                    f"nets {a.net!r}/{b.net!r} spaced "
+                                    f"{distance:.3e} m < {spacing:.3e} m"
+                                ),
+                            )
+                        )
+        return violations

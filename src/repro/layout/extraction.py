@@ -1,0 +1,287 @@
+"""Geometric extraction of a generated layout.
+
+Plays the role the commercial extractor (Cadence) plays in the paper: an
+*independent* measurement of the drawn geometry used to produce the
+"values between brackets" of Table 1.  It never consults the estimator's
+bookkeeping — everything is recomputed from the flattened shapes:
+
+* **interconnect capacitance** per net from every poly/metal shape (area +
+  perimeter fringe), with gate poly over active excluded (that is channel
+  capacitance, owned by the device model);
+* **coupling capacitance** between same-layer shapes of different nets
+  within a proximity window;
+* **diffusion junctions** re-derived from active/poly crossings: strips
+  between gates, nets resolved from the contacts above them, then
+  distributed to the circuit's devices in proportion to their widths;
+* **well junctions** from n-well shapes.
+
+The resulting annotated circuit is what the simulator measures for the
+bracketed columns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuit.elements import Mos
+from repro.circuit.net import canonical
+from repro.circuit.netlist import Circuit
+from repro.layout.cell import Cell, Shape
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer, metal_name
+from repro.mos.junction import DiffusionGeometry
+from repro.technology.process import Technology
+
+
+@dataclass
+class ExtractedParasitics:
+    """Raw geometric extraction results."""
+
+    net_wire_cap: Dict[str, float] = field(default_factory=dict)
+    coupling: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    diffusion: Dict[Tuple[str, str], Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    """(net, polarity) -> (area, perimeter) of source/drain diffusion."""
+    well: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    """net -> (area, perimeter) of n-well."""
+
+    def total_wire_cap(self) -> float:
+        return sum(self.net_wire_cap.values())
+
+
+def _wire_capacitance(
+    tech: Technology, shapes: List[Shape], actives: List[Rect]
+) -> Dict[str, float]:
+    """Ground capacitance per net over all interconnect shapes."""
+    result: Dict[str, float] = defaultdict(float)
+    for shape in shapes:
+        if shape.net is None:
+            continue
+        metal = tech.metal(metal_name(shape.layer))
+        area = shape.rect.area
+        if shape.layer is Layer.POLY:
+            # Gate poly over active is channel, not wire.
+            for active in actives:
+                overlap = shape.rect.intersection(active)
+                if overlap is not None:
+                    area -= overlap.area
+            if area <= 0.0:
+                continue
+        result[shape.net] += (
+            metal.area_cap * area + metal.fringe_cap * shape.rect.perimeter
+        )
+    return dict(result)
+
+
+def _coupling(
+    tech: Technology, shapes: List[Shape], window_factor: float = 3.0
+) -> Dict[Tuple[str, str], float]:
+    """Same-layer lateral coupling between different nets."""
+    result: Dict[Tuple[str, str], float] = defaultdict(float)
+    by_layer: Dict[Layer, List[Shape]] = defaultdict(list)
+    for shape in shapes:
+        if shape.net is not None:
+            by_layer[shape.layer].append(shape)
+    for layer, members in by_layer.items():
+        metal = tech.metal(metal_name(layer))
+        window = window_factor * metal.min_spacing
+        members = sorted(members, key=lambda s: s.rect.x0)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                if b.rect.x0 > a.rect.x1 + window:
+                    break
+                if a.net == b.net:
+                    continue
+                run_x = a.rect.parallel_run_x(b.rect)
+                run_y = a.rect.parallel_run_y(b.rect)
+                if run_x > 0.0 and run_y > 0.0:
+                    continue  # overlapping different nets: not lateral
+                if run_x > 0.0:
+                    spacing = max(b.rect.y0 - a.rect.y1, a.rect.y0 - b.rect.y1)
+                    run = run_x
+                elif run_y > 0.0:
+                    spacing = max(b.rect.x0 - a.rect.x1, a.rect.x0 - b.rect.x1)
+                    run = run_y
+                else:
+                    continue
+                if spacing <= 0.0 or spacing > window:
+                    continue
+                key = tuple(sorted((a.net, b.net)))
+                result[key] += metal.coupling_capacitance(run, spacing)
+    return dict(result)
+
+
+def _diffusion_strips(
+    tech: Technology, shapes: List[Shape]
+) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """Re-derive diffusion strips from active/poly/contact geometry."""
+    actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
+    polys = [s for s in shapes if s.layer is Layer.POLY]
+    contacts = [s for s in shapes if s.layer is Layer.CONTACT and s.net]
+    nimplants = [s.rect for s in shapes if s.layer is Layer.NIMPLANT]
+
+    result: Dict[Tuple[str, str], Tuple[float, float]] = defaultdict(
+        lambda: (0.0, 0.0)
+    )
+    for active in actives:
+        polarity = "n" if any(r.contains(active) for r in nimplants) else "p"
+        # Gates: poly fully crossing the active vertically.
+        gates = []
+        for poly in polys:
+            overlap = poly.rect.intersection(active)
+            if overlap is None:
+                continue
+            if poly.rect.y0 <= active.y0 and poly.rect.y1 >= active.y1:
+                gates.append((overlap.x0, overlap.x1))
+        gates.sort()
+        # Strips between consecutive gates (and the two ends).
+        boundaries = [active.x0]
+        for x0, x1 in gates:
+            boundaries.extend((x0, x1))
+        boundaries.append(active.x1)
+        for i in range(0, len(boundaries), 2):
+            x0, x1 = boundaries[i], boundaries[i + 1]
+            if x1 - x0 <= 0.0:
+                continue
+            strip = Rect(x0, active.y0, x1, active.y1)
+            net = _strip_net(strip, contacts)
+            if net is None:
+                continue
+            area = strip.area
+            perimeter = 2.0 * strip.width
+            if abs(strip.x0 - active.x0) < 1e-12:
+                perimeter += strip.height
+            if abs(strip.x1 - active.x1) < 1e-12:
+                perimeter += strip.height
+            key = (net, polarity)
+            total_area, total_perimeter = result[key]
+            result[key] = (total_area + area, total_perimeter + perimeter)
+    return dict(result)
+
+
+def _strip_net(strip: Rect, contacts: List[Shape]) -> Optional[str]:
+    for contact in contacts:
+        if strip.intersects(contact.rect):
+            return contact.net
+    return None
+
+
+def _wells(shapes: List[Shape]) -> Dict[str, Tuple[float, float]]:
+    result: Dict[str, Tuple[float, float]] = defaultdict(lambda: (0.0, 0.0))
+    for shape in shapes:
+        if shape.layer is Layer.NWELL and shape.net is not None:
+            area, perimeter = result[shape.net]
+            result[shape.net] = (
+                area + shape.rect.area,
+                perimeter + shape.rect.perimeter,
+            )
+    return dict(result)
+
+
+def extract_cell(cell: Cell, tech: Technology) -> ExtractedParasitics:
+    """Full geometric extraction of a (hierarchical) cell."""
+    shapes = list(cell.flattened())
+    actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
+    interconnect = [
+        s
+        for s in shapes
+        if s.layer in (Layer.POLY, Layer.METAL1, Layer.METAL2) and s.net
+    ]
+    return ExtractedParasitics(
+        net_wire_cap=_wire_capacitance(tech, interconnect, actives),
+        coupling=_coupling(tech, interconnect),
+        diffusion=_diffusion_strips(tech, shapes),
+        well=_wells(shapes),
+    )
+
+
+def annotate_circuit(
+    circuit: Circuit,
+    extracted: ExtractedParasitics,
+    tech: Technology,
+    supply_nets: Tuple[str, ...] = ("vdd!", "0"),
+    net_alias: Optional[Dict[str, str]] = None,
+) -> Circuit:
+    """Back-annotate extraction onto a schematic.
+
+    Returns a clone of ``circuit`` with
+
+    * parasitic capacitors for wire, coupling and well capacitance
+      (supply-to-supply capacitors are dropped — they do not affect the
+      small-signal behaviour and only slow the solver);
+    * per-device junction geometry distributed from the per-net diffusion
+      totals in proportion to device widths.
+
+    ``net_alias`` maps layout net names to schematic net names when they
+    differ.
+    """
+    alias = net_alias or {}
+
+    def to_circuit_net(net: str) -> str:
+        return alias.get(net, net)
+
+    annotated = circuit.clone(circuit.name + "_extracted")
+    annotated.strip_parasitics()
+
+    for net, value in extracted.net_wire_cap.items():
+        circuit_net = to_circuit_net(net)
+        if canonical(circuit_net) == "0":
+            continue
+        annotated.attach_parasitic_cap(circuit_net, "0", value)
+
+    for (net_a, net_b), value in extracted.coupling.items():
+        a, b = to_circuit_net(net_a), to_circuit_net(net_b)
+        if canonical(a) == canonical(b):
+            continue
+        annotated.attach_parasitic_cap(a, b, value)
+
+    for net, (area, perimeter) in extracted.well.items():
+        circuit_net = to_circuit_net(net)
+        if circuit_net in supply_nets or canonical(circuit_net) == "0":
+            continue
+        annotated.attach_parasitic_cap(
+            circuit_net, "0", tech.well.capacitance(area, perimeter)
+        )
+
+    _distribute_diffusion(annotated, extracted, alias)
+    return annotated
+
+
+def _distribute_diffusion(
+    circuit: Circuit,
+    extracted: ExtractedParasitics,
+    alias: Dict[str, str],
+) -> None:
+    """Assign per-net diffusion totals to device terminals by width."""
+
+    def to_circuit_net(net: str) -> str:
+        return alias.get(net, net)
+
+    # (net, polarity) -> [(device, terminal, width)]
+    claims: Dict[Tuple[str, str], List[Tuple[Mos, str]]] = defaultdict(list)
+    for mos in circuit.mos_devices:
+        assert mos.params is not None
+        claims[(canonical(mos.d), mos.polarity)].append((mos, "d"))
+        claims[(canonical(mos.s), mos.polarity)].append((mos, "s"))
+
+    assignments: Dict[str, Dict[str, Tuple[float, float]]] = defaultdict(dict)
+    for (net, polarity), (area, perimeter) in extracted.diffusion.items():
+        key = (canonical(to_circuit_net(net)), polarity)
+        claimants = claims.get(key, [])
+        total_width = sum(mos.w for mos, _terminal in claimants)
+        if not claimants or total_width <= 0.0:
+            continue
+        for mos, terminal in claimants:
+            weight = mos.w / total_width
+            assignments[mos.name][terminal] = (area * weight, perimeter * weight)
+
+    for mos in circuit.mos_devices:
+        terminals = assignments.get(mos.name)
+        if not terminals:
+            continue
+        ad, pd = terminals.get("d", (0.0, 0.0))
+        as_, ps = terminals.get("s", (0.0, 0.0))
+        mos.geometry = DiffusionGeometry(ad=ad, pd=pd, as_=as_, ps=ps)

@@ -1,0 +1,171 @@
+"""Transistor folding and the capacitance reduction factor ``F``.
+
+The centrepiece equation of the paper's parasitic-constraint handling
+(section 3, Figure 2).  Folding a transistor into ``Nf`` parallel gate
+fingers lets neighbouring fingers share source/drain diffusion strips; the
+total *effective* diffusion width of a terminal becomes ``W_eff = F * W``
+with::
+
+    F = 1/2              Nf even, terminal on internal diffusions only (a)
+    F = (Nf+2) / (2 Nf)  Nf even, terminal on the external diffusions   (b)
+    F = (Nf+1) / (2 Nf)  Nf odd                                         (c)
+
+Case (a) is the minimum: an even fold count with the critical net (usually
+the drain) on internal strips halves its junction capacitance — the layout
+style the paper exploits "to enhance the frequency characteristics".
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+from repro.errors import LayoutError
+from repro.mos.junction import DiffusionGeometry
+
+
+class DiffusionPosition(Enum):
+    """Where a terminal's diffusion strips sit within the folded stack."""
+
+    INTERNAL = "internal"
+    """All strips shared between two gates (even Nf, case a)."""
+    EXTERNAL = "external"
+    """Strips including the two stack ends (even Nf, case b)."""
+    ALTERNATING = "alternating"
+    """Odd Nf: both terminals mix internal and one external strip (case c)."""
+
+
+def capacitance_reduction_factor(nf: int, position: DiffusionPosition) -> float:
+    """Paper equation (1): effective diffusion width fraction ``F``.
+
+    ``nf = 1`` returns 1.0 regardless of position (no sharing possible).
+    """
+    if nf < 1:
+        raise LayoutError(f"fold count must be >= 1, got {nf}")
+    if nf == 1:
+        return 1.0
+    if nf % 2 == 0:
+        if position is DiffusionPosition.INTERNAL:
+            return 0.5
+        if position is DiffusionPosition.EXTERNAL:
+            return (nf + 2.0) / (2.0 * nf)
+        raise LayoutError("even fold counts need INTERNAL or EXTERNAL position")
+    if position is not DiffusionPosition.ALTERNATING:
+        raise LayoutError("odd fold counts imply ALTERNATING position")
+    return (nf + 1.0) / (2.0 * nf)
+
+
+def strip_counts(nf: int, drain_internal: bool) -> Tuple[int, int]:
+    """Number of (drain, source) diffusion strips in a folded stack.
+
+    A stack of ``nf`` gates has ``nf + 1`` alternating strips.  With
+    ``drain_internal`` (even ``nf``), the sequence starts and ends with
+    source strips: S G D G S ... S.
+    """
+    if nf < 1:
+        raise LayoutError(f"fold count must be >= 1, got {nf}")
+    total = nf + 1
+    if nf % 2 == 0:
+        internal_count = nf // 2
+        external_count = nf // 2 + 1
+        if drain_internal:
+            return internal_count, external_count
+        return external_count, internal_count
+    # Odd: both terminals get (nf+1)/2 strips, one of them an end strip.
+    half = (nf + 1) // 2
+    assert 2 * half == total
+    return half, half
+
+
+def effective_widths(
+    width: float, nf: int, drain_internal: bool = True
+) -> Tuple[float, float]:
+    """Effective (drain, source) diffusion widths ``F * W`` after folding."""
+    if width <= 0.0:
+        raise LayoutError("width must be positive")
+    if nf == 1:
+        return width, width
+    if nf % 2 == 0:
+        internal = capacitance_reduction_factor(nf, DiffusionPosition.INTERNAL)
+        external = capacitance_reduction_factor(nf, DiffusionPosition.EXTERNAL)
+        if drain_internal:
+            return internal * width, external * width
+        return external * width, internal * width
+    factor = capacitance_reduction_factor(nf, DiffusionPosition.ALTERNATING)
+    return factor * width, factor * width
+
+
+def folded_diffusion_geometry(
+    width: float,
+    nf: int,
+    ldif_internal: float,
+    ldif_end: float,
+    drain_internal: bool = True,
+) -> DiffusionGeometry:
+    """Exact junction geometry of a folded transistor.
+
+    Strip widths are ``width / nf``; internal (shared) strips are
+    ``ldif_internal`` long, end strips ``ldif_end``.  Perimeters count the
+    non-gate edges: internal strips expose only their two short ends, end
+    strips additionally expose the outer long edge.
+    """
+    if nf < 1:
+        raise LayoutError(f"fold count must be >= 1, got {nf}")
+    finger = width / nf
+    drain_strips, source_strips = strip_counts(nf, drain_internal)
+
+    def terminal(strips: int, has_ends: int) -> Tuple[float, float]:
+        """(area, perimeter) for one terminal given its strip census."""
+        internals = strips - has_ends
+        area = internals * finger * ldif_internal + has_ends * finger * ldif_end
+        # Internal strip: both long edges face gates; expose 2 short ends.
+        perimeter = internals * 2.0 * ldif_internal
+        # End strip: one long edge faces a gate; expose outer edge + 2 ends.
+        perimeter += has_ends * (finger + 2.0 * ldif_end)
+        return area, perimeter
+
+    if nf == 1:
+        area = finger * ldif_end
+        perimeter = finger + 2.0 * ldif_end
+        return DiffusionGeometry(ad=area, pd=perimeter, as_=area, ps=perimeter)
+
+    if nf % 2 == 0:
+        drain_ends = 0 if drain_internal else 2
+        source_ends = 2 if drain_internal else 0
+    else:
+        drain_ends = 1
+        source_ends = 1
+    ad, pd = terminal(drain_strips, drain_ends)
+    as_, ps = terminal(source_strips, source_ends)
+    return DiffusionGeometry(ad=ad, pd=pd, as_=as_, ps=ps)
+
+
+def choose_fold_count(
+    width: float,
+    target_finger_width: float,
+    prefer_even: bool = True,
+    max_folds: int = 64,
+) -> int:
+    """Fold count bringing the finger width near ``target_finger_width``.
+
+    The paper's parasitic control prefers *even* fold counts so the
+    frequency-critical drain can sit on internal diffusions; when
+    ``prefer_even`` is set, the nearest even count is chosen unless the
+    device is too small to fold at all.
+    """
+    if width <= 0.0 or target_finger_width <= 0.0:
+        raise LayoutError("widths must be positive")
+    raw = width / target_finger_width
+    if raw <= 1.5:
+        return 1
+    nf = max(1, round(raw))
+    if prefer_even and nf % 2 == 1:
+        # Pick the even neighbour with the finger width closest to target.
+        lower, upper = nf - 1, nf + 1
+        if lower < 2:
+            nf = upper
+        else:
+            error_low = abs(width / lower - target_finger_width)
+            error_high = abs(width / upper - target_finger_width)
+            nf = lower if error_low <= error_high else upper
+    return min(nf, max_folds)

@@ -1,0 +1,197 @@
+"""Minimal GDSII stream writer.
+
+Implements the subset of the GDSII binary format needed to export flat
+rectangle layouts: HEADER/BGNLIB/LIBNAME/UNITS, one structure with BOUNDARY
+elements per rectangle, and the closing records.  Output opens in standard
+tools (KLayout etc.).
+
+Record framing: 2-byte big-endian length (including the 4-byte header),
+1-byte record type, 1-byte data type.
+"""
+
+from __future__ import annotations
+
+import struct
+from datetime import datetime
+from typing import List
+
+from repro.layout.cell import Cell
+from repro.layout.geometry import Rect
+from repro.layout.layers import GDS_LAYER_NUMBERS
+
+# Record types.
+_HEADER = 0x00
+_BGNLIB = 0x01
+_LIBNAME = 0x02
+_UNITS = 0x03
+_ENDLIB = 0x04
+_BGNSTR = 0x05
+_STRNAME = 0x06
+_ENDSTR = 0x07
+_BOUNDARY = 0x08
+_LAYER = 0x0D
+_DATATYPE = 0x0E
+_XY = 0x10
+_ENDEL = 0x11
+
+# Data types.
+_NO_DATA = 0x00
+_INT2 = 0x02
+_INT4 = 0x03
+_REAL8 = 0x05
+_ASCII = 0x06
+
+DB_UNIT = 1e-9
+"""Database unit: 1 nm."""
+
+
+def _record(record_type: int, data_type: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    return struct.pack(">HBB", length, record_type, data_type) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\0"
+    return data
+
+
+def _real8(value: float) -> bytes:
+    """GDSII 8-byte excess-64 base-16 real."""
+    if value == 0.0:
+        return b"\0" * 8
+    sign = 0
+    if value < 0.0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    # Normalise mantissa into [1/16, 1).
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">BB", sign | exponent, (mantissa >> 48) & 0xFF) + struct.pack(
+        ">HI", (mantissa >> 32) & 0xFFFF, mantissa & 0xFFFFFFFF
+    )
+
+
+def _timestamp() -> bytes:
+    now = datetime(2000, 1, 1)  # deterministic output
+    fields = (now.year, now.month, now.day, now.hour, now.minute, now.second)
+    return struct.pack(">6H", *fields) * 2
+
+
+def cell_to_gds(cell: Cell, library: str = "REPRO") -> bytes:
+    """Serialise a cell (flattened) into a GDSII byte stream."""
+    chunks: List[bytes] = [
+        _record(_HEADER, _INT2, struct.pack(">h", 600)),
+        _record(_BGNLIB, _INT2, _timestamp()),
+        _record(_LIBNAME, _ASCII, _ascii(library)),
+        _record(_UNITS, _REAL8, _real8(DB_UNIT / 1e-6) + _real8(DB_UNIT)),
+        _record(_BGNSTR, _INT2, _timestamp()),
+        _record(_STRNAME, _ASCII, _ascii(cell.name.upper()[:32] or "TOP")),
+    ]
+    for shape in cell.flattened():
+        layer_number, data_type = GDS_LAYER_NUMBERS[shape.layer]
+        rect = shape.rect
+        x0 = round(rect.x0 / DB_UNIT)
+        y0 = round(rect.y0 / DB_UNIT)
+        x1 = round(rect.x1 / DB_UNIT)
+        y1 = round(rect.y1 / DB_UNIT)
+        coordinates = struct.pack(
+            ">10i", x0, y0, x1, y0, x1, y1, x0, y1, x0, y0
+        )
+        chunks.extend(
+            (
+                _record(_BOUNDARY, _NO_DATA),
+                _record(_LAYER, _INT2, struct.pack(">h", layer_number)),
+                _record(_DATATYPE, _INT2, struct.pack(">h", data_type)),
+                _record(_XY, _INT4, coordinates),
+                _record(_ENDEL, _NO_DATA),
+            )
+        )
+    chunks.append(_record(_ENDSTR, _NO_DATA))
+    chunks.append(_record(_ENDLIB, _NO_DATA))
+    return b"".join(chunks)
+
+
+def write_gds(cell: Cell, path: str, library: str = "REPRO") -> None:
+    """Serialise ``cell`` and write the stream to ``path``."""
+    with open(path, "wb") as handle:
+        handle.write(cell_to_gds(cell, library=library))
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+_NUMBER_TO_LAYER = {
+    numbers[0]: layer for layer, numbers in GDS_LAYER_NUMBERS.items()
+}
+
+
+def _iter_records(stream: bytes):
+    """Yield ``(record_type, payload)`` pairs from a GDSII stream."""
+    offset = 0
+    total = len(stream)
+    while offset < total:
+        if offset + 4 > total:
+            raise ValueError("truncated GDSII record header")
+        length, record_type, _data_type = struct.unpack(
+            ">HBB", stream[offset:offset + 4]
+        )
+        if length < 4 or offset + length > total:
+            raise ValueError("malformed GDSII record length")
+        yield record_type, stream[offset + 4:offset + length]
+        offset += length
+
+
+def gds_to_cell(stream: bytes, name: str = "imported") -> Cell:
+    """Parse a (flat, rectangle-only) GDSII stream back into a cell.
+
+    Only BOUNDARY elements whose five-point outline is axis-aligned are
+    accepted — exactly what :func:`cell_to_gds` emits.  Unknown layer
+    numbers are skipped.
+    """
+    cell = Cell(name)
+    layer_number = None
+    coordinates = None
+    structure_name = None
+    for record_type, payload in _iter_records(stream):
+        if record_type == _STRNAME:
+            structure_name = payload.rstrip(b"\0").decode("ascii")
+        elif record_type == _LAYER:
+            layer_number = struct.unpack(">h", payload)[0]
+        elif record_type == _XY:
+            count = len(payload) // 4
+            coordinates = struct.unpack(f">{count}i", payload)
+        elif record_type == _ENDEL:
+            if layer_number is not None and coordinates is not None:
+                layer = _NUMBER_TO_LAYER.get(layer_number)
+                if layer is not None:
+                    xs = coordinates[0::2]
+                    ys = coordinates[1::2]
+                    rect = Rect(
+                        min(xs) * DB_UNIT,
+                        min(ys) * DB_UNIT,
+                        max(xs) * DB_UNIT,
+                        max(ys) * DB_UNIT,
+                    )
+                    cell.add_shape(layer, rect)
+            layer_number = None
+            coordinates = None
+        elif record_type == _ENDLIB:
+            break
+    if structure_name:
+        cell.name = structure_name.lower()
+    return cell
+
+
+def read_gds(path: str, name: str = "imported") -> Cell:
+    """Read a GDSII file written by :func:`write_gds`."""
+    with open(path, "rb") as handle:
+        return gds_to_cell(handle.read(), name=name)

@@ -1,0 +1,177 @@
+"""Planar geometry primitives.
+
+All coordinates are metres (SI), consistent with the rest of the library;
+exporters scale to database units.  Rectangles are axis-aligned and stored
+as ``(x0, y0, x1, y1)`` with ``x0 <= x1`` and ``y0 <= y1``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Point:
+    """A 2-D point."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+class Orientation(Enum):
+    """Instance orientation (subset of GDS transforms)."""
+
+    R0 = "R0"
+    R90 = "R90"
+    R180 = "R180"
+    R270 = "R270"
+    MX = "MX"
+    """Mirror across the x axis (flip vertically)."""
+    MY = "MY"
+    """Mirror across the y axis (flip horizontally)."""
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 < self.x0 or self.y1 < self.y0:
+            raise LayoutError(
+                f"malformed rectangle ({self.x0}, {self.y0}, {self.x1}, {self.y1})"
+            )
+
+    @staticmethod
+    def from_size(x: float, y: float, width: float, height: float) -> "Rect":
+        """Rectangle from lower-left corner plus size."""
+        if width < 0.0 or height < 0.0:
+            raise LayoutError("rectangle size must be non-negative")
+        return Rect(x, y, x + width, y + height)
+
+    @staticmethod
+    def centered(cx: float, cy: float, width: float, height: float) -> "Rect":
+        """Rectangle from centre plus size."""
+        return Rect.from_size(cx - width / 2.0, cy - height / 2.0, width, height)
+
+    # -- Measures -------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    # -- Transformations ------------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def transformed(self, orientation: Orientation) -> "Rect":
+        """Rectangle after an orientation about the origin."""
+        corners = [(self.x0, self.y0), (self.x1, self.y1)]
+        if orientation is Orientation.R0:
+            mapped = corners
+        elif orientation is Orientation.R90:
+            mapped = [(-y, x) for x, y in corners]
+        elif orientation is Orientation.R180:
+            mapped = [(-x, -y) for x, y in corners]
+        elif orientation is Orientation.R270:
+            mapped = [(y, -x) for x, y in corners]
+        elif orientation is Orientation.MX:
+            mapped = [(x, -y) for x, y in corners]
+        elif orientation is Orientation.MY:
+            mapped = [(-x, y) for x, y in corners]
+        else:  # pragma: no cover
+            raise LayoutError(f"unsupported orientation {orientation}")
+        xs = [p[0] for p in mapped]
+        ys = [p[1] for p in mapped]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side."""
+        return Rect(
+            self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin
+        )
+
+    # -- Predicates --------------------------------------------------------------------
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when interiors overlap (touching edges do not count)."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and self.x1 >= other.x1
+            and self.y1 >= other.y1
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Overlap rectangle, or None when disjoint."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return Rect(x0, y0, x1, y1)
+
+    def distance_to(self, other: "Rect") -> float:
+        """Minimum edge-to-edge distance (0 when overlapping/touching)."""
+        dx = max(0.0, max(self.x0, other.x0) - min(self.x1, other.x1))
+        dy = max(0.0, max(self.y0, other.y0) - min(self.y1, other.y1))
+        return math.hypot(dx, dy)
+
+    def parallel_run_x(self, other: "Rect") -> float:
+        """Horizontal overlap length with another rectangle."""
+        return max(0.0, min(self.x1, other.x1) - max(self.x0, other.x0))
+
+    def parallel_run_y(self, other: "Rect") -> float:
+        """Vertical overlap length with another rectangle."""
+        return max(0.0, min(self.y1, other.y1) - max(self.y0, other.y0))
+
+
+def bounding_box(rects: Iterable[Rect]) -> Rect:
+    """Tight bounding box of a non-empty rectangle collection."""
+    rects = list(rects)
+    if not rects:
+        raise LayoutError("bounding_box of an empty collection")
+    return Rect(
+        min(r.x0 for r in rects),
+        min(r.y0 for r in rects),
+        max(r.x1 for r in rects),
+        max(r.y1 for r in rects),
+    )

@@ -1,0 +1,328 @@
+"""Transistor motif generator.
+
+"All transistors are built using a single motif generator which allows
+total control over terminals and wires" (paper section 3).  The motif draws
+a folded MOS device: alternating source/drain diffusion strips between
+vertical poly gates, contacts sized for the DC current (reliability rules),
+metal-1 straps collecting each terminal and a poly gate strap with a
+metal-1 tap for routing.
+
+The generator returns both the drawn :class:`~repro.layout.cell.Cell` and
+the *exact* junction geometry of the drawn diffusions — the quantity the
+sizing tool needs back during layout-aware synthesis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import DesignRuleError, LayoutError
+from repro.layout.cell import Cell
+from repro.layout.folding import folded_diffusion_geometry, strip_counts
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer
+from repro.mos.junction import DiffusionGeometry
+from repro.technology.process import Technology
+
+
+@dataclass
+class StripInfo:
+    """One source/drain diffusion strip of the motif."""
+
+    rect: Rect
+    net: str
+    is_drain: bool
+    is_end: bool
+    contacts: int
+
+
+@dataclass
+class MosMotif:
+    """A generated transistor motif.
+
+    ``actual_w`` is the drawn total width after snapping the finger width
+    to the manufacturing grid — generally *not* equal to the requested
+    width, which is the mechanism behind the paper's post-folding offset
+    observation (Table 1, case 2).
+    """
+
+    cell: Cell
+    nf: int
+    finger_width: float
+    actual_w: float
+    requested_w: float
+    length: float
+    drain_internal: bool
+    geometry: DiffusionGeometry
+    strips: List[StripInfo]
+    well_rect: Optional[Rect]
+    net_d: str
+    net_g: str
+    net_s: str
+    net_b: str
+
+    @property
+    def width_error(self) -> float:
+        """Relative drawn-vs-requested width error (grid snapping)."""
+        return (self.actual_w - self.requested_w) / self.requested_w
+
+
+def _contact_column(
+    cell: Cell,
+    tech: Technology,
+    strip: Rect,
+    net: str,
+    required_cuts: int,
+) -> int:
+    """Fill a diffusion strip with a vertical column of contact cuts.
+
+    Returns the number of cuts placed; raises
+    :class:`DesignRuleError` when the strip cannot hold the cuts the DC
+    current requires.
+    """
+    rules = tech.rules
+    size = rules.contact_size
+    pitch = size + rules.contact_spacing
+    usable = strip.height - 2.0 * rules.contact_active_enclosure
+    fit = max(1, int(math.floor((usable - size) / pitch)) + 1) if usable >= size else 0
+    if fit == 0:
+        raise DesignRuleError(
+            f"diffusion strip of height {strip.height:.3e} m cannot hold a contact"
+        )
+    if fit < required_cuts:
+        raise DesignRuleError(
+            f"strip needs {required_cuts} contact cuts for its current but "
+            f"only {fit} fit; widen the device or add folds"
+        )
+    # Reliability rule: fill the column (more cuts = lower resistance).
+    count = fit
+    x_center = (strip.x0 + strip.x1) / 2.0
+    total_height = count * size + (count - 1) * rules.contact_spacing
+    y = strip.center.y - total_height / 2.0
+    for _ in range(count):
+        cell.add_shape(
+            Layer.CONTACT,
+            Rect.centered(x_center, y + size / 2.0, size, size),
+            net=net,
+        )
+        y += pitch
+    return count
+
+
+def generate_mos_motif(
+    tech: Technology,
+    polarity: str,
+    w: float,
+    l: float,
+    nf: int = 1,
+    drain_internal: bool = True,
+    net_d: str = "d",
+    net_g: str = "g",
+    net_s: str = "s",
+    net_b: str = "b",
+    drain_current: float = 0.0,
+    name: Optional[str] = None,
+) -> MosMotif:
+    """Draw one (possibly folded) transistor.
+
+    ``drain_current`` drives the reliability rules: per-strip contact
+    counts and the metal-1 terminal rail widths are sized so the maximum
+    current density of the technology is respected.
+    """
+    if polarity not in ("n", "p"):
+        raise LayoutError(f"polarity must be 'n' or 'p', got {polarity!r}")
+    if w <= 0.0 or l <= 0.0:
+        raise LayoutError("device dimensions must be positive")
+    if nf < 1:
+        raise LayoutError("fold count must be >= 1")
+    rules = tech.rules
+    metal1 = tech.metal("metal1")
+
+    if l < rules.poly_min_width - 1e-15:
+        raise DesignRuleError(
+            f"gate length {l:.3e} m below the minimum {rules.poly_min_width:.3e} m"
+        )
+    length = rules.snap(l)
+
+    finger = rules.snap(w / nf)
+    if finger < rules.active_min_width:
+        raise DesignRuleError(
+            f"finger width {finger:.3e} m below the active minimum "
+            f"{rules.active_min_width:.3e} m; reduce the fold count"
+        )
+    actual_w = finger * nf
+
+    cell = Cell(name or f"m{polarity}_{nf}f")
+
+    end_strip = rules.end_diffusion_width
+    internal_strip = rules.contacted_diffusion_width
+
+    # -- Horizontal walk: end strip, then nf x (gate + strip) ----------------
+    drain_strips, _source_strips = strip_counts(nf, drain_internal)
+    # Strip type sequence: with drain internal (even nf) the ends are
+    # sources: S G D G S ...; otherwise start with drain.
+    first_is_drain = not drain_internal if nf % 2 == 0 else True
+    if nf % 2 == 1:
+        # Odd: start with drain by convention (alternating anyway).
+        first_is_drain = True
+
+    x = 0.0
+    strips: List[StripInfo] = []
+    gate_rects: List[Rect] = []
+    is_drain = first_is_drain
+    for position in range(nf + 1):
+        is_end = position in (0, nf)
+        strip_width = end_strip if is_end else internal_strip
+        rect = Rect.from_size(x, 0.0, strip_width, finger)
+        net = net_d if is_drain else net_s
+        strips.append(
+            StripInfo(
+                rect=rect, net=net, is_drain=is_drain, is_end=is_end, contacts=0
+            )
+        )
+        x += strip_width
+        if position < nf:
+            gate_rects.append(
+                Rect.from_size(
+                    x, -rules.poly_endcap, length, finger + 2.0 * rules.poly_endcap
+                )
+            )
+            x += length
+        is_drain = not is_drain
+    total_width = x
+
+    # Active region spans all strips and channels.
+    cell.add_shape(Layer.ACTIVE, Rect.from_size(0.0, 0.0, total_width, finger))
+    implant = Layer.NIMPLANT if polarity == "n" else Layer.PIMPLANT
+    implant_margin = rules.contact_active_enclosure
+    cell.add_shape(
+        implant,
+        Rect.from_size(
+            -implant_margin,
+            -implant_margin,
+            total_width + 2.0 * implant_margin,
+            finger + 2.0 * implant_margin,
+        ),
+    )
+
+    for rect in gate_rects:
+        cell.add_shape(Layer.POLY, rect, net=net_g)
+
+    # -- Contacts and vertical metal-1 strip straps ---------------------------
+    source_strips_count = (nf + 1) - drain_strips
+    cuts_needed = {
+        True: tech.contact.cuts_for_current(
+            abs(drain_current) / max(drain_strips, 1)
+        ),
+        False: tech.contact.cuts_for_current(
+            abs(drain_current) / max(source_strips_count, 1)
+        ),
+    }
+    strap_width = metal1.min_width_for_current(
+        abs(drain_current), rules.metal1_min_width
+    )
+    strap_width = rules.snap_up(strap_width)
+
+    gate_top = finger + rules.poly_endcap
+    gate_strap_height = rules.poly_min_width
+    source_rail_y0 = gate_top + gate_strap_height + rules.metal1_spacing
+    drain_rail_y1 = -rules.poly_endcap - rules.metal1_spacing
+
+    for strip in strips:
+        strip.contacts = _contact_column(
+            cell, tech, strip.rect, strip.net, cuts_needed[strip.is_drain]
+        )
+        column_width = max(
+            rules.contact_size + 2.0 * rules.contact_metal_enclosure,
+            rules.metal1_min_width,
+        )
+        if strip.is_drain:
+            # Vertical metal-1 from the strip down to the drain rail.
+            rect = Rect(
+                strip.rect.center.x - column_width / 2.0,
+                drain_rail_y1 - strap_width,
+                strip.rect.center.x + column_width / 2.0,
+                strip.rect.y1,
+            )
+        else:
+            rect = Rect(
+                strip.rect.center.x - column_width / 2.0,
+                strip.rect.y0,
+                strip.rect.center.x + column_width / 2.0,
+                source_rail_y0 + strap_width,
+            )
+        cell.add_shape(Layer.METAL1, rect, net=strip.net)
+
+    # -- Terminal rails ----------------------------------------------------------
+    drain_rail = Rect(0.0, drain_rail_y1 - strap_width, total_width, drain_rail_y1)
+    source_rail = Rect(
+        0.0, source_rail_y0, total_width, source_rail_y0 + strap_width
+    )
+    cell.add_pin(net_d, Layer.METAL1, drain_rail)
+    cell.add_pin(net_s, Layer.METAL1, source_rail)
+
+    # -- Gate strap with a metal-1 tap beyond the left edge ---------------------
+    # The tap pad sits outside the strip region so its metal never clashes
+    # with the source/drain metal-1 columns rising between the gates.
+    tap_size = rules.contact_size + 2.0 * rules.contact_metal_enclosure
+    tap_center_x = -(rules.metal1_spacing + tap_size / 2.0)
+    tap_center_y = gate_top + gate_strap_height / 2.0
+    gate_strap = Rect(
+        tap_center_x, gate_top, total_width, gate_top + gate_strap_height
+    )
+    cell.add_shape(Layer.POLY, gate_strap, net=net_g)
+    # Square poly pad under the tap (the strap itself may be narrower than
+    # the cut plus enclosure needs).
+    cell.add_shape(
+        Layer.POLY,
+        Rect.centered(tap_center_x, tap_center_y, tap_size, tap_size),
+        net=net_g,
+    )
+    cell.add_shape(
+        Layer.CONTACT,
+        Rect.centered(
+            tap_center_x, tap_center_y, rules.contact_size, rules.contact_size
+        ),
+        net=net_g,
+    )
+    gate_pin = Rect.centered(tap_center_x, tap_center_y, tap_size, tap_size)
+    cell.add_pin(net_g, Layer.METAL1, gate_pin)
+
+    # -- Well (PMOS) ------------------------------------------------------------------
+    well_rect: Optional[Rect] = None
+    if polarity == "p":
+        margin = rules.active_well_enclosure
+        well_rect = Rect(
+            -margin,
+            -margin,
+            total_width + margin,
+            finger + margin,
+        )
+        cell.add_shape(Layer.NWELL, well_rect, net=net_b)
+
+    geometry = folded_diffusion_geometry(
+        actual_w,
+        nf,
+        ldif_internal=internal_strip,
+        ldif_end=end_strip,
+        drain_internal=drain_internal,
+    )
+
+    return MosMotif(
+        cell=cell,
+        nf=nf,
+        finger_width=finger,
+        actual_w=actual_w,
+        requested_w=w,
+        length=length,
+        drain_internal=drain_internal,
+        geometry=geometry,
+        strips=strips,
+        well_rect=well_rect,
+        net_d=net_d,
+        net_g=net_g,
+        net_s=net_s,
+        net_b=net_b,
+    )

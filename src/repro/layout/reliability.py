@@ -1,0 +1,97 @@
+"""Reliability design rules (electromigration, contact redundancy).
+
+"DC current information is used to adjust wire widths inside each module as
+well as routing wires in order to respect the maximum current density
+allowed by the technology.  The number of contacts are also increased for
+wide wires" (paper section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import DesignRuleError
+from repro.layout.layers import Layer, metal_name
+from repro.technology.process import Technology
+
+
+def wire_width_for_current(
+    tech: Technology, layer: Layer, current: float
+) -> float:
+    """Minimum reliable wire width on ``layer`` for a DC ``current``, m."""
+    metal = tech.metal(metal_name(layer))
+    if layer is Layer.METAL1:
+        minimum = tech.rules.metal1_min_width
+    elif layer is Layer.METAL2:
+        minimum = tech.rules.metal2_min_width
+    else:
+        minimum = tech.rules.poly_min_width
+    return tech.rules.snap_up(metal.min_width_for_current(current, minimum))
+
+
+def contact_cuts_for_current(tech: Technology, current: float, via: bool = False) -> int:
+    """Contact (or via) cuts required to carry ``current`` reliably."""
+    rule = tech.via if via else tech.contact
+    return rule.cuts_for_current(current)
+
+
+@dataclass
+class ReliabilityViolation:
+    """One electromigration violation found by the checker."""
+
+    net: str
+    layer: Layer
+    width: float
+    required: float
+    current: float
+
+    def __str__(self) -> str:
+        return (
+            f"net {self.net!r} on {self.layer.value}: width {self.width:.3e} m "
+            f"< required {self.required:.3e} m for {self.current:.3e} A"
+        )
+
+
+def check_wire_currents(
+    tech: Technology,
+    wires: List[Tuple[str, Layer, float]],
+    net_currents: Dict[str, float],
+) -> List[ReliabilityViolation]:
+    """Check (net, layer, width) wire records against net DC currents.
+
+    Used by tests and the OTA generator's self-check; conservative in that
+    it assumes the full net current flows through every wire of the net.
+    """
+    violations: List[ReliabilityViolation] = []
+    for net, layer, width in wires:
+        current = abs(net_currents.get(net, 0.0))
+        if current == 0.0:
+            continue
+        metal = tech.metal(metal_name(layer))
+        required = metal.min_width_for_current(current, 0.0)
+        if width < required - 1e-12:
+            violations.append(
+                ReliabilityViolation(
+                    net=net,
+                    layer=layer,
+                    width=width,
+                    required=required,
+                    current=current,
+                )
+            )
+    return violations
+
+
+def assert_reliable(
+    tech: Technology,
+    wires: List[Tuple[str, Layer, float]],
+    net_currents: Dict[str, float],
+) -> None:
+    """Raise :class:`DesignRuleError` when any wire violates EM limits."""
+    violations = check_wire_currents(tech, wires, net_currents)
+    if violations:
+        summary = "; ".join(str(v) for v in violations[:5])
+        raise DesignRuleError(
+            f"{len(violations)} electromigration violation(s): {summary}"
+        )

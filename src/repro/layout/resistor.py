@@ -1,0 +1,180 @@
+"""Serpentine poly resistor generator.
+
+Analog resistors (nulling resistors, bias dividers, RC filters) drawn as a
+poly serpentine: parallel bars of unit width joined by end hooks, with
+metal-1 taps at both ends and metal-2 rail pins at the module's top and
+bottom edges (router-compatible orientation).
+
+Resistance is computed from the technology's poly sheet resistance with
+the standard half-square corner correction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import LayoutError
+from repro.layout.cell import Cell
+from repro.layout.devices import ModuleLayout
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer
+from repro.technology.process import Technology
+
+_CORNER_SQUARES = 0.5
+"""Effective squares contributed by one serpentine corner."""
+
+
+def _serpentine_geometry(
+    squares: float, max_bar_squares: float
+) -> Tuple[int, float]:
+    """(number of bars, squares per bar) for a serpentine of ``squares``.
+
+    Multi-bar serpentines use an odd bar count so the two taps land on
+    opposite edges of the module (the router expects one pin per side).
+    """
+    bars = max(1, int(math.ceil(squares / max_bar_squares)))
+    if bars > 1 and bars % 2 == 0:
+        bars += 1
+    while True:
+        corner_squares = 2.0 * _CORNER_SQUARES * (bars - 1)
+        bar_squares = (squares - corner_squares) / bars
+        if bar_squares > 1.0 or bars == 1:
+            return bars, max(bar_squares, 1.0)
+        bars -= 2 if bars > 2 else 1
+
+
+def poly_resistor(
+    tech: Technology,
+    value: float,
+    net_a: str,
+    net_b: str,
+    name: str = "res",
+    width: float = 0.0,
+    max_bar_squares: float = 25.0,
+) -> ModuleLayout:
+    """Draw a poly resistor of ``value`` ohms.
+
+    ``width`` defaults to twice the minimum poly width (matching-friendly);
+    ``net_a`` taps at the bottom edge, ``net_b`` at the top.
+    ``actual_widths[name]`` records the drawn resistance.
+    """
+    if value <= 0.0:
+        raise LayoutError("resistor value must be positive")
+    rules = tech.rules
+    sheet = tech.poly.sheet_resistance
+    if width <= 0.0:
+        width = 2.0 * rules.poly_min_width
+    width = rules.snap(width)
+
+    squares = value / sheet
+    if squares < 1.0:
+        raise LayoutError(
+            f"{value:.3g} ohm needs fewer than one square of poly; use a "
+            "diffusion or metal resistor instead"
+        )
+    bars, bar_squares = _serpentine_geometry(squares, max_bar_squares)
+    bar_length = rules.snap(bar_squares * width)
+    pitch = width + rules.poly_spacing
+
+    tap_span = rules.contact_size + 2.0 * rules.contact_metal_enclosure
+    if bars == 1 and bar_length < 2.0 * tap_span + rules.metal1_spacing:
+        raise LayoutError(
+            f"{value:.3g} ohm of poly is too short to host both end taps; "
+            "narrow the width or use a lower-sheet-resistance layer"
+        )
+
+    cell = Cell(name)
+    hook = width  # square end hooks
+    for bar in range(bars):
+        x0 = bar * pitch
+        cell.add_shape(
+            Layer.POLY,
+            Rect(x0, 0.0, x0 + width, bar_length),
+            net=net_a if bar == 0 else (net_b if bar == bars - 1 else None),
+        )
+        if bar < bars - 1:
+            # Hook joining this bar to the next, alternating top/bottom.
+            y0 = bar_length - hook if bar % 2 == 0 else 0.0
+            cell.add_shape(
+                Layer.POLY,
+                Rect(x0, y0, x0 + pitch + width, y0 + hook),
+                net=None,
+            )
+
+    # Taps: start of bar 0 at the bottom, end of the last bar at the top
+    # (or bottom, depending on parity — route the tap to the proper edge).
+    tap = rules.contact_size + 2.0 * rules.contact_metal_enclosure
+    rail_height = max(
+        rules.metal2_min_width, rules.via_size + 2.0 * rules.via_metal_enclosure
+    )
+    via = rules.via_size
+    via_pad = via + 2.0 * rules.via_metal_enclosure
+    total_width = (bars - 1) * pitch + width
+
+    def tap_at(x_center: float, y_center: float, net: str, top: bool) -> None:
+        cell.add_shape(
+            Layer.CONTACT,
+            Rect.centered(x_center, y_center,
+                          rules.contact_size, rules.contact_size),
+            net=net,
+        )
+        cell.add_shape(
+            Layer.METAL1,
+            Rect.centered(x_center, y_center, tap, tap),
+            net=net,
+        )
+        if top:
+            rail_y0 = bar_length + rules.metal2_spacing
+        else:
+            rail_y0 = -rules.metal2_spacing - rail_height
+        rail_center = rail_y0 + rail_height / 2.0
+        lo, hi = sorted((y_center, rail_center))
+        cell.add_shape(
+            Layer.METAL1,
+            Rect(
+                x_center - rules.metal1_min_width / 2.0, lo,
+                x_center + rules.metal1_min_width / 2.0, hi,
+            ),
+            net=net,
+        )
+        cell.add_shape(
+            Layer.VIA1,
+            Rect.centered(x_center, rail_center, via, via),
+            net=net,
+        )
+        cell.add_shape(
+            Layer.METAL1,
+            Rect.centered(x_center, rail_center, via_pad, via_pad),
+            net=net,
+        )
+        cell.add_pin(
+            net, Layer.METAL2,
+            Rect.centered(x_center, rail_center, 2.0 * via_pad, rail_height),
+        )
+
+    # Bottom tap on bar 0; top tap on the last bar's free end.
+    tap_at(width / 2.0, hook / 2.0, net_a, top=False)
+    last_x = (bars - 1) * pitch + width / 2.0
+    last_end_is_top = (bars - 1) % 2 == 0
+    tap_at(
+        last_x,
+        bar_length - hook / 2.0 if last_end_is_top else hook / 2.0,
+        net_b,
+        top=last_end_is_top,
+    )
+
+    drawn_squares = bars * (bar_length / width) + 2 * _CORNER_SQUARES * (
+        bars - 1
+    )
+    drawn_value = drawn_squares * sheet
+    return ModuleLayout(
+        cell=cell,
+        device_geometry={},
+        device_nf={},
+        finger_width=width,
+        length=bar_length,
+        plan=None,
+        well_rect=None,
+        actual_widths={name: drawn_value},
+    )

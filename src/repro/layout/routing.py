@@ -1,0 +1,530 @@
+"""Channel routing between module rows.
+
+The assembly style matches classic analog row-based layout: module rows are
+stacked vertically with *routing channels* between them.  Every inter-module
+net receives
+
+* one horizontal metal-2 **track** per channel it crosses,
+* vertical metal-1 **stubs** from each module pin (the module's metal-2
+  rail) into the nearest allocated track, and
+* a vertical metal-1 **side column** tying its tracks together when the net
+  spans more than one channel.
+
+Because horizontal routing is metal 2 and vertical routing is metal 1,
+crossings between different nets never short.  Track widths follow the
+electromigration rules; track-to-track coupling within a channel is exactly
+what the parasitic estimator reports as coupling capacitance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import LayoutError
+from repro.layout.cell import Cell
+from repro.layout.devices import ModuleLayout
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer
+from repro.layout.reliability import wire_width_for_current
+from repro.technology.process import Technology
+
+
+@dataclass
+class PlacedModule:
+    """A module instance at an absolute position."""
+
+    name: str
+    layout: ModuleLayout
+    dx: float = 0.0
+    dy: float = 0.0
+
+    def pin_rect(self, net: str) -> Optional[Rect]:
+        """Translated pin rectangle for ``net``, or None."""
+        if net not in self.layout.cell.pins:
+            return None
+        rect = self.layout.cell.pin_rect(net)
+        return rect.translated(self.dx, self.dy)
+
+    def pin_shapes(self, net: str) -> List[Tuple[Rect, Layer]]:
+        """All translated pin rectangles of ``net`` with their layers."""
+        shapes = self.layout.cell.pins.get(net, [])
+        return [
+            (shape.rect.translated(self.dx, self.dy), shape.layer)
+            for shape in shapes
+        ]
+
+    def bbox(self) -> Rect:
+        return self.layout.cell.bbox().translated(self.dx, self.dy)
+
+
+@dataclass
+class RoutedWire:
+    """One drawn routing shape."""
+
+    layer: Layer
+    rect: Rect
+    net: str
+
+
+@dataclass
+class RoutedNet:
+    """All routing geometry of one net plus derived parasitics."""
+
+    name: str
+    wires: List[RoutedWire] = field(default_factory=list)
+    via_count: int = 0
+
+    def total_length(self) -> float:
+        """Summed centre-line length of all segments, m."""
+        return sum(max(w.rect.width, w.rect.height) for w in self.wires)
+
+    def ground_capacitance(self, tech: Technology) -> float:
+        """Area + fringe capacitance of the routing to substrate, F."""
+        total = 0.0
+        for wire in self.wires:
+            if wire.layer is Layer.METAL1:
+                metal = tech.metal("metal1")
+            elif wire.layer is Layer.METAL2:
+                metal = tech.metal("metal2")
+            else:
+                continue
+            rect = wire.rect
+            total += metal.area_cap * rect.area + metal.fringe_cap * rect.perimeter
+        return total
+
+
+@dataclass
+class RoutingResult:
+    """Complete routing of an assembly."""
+
+    nets: Dict[str, RoutedNet]
+    channel_tracks: Dict[int, List[Tuple[str, Rect]]]
+    """Per channel index: ordered (net, track rect) pairs."""
+
+    def coupling_capacitances(self, tech: Technology) -> Dict[Tuple[str, str], float]:
+        """Track-to-track coupling between adjacent tracks per channel, F."""
+        metal2 = tech.metal("metal2")
+        coupling: Dict[Tuple[str, str], float] = {}
+        for tracks in self.channel_tracks.values():
+            for (net_a, rect_a), (net_b, rect_b) in zip(tracks, tracks[1:]):
+                if net_a == net_b:
+                    continue
+                run = rect_a.parallel_run_x(rect_b)
+                if run <= 0.0:
+                    continue
+                spacing = max(rect_b.y0 - rect_a.y1, rect_a.y0 - rect_b.y1)
+                if spacing <= 0.0:
+                    continue
+                key = tuple(sorted((net_a, net_b)))
+                coupling[key] = coupling.get(key, 0.0) + metal2.coupling_capacitance(
+                    run, spacing
+                )
+        return coupling
+
+
+@dataclass
+class ChannelPlan:
+    """Pre-computed channel structure (usable without drawing).
+
+    ``net_tracks`` maps net name to the list of channel indices where it
+    owns a track; ``heights`` is the physical height of each channel.
+    """
+
+    net_tracks: Dict[str, List[int]]
+    track_order: Dict[int, List[str]]
+    heights: List[float]
+    track_widths: Dict[str, float]
+
+
+class ChannelRouter:
+    """Routes nets across stacked module rows."""
+
+    def __init__(
+        self,
+        tech: Technology,
+        net_currents: Optional[Mapping[str, float]] = None,
+    ):
+        self.tech = tech
+        self.net_currents = dict(net_currents or {})
+        self.rules = tech.rules
+
+    # -- Planning --------------------------------------------------------------
+
+    def track_width(self, net: str) -> float:
+        width = wire_width_for_current(
+            self.tech, Layer.METAL2, abs(self.net_currents.get(net, 0.0))
+        )
+        # Tracks land via cuts: never narrower than a via plus enclosure.
+        floor = self.rules.via_size + 2.0 * self.rules.via_metal_enclosure
+        return max(width, self.rules.snap_up(floor))
+
+    def stub_width(self, net: str) -> float:
+        return wire_width_for_current(
+            self.tech, Layer.METAL1, abs(self.net_currents.get(net, 0.0))
+        )
+
+    def plan_channels(
+        self, row_count: int, net_pins: Mapping[str, List[int]]
+    ) -> ChannelPlan:
+        """Allocate tracks given each net's pin *channel* indices.
+
+        With ``row_count`` rows there are ``row_count + 1`` channels:
+        channel 0 below the bottom row, channel ``i`` between rows
+        ``i-1`` and ``i``, and channel ``row_count`` above the top row.
+        A pin on a module's bottom edge belongs to its row's channel, a
+        pin on the top edge to the channel above — so a stub never has to
+        cross its own module.  A net with pins in channels ``[lo..hi]``
+        receives one track in every channel of that range (side columns
+        tie them together).
+        """
+        channel_count = row_count + 1
+        net_tracks: Dict[str, List[int]] = {}
+        track_order: Dict[int, List[str]] = {i: [] for i in range(channel_count)}
+        for net in sorted(net_pins):
+            pin_channels = sorted(set(net_pins[net]))
+            if not pin_channels:
+                continue
+            if pin_channels[0] < 0 or pin_channels[-1] >= channel_count:
+                raise LayoutError(
+                    f"net {net!r} uses channel outside 0..{channel_count - 1}"
+                )
+            channels = list(range(pin_channels[0], pin_channels[-1] + 1))
+            net_tracks[net] = channels
+            for channel in channels:
+                track_order[channel].append(net)
+
+        widths = {net: self.track_width(net) for net in net_tracks}
+        heights = []
+        for channel in range(channel_count):
+            total = self.rules.metal2_spacing
+            for net in track_order[channel]:
+                total += widths[net] + self.rules.metal2_spacing
+            heights.append(total)
+        return ChannelPlan(
+            net_tracks=net_tracks,
+            track_order=track_order,
+            heights=heights,
+            track_widths=widths,
+        )
+
+    # -- Drawing -----------------------------------------------------------------
+
+    def route(
+        self,
+        cell: Cell,
+        modules: Sequence[PlacedModule],
+        row_of_module: Mapping[str, int],
+        plan: ChannelPlan,
+        channel_y: Sequence[float],
+        x_extent: Tuple[float, float],
+    ) -> RoutingResult:
+        """Draw tracks, stubs and side columns into ``cell``.
+
+        ``channel_y`` gives the bottom y of each channel; ``x_extent`` is
+        the horizontal span of the assembly used for track extents and the
+        side-column x allocation.
+        """
+        rules = self.rules
+        x_left, x_right = x_extent
+        nets: Dict[str, RoutedNet] = {}
+        channel_tracks: Dict[int, List[Tuple[str, Rect]]] = {}
+
+        # Net pin rectangles by net (all pins, with their layers).
+        pins_by_net: Dict[str, List[Tuple[PlacedModule, Rect, Layer]]] = {}
+        for module in modules:
+            for net in module.layout.cell.pins:
+                for rect, layer in module.pin_shapes(net):
+                    pins_by_net.setdefault(net, []).append(
+                        (module, rect, layer)
+                    )
+
+        # Side-column x per multi-channel net, allocated left to right just
+        # past the assembly's right edge.  The effective width of a column
+        # includes its via landing pads, which may be wider than the wire.
+        via_pad_width = rules.via_size + 2.0 * rules.via_metal_enclosure
+        side_column_x: Dict[str, float] = {}
+        next_edge = x_right + rules.metal1_spacing
+        for net in sorted(plan.net_tracks):
+            if len(plan.net_tracks[net]) > 1:
+                width = self.stub_width(net)
+                effective = max(width, via_pad_width)
+                side_column_x[net] = next_edge + (effective - width) / 2.0
+                next_edge += effective + rules.metal1_spacing
+
+        via = rules.via_size
+        via_pad = via + 2.0 * rules.via_metal_enclosure
+
+        # -- Pass 1: stub placement --------------------------------------
+        # Every pin is assigned to the channel on its own side of its
+        # module (a bottom-edge pin uses the channel below the row, a
+        # top-edge pin the channel above — the vertical run never crosses
+        # the module).  Placement is collision-checked geometrically
+        # against all module metal and all previously planned routing;
+        # a stub may slide off its pin rail into a module gap, paying a
+        # same-net rail *extension* at the pin's level.
+        spacing = rules.metal1_spacing
+
+        # Track y-centres are fixed by the channel plan (the x extents
+        # come later), so stub rectangles are known at placement time.
+        track_y_center: Dict[Tuple[str, int], float] = {}
+        for channel, order in plan.track_order.items():
+            y = channel_y[channel] + rules.metal2_spacing
+            for track_net in order:
+                width = plan.track_widths[track_net]
+                track_y_center[(track_net, channel)] = y + width / 2.0
+                y += width + rules.metal2_spacing
+
+        module_obstacles: Dict[Layer, List[Tuple[Optional[str], Rect]]] = {
+            Layer.METAL1: [],
+            Layer.METAL2: [],
+        }
+        for module in modules:
+            for shape in module.layout.cell.flattened():
+                if shape.layer in module_obstacles:
+                    module_obstacles[shape.layer].append(
+                        (shape.net,
+                         shape.rect.translated(module.dx, module.dy))
+                    )
+        planned: Dict[Layer, List[Tuple[str, Rect]]] = {
+            Layer.METAL1: [],
+            Layer.METAL2: [],
+        }
+
+        # Side columns are known obstacles from the start.
+        if channel_y:
+            column_y_lo = min(channel_y) - 2.0 * via_pad
+            column_y_hi = max(channel_y) + 10.0 * via_pad
+            for column_net, column_x in side_column_x.items():
+                width = self.stub_width(column_net)
+                planned[Layer.METAL1].append(
+                    (
+                        column_net,
+                        Rect(column_x, column_y_lo,
+                             column_x + width, column_y_hi),
+                    )
+                )
+
+        # Stubs may roam past the nominal module span (gate pads and
+        # escape rails sit in the left margin) but not into the side
+        # columns' alley.
+        roam_left = min(
+            [x_left] + [m.bbox().x0 for m in modules]
+        ) - 10.0 * rules.metal1_spacing
+        roam_right = x_right
+
+        def is_clear(layer: Layer, rect: Rect, net: str) -> bool:
+            window = rect.expanded(spacing - 1e-12)
+            for other_net, other in planned[layer]:
+                if other_net != net and window.intersects(other):
+                    return False
+            for other_net, other in module_obstacles[layer]:
+                if other_net != net and window.intersects(other):
+                    return False
+            return True
+
+        # net -> [(pin, pin_layer, channel, stub x, extension rect|None)]
+        stub_plan: Dict[
+            str, List[Tuple[Rect, Layer, int, float, Optional[Rect]]]
+        ] = {}
+        for net, channels in plan.net_tracks.items():
+            stub_w = self.stub_width(net)
+            effective = max(stub_w, via_pad)
+            half = effective / 2.0
+            for module, pin, pin_layer in pins_by_net.get(net, []):
+                row = row_of_module[module.name]
+                box = module.bbox()
+                natural = row if pin.center.y < box.center.y else row + 1
+                if natural in channels:
+                    channel = natural
+                else:
+                    channel = min(channels, key=lambda c: abs(c - natural))
+                track_y = track_y_center[(net, channel)]
+                desired = min(
+                    max(pin.center.x, pin.x0 + stub_w / 2.0),
+                    pin.x1 - stub_w / 2.0,
+                )
+
+                def placement(x_center: float):
+                    """([metal-1 rects], extension) or None.
+
+                    The vertical run is modelled at its true width; via
+                    landing pads (wider) only at the track end and — for
+                    metal-2 pins — at the pin end.
+                    """
+                    y_lo = min(pin.center.y, track_y)
+                    y_hi = max(pin.center.y, track_y)
+                    pieces = [
+                        Rect(
+                            x_center - stub_w / 2.0, y_lo,
+                            x_center + stub_w / 2.0, y_hi,
+                        ),
+                        Rect.centered(x_center, track_y, via_pad, via_pad),
+                    ]
+                    if pin_layer is Layer.METAL2:
+                        pieces.append(
+                            Rect.centered(
+                                x_center, pin.center.y, via_pad, via_pad
+                            )
+                        )
+                    extension: Optional[Rect] = None
+                    # The extension must reach past the pin-end via pad.
+                    reach = max(stub_w, via_pad) / 2.0
+                    if x_center < pin.x0 + stub_w / 2.0 - 1e-12:
+                        extension = Rect(
+                            x_center - reach, pin.y0,
+                            pin.x0 + spacing, pin.y1,
+                        )
+                    elif x_center > pin.x1 - stub_w / 2.0 + 1e-12:
+                        extension = Rect(
+                            pin.x1 - spacing, pin.y0,
+                            x_center + reach, pin.y1,
+                        )
+                    for piece in pieces:
+                        if not is_clear(Layer.METAL1, piece, net):
+                            return None
+                    if extension is not None and not is_clear(
+                        pin_layer, extension, net
+                    ):
+                        return None
+                    return pieces, extension
+
+                chosen = None
+                step = 2.0 * rules.grid
+                for k in range(0, 200):
+                    candidates = (
+                        (desired,) if k == 0
+                        else (desired + k * step, desired - k * step)
+                    )
+                    for candidate in candidates:
+                        if candidate - half < roam_left:
+                            continue
+                        if candidate + half > roam_right:
+                            continue
+                        result = placement(candidate)
+                        if result is not None:
+                            chosen = (candidate, result)
+                            break
+                    if chosen is not None:
+                        break
+                if chosen is None:
+                    # Drawing an overlap would be a silent short; real
+                    # routers fail on congestion and so do we.
+                    raise LayoutError(
+                        f"routing congestion: net {net!r} cannot place a "
+                        f"stub in channel {channel}; widen the module "
+                        "gaps or rearrange the rows"
+                    )
+                x_center, (pieces, extension) = chosen
+                for piece in pieces:
+                    planned[Layer.METAL1].append((net, piece))
+                if extension is not None:
+                    planned[pin_layer].append((net, extension))
+                stub_plan.setdefault(net, []).append(
+                    (pin, pin_layer, channel, x_center, extension)
+                )
+
+        # -- Pass 2: track extents from the placed stubs ------------------
+        net_extent: Dict[str, Tuple[float, float]] = {}
+        for net, channels in plan.net_tracks.items():
+            xs = [
+                x for _pin, _layer, _channel, x, _ext in stub_plan.get(net, [])
+            ]
+            if not xs:
+                xs = [(x_left + x_right) / 2.0]
+            margin = max(plan.track_widths[net], via_pad)
+            lo = min(xs) - margin
+            hi = max(xs) + margin
+            if net in side_column_x:
+                # Reach past the side column's via pad.
+                hi = (
+                    side_column_x[net]
+                    + self.stub_width(net) / 2.0
+                    + via_pad_width / 2.0
+                )
+            net_extent[net] = (lo, hi)
+
+        # Track y positions per channel.
+        track_rect: Dict[Tuple[str, int], Rect] = {}
+        for channel, order in plan.track_order.items():
+            y = channel_y[channel] + rules.metal2_spacing
+            tracks_here: List[Tuple[str, Rect]] = []
+            for net in order:
+                width = plan.track_widths[net]
+                lo, hi = net_extent[net]
+                rect = Rect(lo, y, hi, y + width)
+                track_rect[(net, channel)] = rect
+                tracks_here.append((net, rect))
+                y += width + rules.metal2_spacing
+            channel_tracks[channel] = tracks_here
+
+        # -- Pass 3: draw ---------------------------------------------------
+        for net, channels in plan.net_tracks.items():
+            routed = RoutedNet(name=net)
+            nets[net] = routed
+
+            def draw(layer: Layer, rect: Rect) -> None:
+                cell.add_shape(layer, rect, net=net)
+                routed.wires.append(RoutedWire(layer=layer, rect=rect, net=net))
+
+            def draw_via(x_center: float, y_center: float) -> None:
+                cell.add_shape(
+                    Layer.VIA1,
+                    Rect.centered(x_center, y_center, via, via),
+                    net=net,
+                )
+                cell.add_shape(
+                    Layer.METAL1,
+                    Rect.centered(x_center, y_center, via_pad, via_pad),
+                    net=net,
+                )
+                routed.via_count += 1
+
+            for channel in channels:
+                draw(Layer.METAL2, track_rect[(net, channel)])
+
+            stub_w = self.stub_width(net)
+            for pin, pin_layer, channel, x_center, extension in stub_plan.get(
+                net, []
+            ):
+                track = track_rect[(net, channel)]
+                y_lo = min(pin.center.y, track.center.y)
+                y_hi = max(pin.center.y, track.center.y)
+                draw(
+                    Layer.METAL1,
+                    Rect(
+                        x_center - stub_w / 2.0,
+                        y_lo,
+                        x_center + stub_w / 2.0,
+                        y_hi,
+                    ),
+                )
+                if extension is not None:
+                    # Same-net rail extension carrying the pin out to the
+                    # slid stub position.
+                    draw(pin_layer, extension)
+                # Metal-2 pins need a via down to the metal-1 stub.
+                if pin_layer is Layer.METAL2:
+                    draw_via(x_center, pin.center.y)
+                draw_via(x_center, track.center.y)
+
+            # Side column joining multiple channels.
+            if len(channels) > 1:
+                column_w = self.stub_width(net)
+                column_x = side_column_x[net]
+                rect_lo = track_rect[(net, channels[0])]
+                rect_hi = track_rect[(net, channels[-1])]
+                draw(
+                    Layer.METAL1,
+                    Rect(
+                        column_x,
+                        rect_lo.center.y,
+                        column_x + column_w,
+                        rect_hi.center.y,
+                    ),
+                )
+                for channel in channels:
+                    track = track_rect[(net, channel)]
+                    draw_via(column_x + column_w / 2.0, track.center.y)
+
+        return RoutingResult(nets=nets, channel_tracks=channel_tracks)

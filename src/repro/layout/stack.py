@@ -1,0 +1,372 @@
+"""Analog transistor stack generation (paper Figure 3).
+
+Devices sharing their source net (current mirrors, differential pairs) are
+merged into one diffusion row.  Following the paper's reference [6]
+(Malavasi & Pandini, *Optimum CMOS Stack Generation with Analog
+Constraints*), generation is posed as a small combinatorial optimisation:
+
+* **sequence** — which device owns each gate finger, enumerated exhaustively
+  over multiset permutations for realistic stack sizes (a symmetric
+  constructive heuristic covers larger stacks);
+* **orientation** — each finger's current direction (which side its drain
+  faces), assigned greedily to maximise diffusion sharing;
+* **score** — diffusion breaks, per-device centroid offsets, current-
+  direction imbalance (the arrows of Figure 3) and drains exposed at stack
+  ends (the paper prefers internal drains, Figure 2 case *a*).
+
+Dummy transistors guard both stack ends (paper: "a special algorithm that
+controls transistor placement in stacks ... based on the insertion of dummy
+transistors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import factorial
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import LayoutError
+
+DUMMY = "_dummy"
+"""Device name used for dummy fingers."""
+
+SHARED_SOURCE = "__source__"
+"""Symbolic net standing for the common source during planning."""
+
+
+@dataclass
+class StackFinger:
+    """One gate finger in the stack."""
+
+    device: str
+    drain_left: bool
+    """Orientation: True when the drain strip is on the finger's left."""
+
+    @property
+    def is_dummy(self) -> bool:
+        return self.device == DUMMY
+
+    @property
+    def arrow(self) -> str:
+        """Current-direction glyph used in pattern strings."""
+        if self.is_dummy:
+            return "."
+        return "<" if self.drain_left else ">"
+
+
+@dataclass
+class StackPlan:
+    """A planned stack: ordered fingers plus diffusion-break positions."""
+
+    fingers: List[StackFinger]
+    units: Dict[str, int]
+    breaks: List[int] = field(default_factory=list)
+    """Indices i such that a diffusion break sits between fingers i, i+1."""
+    score: float = 0.0
+
+    @property
+    def total_fingers(self) -> int:
+        return len(self.fingers)
+
+    def positions(self, device: str) -> List[int]:
+        return [i for i, f in enumerate(self.fingers) if f.device == device]
+
+    def centroid_offset(self, device: str) -> float:
+        """Device centroid minus stack centre, in finger pitches."""
+        positions = self.positions(device)
+        if not positions:
+            raise LayoutError(f"device {device!r} not in stack")
+        center = (len(self.fingers) - 1) / 2.0
+        return sum(positions) / len(positions) - center
+
+    def orientation_balance(self, device: str) -> int:
+        """Sum of finger current directions (+1 right, -1 left).
+
+        Zero means orientation-induced mismatch cancels exactly (the goal
+        of the Figure 3 arrows for even-unit devices).
+        """
+        balance = 0
+        for finger in self.fingers:
+            if finger.device == device:
+                balance += -1 if finger.drain_left else 1
+        return balance
+
+    def pattern(self) -> str:
+        """Human-readable stack pattern, e.g. ``.D >m3 <m3 | <m2 ...``"""
+        parts = []
+        for i, finger in enumerate(self.fingers):
+            label = "D" if finger.is_dummy else finger.device
+            parts.append(f"{finger.arrow}{label}")
+            if i in self.breaks:
+                parts.append("|")
+        return " ".join(parts)
+
+    def strip_nets(
+        self, terminals: Mapping[str, Tuple[str, str]], dummy_net: str = "0"
+    ) -> List[str]:
+        """Net of each diffusion strip, left to right.
+
+        ``terminals`` maps device name to ``(drain_net, source_net)``.  A
+        break inserts an extra strip boundary (both neighbouring strips are
+        emitted).  Dummies adopt the open strip on their inner side and
+        ``dummy_net`` outside.
+        """
+        nets: List[str] = []
+
+        def finger_nets(finger: StackFinger) -> Tuple[str, str]:
+            if finger.is_dummy:
+                return dummy_net, dummy_net
+            drain, source = terminals[finger.device]
+            return (drain, source) if finger.drain_left else (source, drain)
+
+        for i, finger in enumerate(self.fingers):
+            left, right = finger_nets(finger)
+            if not nets:
+                nets.append(left)
+            elif (i - 1) in self.breaks:
+                nets.append(left)
+            elif finger.is_dummy:
+                pass  # dummy adopts the open strip
+            elif self.fingers[i - 1].is_dummy and nets[-1] == dummy_net:
+                nets[-1] = left  # leading dummy adopts this device's strip
+            elif nets[-1] != left:
+                raise LayoutError(
+                    f"incompatible diffusion sharing at finger {i}: "
+                    f"{nets[-1]!r} vs {left!r} (missing break?)"
+                )
+            nets.append(right)
+        return nets
+
+
+# ---------------------------------------------------------------------------
+# Sequence enumeration
+# ---------------------------------------------------------------------------
+
+
+def _multiset_permutations(items: Sequence[str]) -> Iterator[Tuple[str, ...]]:
+    """Unique permutations of a multiset, lexicographic order."""
+    pool = sorted(items)
+    n = len(pool)
+    if n == 0:
+        return
+    current = list(pool)
+    while True:
+        yield tuple(current)
+        # Next lexicographic permutation (classic algorithm).
+        i = n - 2
+        while i >= 0 and current[i] >= current[i + 1]:
+            i -= 1
+        if i < 0:
+            return
+        j = n - 1
+        while current[j] <= current[i]:
+            j -= 1
+        current[i], current[j] = current[j], current[i]
+        current[i + 1 :] = reversed(current[i + 1 :])
+
+
+def _permutation_count(units: Mapping[str, int]) -> int:
+    total = sum(units.values())
+    count = factorial(total)
+    for value in units.values():
+        count //= factorial(value)
+    return count
+
+
+def _symmetric_sequence(
+    units: Mapping[str, int], center_device: Optional[str]
+) -> List[str]:
+    """Constructive fallback for large stacks.
+
+    Works at *pair-block* granularity: two adjacent fingers of the same
+    device form a block (internal shared drain, opposed current
+    directions), and blocks are assigned to symmetric slot pairs from the
+    outside in — zero centroid offset and zero diffusion breaks for
+    even-unit devices.  Odd leftovers cluster at the centre with the
+    smallest device dead-centre.
+    """
+    blocks = {d: u // 2 for d, u in units.items() if u // 2 > 0}
+    odd_devices = [d for d, u in units.items() if u % 2 == 1]
+    if center_device is None and odd_devices:
+        center_device = min(odd_devices, key=lambda d: units[d])
+
+    slot_count = sum(blocks.values())
+    slots: List[Optional[str]] = [None] * slot_count
+    remaining = dict(blocks)
+    order = sorted(remaining, key=lambda d: -remaining[d])
+    pair_index = 0
+    while pair_index < slot_count // 2:
+        progressed = False
+        for device in order:
+            if remaining[device] >= 2 and pair_index < slot_count // 2:
+                slots[pair_index] = device
+                slots[slot_count - 1 - pair_index] = device
+                remaining[device] -= 2
+                pair_index += 1
+                progressed = True
+        if not progressed:
+            break
+
+    # Leftover blocks (odd block counts) take the most central free slots.
+    center = (slot_count - 1) / 2.0
+    holes = sorted(
+        (i for i in range(slot_count) if slots[i] is None),
+        key=lambda p: abs(p - center),
+    )
+    leftovers = [d for d in order for _ in range(remaining[d])]
+    for hole, device in zip(holes, leftovers):
+        slots[hole] = device
+
+    sequence: List[str] = []
+    for device in slots:
+        assert device is not None
+        sequence.extend((device, device))
+
+    # Odd single fingers at the centre of the finger sequence.
+    others = sorted(
+        (d for d in odd_devices if d != center_device), key=lambda d: -units[d]
+    )
+    middle = len(sequence) // 2
+    inserts = (
+        others[: len(others) // 2]
+        + ([center_device] if center_device else [])
+        + others[len(others) // 2 :]
+    )
+    for offset, device in enumerate(inserts):
+        sequence.insert(middle + offset, device)
+    return sequence
+
+
+# ---------------------------------------------------------------------------
+# Orientation assignment and scoring
+# ---------------------------------------------------------------------------
+
+
+def _assign_orientations(
+    sequence: Sequence[str],
+) -> Tuple[List[StackFinger], List[int]]:
+    """Greedy sharing-maximising orientations; returns fingers and breaks.
+
+    Walks left to right keeping the net of the currently open strip; a
+    finger is oriented so its left edge matches when possible, otherwise a
+    diffusion break is recorded and the orientation is chosen to help the
+    *next* finger share.
+    """
+    fingers: List[StackFinger] = []
+    breaks: List[int] = []
+    open_net: Optional[str] = None
+    for i, device in enumerate(sequence):
+        drain_net = f"__drain_{device}__"
+        # (drain_left, left_net, right_net)
+        options = (
+            (False, SHARED_SOURCE, drain_net),
+            (True, drain_net, SHARED_SOURCE),
+        )
+        pick = None
+        if open_net is not None:
+            for option in options:
+                if option[1] == open_net:
+                    pick = option
+                    break
+        if pick is None:
+            if open_net is not None:
+                breaks.append(i - 1)
+            following = sequence[i + 1] if i + 1 < len(sequence) else None
+            if following == device:
+                # Start a drain-sharing pair: source out, drain right.
+                pick = options[0]
+            else:
+                # Expose the source rightward so the next finger can share.
+                pick = options[1]
+        fingers.append(StackFinger(device=device, drain_left=pick[0]))
+        open_net = pick[2]
+    return fingers, breaks
+
+
+def _score_plan(plan: StackPlan) -> float:
+    """Lower is better: breaks, centroid offsets, imbalance, edge drains."""
+    score = 1.0 * len(plan.breaks)
+    for device, count in plan.units.items():
+        score += 2.0 * abs(plan.centroid_offset(device)) / count
+        score += 0.5 * abs(plan.orientation_balance(device)) / count
+    active = [f for f in plan.fingers if not f.is_dummy]
+    if active:
+        if active[0].drain_left:
+            score += 0.3
+        if not active[-1].drain_left:
+            score += 0.3
+    return score
+
+
+_PLAN_CACHE: Dict[tuple, "StackPlan"] = {}
+
+
+def generate_stack(
+    units: Mapping[str, int],
+    with_dummies: bool = True,
+    center_device: Optional[str] = None,
+    exhaustive_limit: int = 4000,
+) -> StackPlan:
+    """Plan a merged stack for devices sharing their source net.
+
+    ``units`` maps device names to unit-finger counts (the Figure 3 mirror
+    is ``{"m1": 1, "m2": 3, "m3": 6}``).  All sequences are enumerated when
+    the multiset permutation count is below ``exhaustive_limit``; larger
+    stacks fall back to a symmetric constructive heuristic.
+    ``center_device`` forces which odd-unit device sits at the centre in
+    the heuristic path.
+
+    Results are cached (the search is deterministic); treat the returned
+    plan as immutable.
+    """
+    cache_key = (
+        tuple(sorted(units.items())), with_dummies, center_device,
+        exhaustive_limit,
+    )
+    cached = _PLAN_CACHE.get(cache_key)
+    if cached is not None:
+        return cached
+    if not units:
+        raise LayoutError("stack needs at least one device")
+    for device, count in units.items():
+        if count < 1:
+            raise LayoutError(f"device {device!r} has non-positive units")
+        if device == DUMMY:
+            raise LayoutError(f"{DUMMY!r} is reserved for dummy fingers")
+    if center_device is not None:
+        if center_device not in units:
+            raise LayoutError(f"unknown center device {center_device!r}")
+        if units[center_device] % 2 == 0:
+            raise LayoutError(
+                f"center device {center_device!r} must have an odd unit count"
+            )
+
+    def build(sequence: Sequence[str]) -> StackPlan:
+        fingers, breaks = _assign_orientations(sequence)
+        if with_dummies:
+            fingers = (
+                [StackFinger(device=DUMMY, drain_left=False)]
+                + fingers
+                + [StackFinger(device=DUMMY, drain_left=True)]
+            )
+            breaks = [b + 1 for b in breaks]
+        plan = StackPlan(fingers=fingers, units=dict(units), breaks=breaks)
+        plan.score = _score_plan(plan)
+        return plan
+
+    base: List[str] = []
+    for device, count in sorted(units.items()):
+        base.extend([device] * count)
+
+    if _permutation_count(units) <= exhaustive_limit:
+        best: Optional[StackPlan] = None
+        for sequence in _multiset_permutations(base):
+            plan = build(sequence)
+            if best is None or plan.score < best.score - 1e-12:
+                best = plan
+        assert best is not None
+        _PLAN_CACHE[cache_key] = best
+        return best
+    plan = build(_symmetric_sequence(units, center_device))
+    _PLAN_CACHE[cache_key] = plan
+    return plan

@@ -1,0 +1,82 @@
+"""SVG rendering of layout cells.
+
+Produces a standalone SVG with one group per layer, for visual inspection
+of generated layouts (the Figure 5 deliverable).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.layout.cell import Cell
+from repro.layout.layers import SVG_STYLE, Layer
+from repro.units import UM
+
+
+def cell_to_svg(
+    cell: Cell,
+    scale: float = 10.0,
+    layers: Optional[Iterable[Layer]] = None,
+    margin: float = 2.0 * UM,
+) -> str:
+    """Render a cell as an SVG string.
+
+    ``scale`` is pixels per micrometre.  Y is flipped so the layout's
+    origin sits bottom-left, as in layout editors.
+    """
+    box = cell.bbox().expanded(margin)
+    width_px = box.width / UM * scale
+    height_px = box.height / UM * scale
+    wanted = set(layers) if layers is not None else None
+
+    def x_of(value: float) -> float:
+        return (value - box.x0) / UM * scale
+
+    def y_of(value: float) -> float:
+        return (box.y1 - value) / UM * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width_px:.1f}" height="{height_px:.1f}" '
+        f'viewBox="0 0 {width_px:.1f} {height_px:.1f}">',
+        '<rect width="100%" height="100%" fill="#f8f8f4"/>',
+    ]
+    # Draw in a fixed painters order: wells under actives under metals.
+    order = [
+        Layer.NWELL,
+        Layer.NIMPLANT,
+        Layer.PIMPLANT,
+        Layer.ACTIVE,
+        Layer.POLY,
+        Layer.CONTACT,
+        Layer.METAL1,
+        Layer.VIA1,
+        Layer.METAL2,
+    ]
+    shapes = list(cell.flattened())
+    for layer in order:
+        if wanted is not None and layer not in wanted:
+            continue
+        color, opacity = SVG_STYLE[layer]
+        parts.append(f'<g fill="{color}" fill-opacity="{opacity}">')
+        for shape in shapes:
+            if shape.layer is not layer:
+                continue
+            rect = shape.rect
+            parts.append(
+                f'<rect x="{x_of(rect.x0):.2f}" y="{y_of(rect.y1):.2f}" '
+                f'width="{rect.width / UM * scale:.2f}" '
+                f'height="{rect.height / UM * scale:.2f}">'
+                f"<title>{layer.value}"
+                + (f" net={shape.net}" if shape.net else "")
+                + "</title></rect>"
+            )
+        parts.append("</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_svg(cell: Cell, path: str, scale: float = 10.0) -> None:
+    """Render ``cell`` and write it to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(cell_to_svg(cell, scale=scale))

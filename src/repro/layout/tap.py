@@ -1,0 +1,123 @@
+"""Substrate and well tap generator.
+
+Every analog block needs its bulk tied: substrate taps (p+ active to the
+ground net) next to NMOS rows and well taps (n+ active inside the n-well,
+to the supply) next to PMOS rows.  The generator draws a vertical column
+of tapped active sized so neighbouring devices stay within the
+technology's ``well_contact_pitch``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import LayoutError
+from repro.layout.cell import Cell
+from repro.layout.devices import ModuleLayout
+from repro.layout.geometry import Rect
+from repro.layout.layers import Layer
+from repro.technology.process import Technology
+
+
+def tap_column(
+    tech: Technology,
+    kind: str,
+    net: str,
+    height: float,
+    name: str = "tap",
+) -> ModuleLayout:
+    """A vertical tap column of the given active ``height``.
+
+    ``kind`` is ``'substrate'`` (p+ to ground next to NMOS) or ``'well'``
+    (n+ inside an n-well, to the supply).  The tap exposes one metal-2
+    rail pin at the top edge.
+    """
+    if kind not in ("substrate", "well"):
+        raise LayoutError(f"tap kind must be 'substrate' or 'well', got {kind!r}")
+    rules = tech.rules
+    if height < rules.active_min_width:
+        raise LayoutError("tap height below the minimum active width")
+    height = rules.snap(height)
+
+    cell = Cell(name)
+    width = rules.contacted_diffusion_width
+    active = Rect(0.0, 0.0, width, height)
+    cell.add_shape(Layer.ACTIVE, active)
+    # Tap implant is the opposite flavour of the devices it serves:
+    # p+ (PIMPLANT) ties the p-substrate, n+ ties the n-well.
+    implant = Layer.PIMPLANT if kind == "substrate" else Layer.NIMPLANT
+    margin = rules.contact_active_enclosure
+    cell.add_shape(implant, active.expanded(margin))
+    if kind == "well":
+        cell.add_shape(
+            Layer.NWELL, active.expanded(rules.active_well_enclosure), net=net
+        )
+
+    # Contact column.
+    size = rules.contact_size
+    pitch = size + rules.contact_spacing
+    usable = height - 2.0 * rules.contact_active_enclosure
+    count = max(1, int(math.floor((usable - size) / pitch)) + 1)
+    total = count * size + (count - 1) * rules.contact_spacing
+    y = height / 2.0 - total / 2.0 + size / 2.0
+    x_center = width / 2.0
+    for _ in range(count):
+        cell.add_shape(
+            Layer.CONTACT, Rect.centered(x_center, y, size, size), net=net
+        )
+        y += pitch
+
+    # Metal-1 column over the contacts, metal-2 rail pin at the top.
+    column_width = max(
+        size + 2.0 * rules.contact_metal_enclosure, rules.metal1_min_width
+    )
+    rail_height = max(
+        rules.metal2_min_width, rules.via_size + 2.0 * rules.via_metal_enclosure
+    )
+    rail_y0 = height + rules.metal2_spacing
+    cell.add_shape(
+        Layer.METAL1,
+        Rect(
+            x_center - column_width / 2.0, 0.0,
+            x_center + column_width / 2.0, rail_y0 + rail_height / 2.0,
+        ),
+        net=net,
+    )
+    via = rules.via_size
+    via_pad = via + 2.0 * rules.via_metal_enclosure
+    cell.add_shape(
+        Layer.VIA1,
+        Rect.centered(x_center, rail_y0 + rail_height / 2.0, via, via),
+        net=net,
+    )
+    cell.add_shape(
+        Layer.METAL1,
+        Rect.centered(
+            x_center, rail_y0 + rail_height / 2.0, via_pad, via_pad
+        ),
+        net=net,
+    )
+    cell.add_pin(
+        net, Layer.METAL2,
+        Rect.centered(
+            x_center, rail_y0 + rail_height / 2.0, 2.0 * via_pad, rail_height
+        ),
+    )
+
+    return ModuleLayout(
+        cell=cell,
+        device_geometry={},
+        device_nf={},
+        finger_width=width,
+        length=height,
+        plan=None,
+        well_rect=None if kind == "substrate" else active.expanded(
+            rules.active_well_enclosure
+        ),
+        actual_widths={name: height},
+    )
+
+
+def taps_needed(row_width: float, tech: Technology) -> int:
+    """Tap columns a row of the given width needs (pitch rule)."""
+    return max(1, int(math.ceil(row_width / tech.rules.well_contact_pitch)))

@@ -1,0 +1,47 @@
+"""MOS transistor models.
+
+The same model objects serve the circuit simulator, the sizing tool and the
+layout parasitic estimator.  Sharing one model implementation across tools
+reproduces the paper's accuracy argument (section 4): sizing-predicted and
+simulated operating points agree by construction.
+
+Two model levels are provided:
+
+* :class:`~repro.mos.level1.Level1Model` — the classic Shichman-Hodges
+  square-law model with body effect, channel-length modulation and a smooth
+  (C1-continuous) weak-inversion tail for solver robustness.
+* :class:`~repro.mos.level3.Level3Model` — adds vertical-field mobility
+  degradation and velocity saturation, standing in for the paper's
+  BSIM3v3/MM9 "advanced" models.
+"""
+
+from repro.mos.model import MosModel, OperatingPoint, Region
+from repro.mos.junction import DiffusionGeometry, junction_capacitance
+from repro.mos.level1 import Level1Model
+from repro.mos.level3 import Level3Model
+from repro.mos.solver import vgs_for_current, width_for_current
+
+from repro.technology.process import MosParams
+
+
+def make_model(params: MosParams, level: int = 1) -> MosModel:
+    """Build a model of the requested SPICE level for a parameter set."""
+    if level == 1:
+        return Level1Model(params)
+    if level == 3:
+        return Level3Model(params)
+    raise ValueError(f"unsupported MOS model level {level}; use 1 or 3")
+
+
+__all__ = [
+    "DiffusionGeometry",
+    "Level1Model",
+    "Level3Model",
+    "MosModel",
+    "OperatingPoint",
+    "Region",
+    "junction_capacitance",
+    "make_model",
+    "vgs_for_current",
+    "width_for_current",
+]

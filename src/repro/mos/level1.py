@@ -1,0 +1,23 @@
+"""SPICE level-1 (Shichman-Hodges) model.
+
+Square-law saturation current with channel-length modulation; the weak
+inversion tail and body effect come from the :class:`MosModel` base.
+"""
+
+from __future__ import annotations
+
+from repro.mos.model import MosModel
+
+
+class Level1Model(MosModel):
+    """Classic square-law model: ``Idsat = 0.5 kp (W/L) Veff^2 (1+lam Vds)``."""
+
+    level = 1
+
+    def _saturation_current_factor(self, veff: float, length: float) -> float:
+        return veff * veff
+
+    def _saturation_current_factor_derivative(
+        self, veff: float, length: float
+    ) -> float:
+        return 2.0 * veff

@@ -1,0 +1,90 @@
+"""Inverse model solvers used by the sizing tool.
+
+COMDIAC-style sizing fixes the operating point first (currents and effective
+gate voltages), then computes geometries: these helpers invert the device
+model for that flow.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError, SizingError
+from repro.mos.model import MosModel
+
+
+def width_for_current(
+    model: MosModel,
+    current: float,
+    length: float,
+    veff: float,
+    vds: float | None = None,
+    vsb: float = 0.0,
+) -> float:
+    """Width that carries ``current`` at overdrive ``veff`` in saturation.
+
+    Analytic inversion of ``Id = 0.5 kp (W/L) f(veff) (1 + lam vds)``.
+    """
+    if current <= 0.0:
+        raise SizingError("width_for_current needs a positive drain current")
+    if veff <= 0.0:
+        raise SizingError("width_for_current needs a positive overdrive")
+    if length <= 0.0:
+        raise SizingError("width_for_current needs a positive length")
+    if vds is None:
+        vds = veff + 0.3
+    if vds < veff:
+        raise SizingError(
+            f"requested vds={vds:.3f} V puts the device in triode "
+            f"(vdsat={veff:.3f} V)"
+        )
+    factor = model._saturation_current_factor(veff, length)
+    lam = model.params.lambda_l / length
+    denominator = 0.5 * model.params.kp * factor * (1.0 + lam * vds)
+    if denominator <= 0.0:
+        raise SizingError("degenerate model parameters in width_for_current")
+    return current * length / denominator
+
+
+def vgs_for_current(
+    model: MosModel,
+    current: float,
+    width: float,
+    length: float,
+    vds: float | None = None,
+    vsb: float = 0.0,
+    tolerance: float = 1e-12,
+    max_iterations: int = 100,
+) -> float:
+    """Gate-source magnitude that makes the device carry ``current``.
+
+    Newton iteration on the full model (valid through weak inversion), used
+    to back out bias voltages once geometries are frozen.
+    """
+    if current <= 0.0:
+        raise SizingError("vgs_for_current needs a positive drain current")
+    vth = model.threshold(vsb)
+    # Square-law seed; clamped to weak inversion onset if tiny.
+    factor = 0.5 * model.params.kp * width / length
+    seed_veff = (current / factor) ** 0.5 if factor > 0.0 else 0.1
+    vgs = vth + max(seed_veff, 0.5 * model._weak_inversion_onset(vsb))
+    if vds is None:
+        vds_fixed = None
+    else:
+        vds_fixed = vds
+    for _ in range(max_iterations):
+        vds_eval = vds_fixed if vds_fixed is not None else max(vgs - vth, 0.1) + 0.3
+        id_value, gm, _gds, _gmb, _region = model.evaluate(
+            width, length, vgs, vds_eval, vsb
+        )
+        error = id_value - current
+        if abs(error) <= tolerance + 1e-9 * current:
+            return vgs
+        if gm <= 0.0:
+            gm = factor * 0.05  # crude fallback slope in deep cutoff
+        step = error / gm
+        # Damp large steps to stay within the model's smooth domain.
+        step = max(min(step, 0.5), -0.5)
+        vgs -= step
+    raise ModelError(
+        f"vgs_for_current did not converge for Id={current:.3e} A "
+        f"(W={width:.3e}, L={length:.3e})"
+    )

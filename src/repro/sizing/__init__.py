@@ -1,0 +1,40 @@
+"""Knowledge-based circuit sizing (the COMDIAC substrate).
+
+Design plans encode per-topology sizing knowledge: the DC operating point
+(overdrives, bias voltages) is fixed first from the voltage-range
+specifications, currents are estimated heuristically from the
+gain-bandwidth target, geometries follow by model inversion, and monotonic
+iterations on lengths/currents close the loop on phase margin and GBW —
+the procedure section 4 of the paper describes.
+
+The plans evaluate candidates with the *same* device models the simulator
+uses (:mod:`repro.mos`), reproducing the paper's accuracy argument.
+"""
+
+from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
+from repro.sizing.blocks import (
+    BiasPoint,
+    cascode_bias_chain,
+    distribute_headroom,
+    input_pair_current,
+)
+from repro.sizing.plans.base import DesignPlan
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.plans.two_stage import TwoStagePlan
+from repro.sizing.comdiac import Comdiac
+from repro.sizing.verification import VerificationInterface
+
+__all__ = [
+    "BiasPoint",
+    "Comdiac",
+    "DesignPlan",
+    "FoldedCascodePlan",
+    "OtaSpecs",
+    "ParasiticMode",
+    "SizingResult",
+    "TwoStagePlan",
+    "VerificationInterface",
+    "cascode_bias_chain",
+    "distribute_headroom",
+    "input_pair_current",
+]

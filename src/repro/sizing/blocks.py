@@ -1,0 +1,170 @@
+"""Building-block sizing routines.
+
+"Fixed routines have been developed for frequently used building blocks"
+(paper section 4).  These helpers turn voltage-range specifications into
+overdrives and bias voltages, and gm targets into currents, using the
+shared device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import SizingError
+from repro.mos.model import MosModel
+
+
+@dataclass
+class BiasPoint:
+    """Computed overdrives and node voltages of the folded-cascode core."""
+
+    veff: Dict[str, float]
+    nodes: Dict[str, float]
+    biases: Dict[str, float]
+
+
+def distribute_headroom(
+    swing_limit: float, stages: int = 2, margin: float = 0.05, floor: float = 0.12
+) -> Tuple[float, ...]:
+    """Split an output-swing headroom across stacked devices.
+
+    For ``vout_min = 0.51 V`` over a sink + cascode, each device's
+    saturation voltage gets a share of ``swing_limit - margin``; the device
+    nearest the rail (first element) receives the larger share since its
+    current is larger.  Raises when the budget cannot give every device at
+    least ``floor`` volts of overdrive.
+    """
+    if stages < 1:
+        raise SizingError("need at least one stacked device")
+    budget = swing_limit - margin
+    if budget < stages * floor:
+        raise SizingError(
+            f"output swing of {swing_limit:.2f} V cannot bias {stages} "
+            f"stacked devices with {floor:.2f} V overdrive each"
+        )
+    if stages == 1:
+        return (budget,)
+    weights = [1.2] + [1.0] * (stages - 1)
+    total = sum(weights)
+    return tuple(budget * weight / total for weight in weights)
+
+
+def input_pair_current(
+    model: MosModel, gm: float, veff: float, length: float
+) -> float:
+    """Drain current delivering transconductance ``gm`` at overdrive ``veff``.
+
+    Inverts the shared model's gm expression: with
+    ``Id = 0.5 beta f(veff)`` and ``gm = 0.5 beta f'(veff)``, the current is
+    ``gm * f(veff) / f'(veff)`` — exactly ``gm*veff/2`` for the square law
+    and mobility-degradation-aware for level 3.
+    """
+    if gm <= 0.0 or veff <= 0.0:
+        raise SizingError("gm and overdrive must be positive")
+    factor = model._saturation_current_factor(veff, length)
+    derivative = model._saturation_current_factor_derivative(veff, length)
+    if derivative <= 0.0:
+        raise SizingError("degenerate model inversion in input_pair_current")
+    return gm * factor / derivative
+
+
+def tail_overdrive_limit(
+    model_p: MosModel,
+    vdd: float,
+    icmr_high: float,
+    veff_input: float,
+    margin: float = 0.05,
+    ceiling: float = 0.35,
+    floor: float = 0.12,
+) -> float:
+    """Largest PMOS tail overdrive honouring the upper ICMR bound.
+
+    ``vcm_max <= vdd - vsd_sat(tail) - |vgs(input)|``; the tail's
+    saturation voltage equals its overdrive.
+    """
+    vth_in = model_p.threshold(0.0)
+    available = vdd - icmr_high - vth_in - veff_input - margin
+    if available < floor:
+        raise SizingError(
+            f"ICMR upper bound {icmr_high:.2f} V leaves only "
+            f"{available:.2f} V for the tail source"
+        )
+    return min(available, ceiling)
+
+
+def cascode_bias_chain(
+    model_n: MosModel,
+    model_p: MosModel,
+    vdd: float,
+    veff: Dict[str, float],
+    vcm: float,
+    saturation_margin: float = 0.10,
+) -> BiasPoint:
+    """Node voltages and bias voltages for the folded-cascode core.
+
+    ``veff`` must provide entries for ``input``, ``tail``, ``sink``,
+    ``ncas``, ``mirror``, ``pcas``.  Body effect is handled exactly with
+    the models' threshold functions (fixed-point for the input pair whose
+    source rides at the tail node).
+    """
+    for key in ("input", "tail", "sink", "ncas", "mirror", "pcas"):
+        if key not in veff:
+            raise SizingError(f"missing overdrive entry {key!r}")
+
+    nodes: Dict[str, float] = {}
+    biases: Dict[str, float] = {}
+
+    # NMOS side: folding node above the sink's saturation voltage.
+    v_fold = veff["sink"] + saturation_margin
+    nodes["fold"] = v_fold
+    biases["vbn"] = model_n.threshold(0.0) + veff["sink"]
+    biases["vc1"] = v_fold + model_n.threshold(v_fold) + veff["ncas"]
+
+    # PMOS mirror side: x nodes one saturation margin below the rail.
+    v_x = vdd - veff["mirror"] - saturation_margin
+    nodes["x"] = v_x
+    vsb_pcas = vdd - v_x
+    biases["vc3"] = v_x - (model_p.threshold(vsb_pcas) + veff["pcas"])
+    # The mirror gate (mir node) self-biases at vdd - |vgs(mirror)|.
+    nodes["mir"] = vdd - (model_p.threshold(0.0) + veff["mirror"])
+
+    # Tail gate.
+    biases["vp1"] = vdd - (model_p.threshold(0.0) + veff["tail"])
+
+    # Tail node: fixed point including input-pair body effect (bulk at vdd).
+    v_tail = vcm + model_p.threshold(0.0) + veff["input"]
+    for _ in range(20):
+        vsb = vdd - v_tail
+        updated = vcm + model_p.threshold(max(vsb, 0.0)) + veff["input"]
+        if abs(updated - v_tail) < 1e-9:
+            break
+        v_tail = updated
+    nodes["tail"] = v_tail
+
+    return BiasPoint(veff=dict(veff), nodes=nodes, biases=biases)
+
+
+def computed_ranges(
+    model_n: MosModel,
+    model_p: MosModel,
+    vdd: float,
+    veff: Dict[str, float],
+    bias: BiasPoint,
+    saturation_margin: float = 0.05,
+) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """(ICMR, output range) achieved by a bias point.
+
+    These are synthesis *results* in the paper's methodology, reported for
+    comparison against the specification.
+    """
+    # Output low: sink + cascode saturation voltages.
+    vout_lo = veff["sink"] + veff["ncas"] + 2.0 * saturation_margin
+    vout_hi = vdd - veff["mirror"] - veff["pcas"] - 2.0 * saturation_margin
+    # Input high: tail saturation + input vgs below the rail.
+    vth_in = model_p.threshold(max(vdd - bias.nodes["tail"], 0.0))
+    vcm_hi = vdd - veff["tail"] - vth_in - veff["input"] - saturation_margin
+    # Input low: the input device stays saturated while its drain sits at
+    # the folding node: vcm >= v_fold - |vth|.
+    vcm_lo = bias.nodes["fold"] - vth_in + saturation_margin
+    return (vcm_lo, vcm_hi), (vout_lo, vout_hi)

@@ -1,0 +1,65 @@
+"""The sizing tool facade.
+
+"Circuit topologies are selected from among fixed alternatives (design
+style selections), each with associated detailed design knowledge"
+(paper section 4).  :class:`Comdiac` is that front end: a registry of
+design plans keyed by topology name, plus the verification interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.errors import SizingError
+from repro.layout.parasitics import ParasiticReport
+from repro.sizing.plans.base import DesignPlan
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.plans.two_stage import TwoStagePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
+from repro.technology.process import Technology
+
+
+class Comdiac:
+    """Knowledge-based sizing tool over a plan registry."""
+
+    def __init__(self, technology: Technology, model_level: int = 1):
+        technology.validate()
+        self.technology = technology
+        self.model_level = model_level
+        self._plan_classes: Dict[str, Type[DesignPlan]] = {}
+        self._plans: Dict[str, DesignPlan] = {}
+        self.register_plan(FoldedCascodePlan)
+        self.register_plan(TwoStagePlan)
+
+    def register_plan(self, plan_class: Type[DesignPlan]) -> None:
+        """Add a topology; hierarchy makes this a one-liner for clients."""
+        topology = plan_class.topology
+        if topology == "abstract":
+            raise SizingError("plan class must define a topology name")
+        self._plan_classes[topology] = plan_class
+
+    @property
+    def topologies(self) -> list:
+        return sorted(self._plan_classes)
+
+    def plan(self, topology: str) -> DesignPlan:
+        """Plan instance for a topology (cached)."""
+        if topology not in self._plan_classes:
+            raise SizingError(
+                f"unknown topology {topology!r}; available: {self.topologies}"
+            )
+        if topology not in self._plans:
+            self._plans[topology] = self._plan_classes[topology](
+                self.technology, self.model_level
+            )
+        return self._plans[topology]
+
+    def synthesize(
+        self,
+        topology: str,
+        specs: OtaSpecs,
+        mode: ParasiticMode = ParasiticMode.NONE,
+        feedback: Optional[ParasiticReport] = None,
+    ) -> SizingResult:
+        """Size ``topology`` for ``specs`` under a parasitic mode."""
+        return self.plan(topology).size(specs, mode, feedback)

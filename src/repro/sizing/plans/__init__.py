@@ -1,0 +1,7 @@
+"""Design plans (one per topology)."""
+
+from repro.sizing.plans.base import DesignPlan
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.plans.two_stage import TwoStagePlan
+
+__all__ = ["DesignPlan", "FoldedCascodePlan", "TwoStagePlan"]

@@ -1,0 +1,39 @@
+"""Technology description: process parameters, design rules, metal stack.
+
+A :class:`~repro.technology.process.Technology` bundles everything the rest
+of the library needs to know about a fabrication process:
+
+* MOS model parameters for the NMOS and PMOS devices (`MosParams`),
+* symbolic design rules resolved to metric values (`DesignRules`),
+* the interconnect stack with capacitance, resistance and electromigration
+  data per layer (`MetalLayer`, `ContactRule`),
+* well/junction data used for floating-well parasitics.
+
+Presets for generic 0.8 um, 0.6 um and 0.35 um processes live in
+:mod:`repro.technology.presets`; the paper's experiments use the 0.6 um one.
+"""
+
+from repro.technology.process import (
+    ContactRule,
+    MosParams,
+    Technology,
+    WellParams,
+)
+from repro.technology.metals import MetalLayer
+from repro.technology.rules import DesignRules
+from repro.technology.presets import generic_035, generic_060, generic_080
+from repro.technology.evaluation import TechnologyEvaluator, TechnologyReport
+
+__all__ = [
+    "ContactRule",
+    "DesignRules",
+    "MetalLayer",
+    "MosParams",
+    "Technology",
+    "TechnologyEvaluator",
+    "TechnologyReport",
+    "WellParams",
+    "generic_035",
+    "generic_060",
+    "generic_080",
+]

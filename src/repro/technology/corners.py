@@ -1,0 +1,96 @@
+"""Process corners.
+
+Derives the classic five corners (tt/ss/ff/sf/fs) from a nominal
+technology by skewing threshold voltage, mobility and oxide thickness per
+polarity, optionally with a temperature change (mobility ~ T^-1.5 and
+threshold ~ -2 mV/K folded into the parameter set, since the device models
+evaluate at a fixed temperature).
+
+Supports the paper's verification story ("statistical analysis to check
+the reliability of the synthesized circuit") with deterministic worst-case
+checks alongside the Monte-Carlo mismatch analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.errors import TechnologyError
+from repro.technology.process import MosParams, Technology
+
+#: Per-corner (vto shift magnitude sign, mobility factor, tox factor) for
+#: the "slow" and "fast" device flavours.
+_FLAVOURS: Dict[str, Tuple[float, float, float]] = {
+    "slow": (+0.06, 0.88, 1.04),
+    "typ": (0.0, 1.0, 1.0),
+    "fast": (-0.06, 1.12, 0.96),
+}
+
+CORNERS = ("tt", "ss", "ff", "sf", "fs")
+"""Supported corner names (NMOS flavour first, PMOS second)."""
+
+_VTH_TEMPERATURE_COEFFICIENT = -2.0e-3
+"""Threshold magnitude drift, V/K."""
+_MOBILITY_TEMPERATURE_EXPONENT = -1.5
+
+
+def _flavour_of(letter: str) -> str:
+    if letter == "t":
+        return "typ"
+    if letter == "s":
+        return "slow"
+    if letter == "f":
+        return "fast"
+    raise TechnologyError(f"unknown corner letter {letter!r}")
+
+
+def _skew(
+    params: MosParams, flavour: str, delta_t: float
+) -> MosParams:
+    vto_shift, mobility_factor, tox_factor = _FLAVOURS[flavour]
+    sign = 1.0 if params.polarity == "n" else -1.0
+    # Temperature: mobility drops, threshold magnitude drops with T.
+    temperature_ratio = (300.15 + delta_t) / 300.15
+    mobility_factor *= temperature_ratio**_MOBILITY_TEMPERATURE_EXPONENT
+    vto_magnitude_shift = _VTH_TEMPERATURE_COEFFICIENT * delta_t
+    return dataclasses.replace(
+        params,
+        vto=params.vto + sign * (vto_shift + vto_magnitude_shift),
+        u0=params.u0 * mobility_factor,
+        tox=params.tox * tox_factor,
+    )
+
+
+def corner(
+    technology: Technology, name: str = "tt", delta_temperature: float = 0.0
+) -> Technology:
+    """A skewed copy of ``technology`` at the named corner.
+
+    ``name`` is two letters, NMOS flavour then PMOS flavour (``ss``,
+    ``ff``, ``sf``, ``fs``, ``tt``).  ``delta_temperature`` is the kelvin
+    offset from the nominal 27 C.
+    """
+    if len(name) != 2:
+        raise TechnologyError(f"corner name must be two letters, got {name!r}")
+    n_flavour = _flavour_of(name[0])
+    p_flavour = _flavour_of(name[1])
+    skewed = dataclasses.replace(
+        technology,
+        name=f"{technology.name}-{name}"
+        + (f"@{27 + delta_temperature:.0f}C" if delta_temperature else ""),
+        nmos=_skew(technology.nmos, n_flavour, delta_temperature),
+        pmos=_skew(technology.pmos, p_flavour, delta_temperature),
+        temperature=300.15 + delta_temperature,
+    )
+    skewed.validate()
+    return skewed
+
+
+def all_corners(
+    technology: Technology, delta_temperature: float = 0.0
+) -> Dict[str, Technology]:
+    """All five corners keyed by name."""
+    return {
+        name: corner(technology, name, delta_temperature) for name in CORNERS
+    }

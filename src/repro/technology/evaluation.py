@@ -1,0 +1,130 @@
+"""Technology evaluation interface.
+
+Section 4 of the paper: "A technology evaluation interface allows to easily
+characterize different technologies and helps to choose the most suitable
+technology."  :class:`TechnologyEvaluator` computes the standard analog
+figures of merit (transit frequency, intrinsic gain, gm/ID) over bias and
+length sweeps, and ranks candidate technologies for a given gain-bandwidth
+target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.technology.process import Technology
+from repro.units import UM
+
+
+@dataclass
+class TechnologyReport:
+    """Summary figures of merit for one technology at a reference bias."""
+
+    technology: str
+    length: float
+    veff: float
+    ft_nmos: float
+    ft_pmos: float
+    intrinsic_gain_nmos: float
+    intrinsic_gain_pmos: float
+    gm_over_id_nmos: float
+    gm_over_id_pmos: float
+    rows: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = [
+            f"Technology {self.technology} (L={self.length / UM:.2f}um, "
+            f"Veff={self.veff:.2f}V)",
+            f"  fT       : nmos {self.ft_nmos / 1e9:7.2f} GHz, "
+            f"pmos {self.ft_pmos / 1e9:7.2f} GHz",
+            f"  gm*ro    : nmos {self.intrinsic_gain_nmos:7.1f}, "
+            f"pmos {self.intrinsic_gain_pmos:7.1f}",
+            f"  gm/ID    : nmos {self.gm_over_id_nmos:7.2f} 1/V, "
+            f"pmos {self.gm_over_id_pmos:7.2f} 1/V",
+        ]
+        return "\n".join(lines)
+
+
+class TechnologyEvaluator:
+    """Characterise a technology with the library's own device models."""
+
+    def __init__(self, technology: Technology, model_level: int = 1):
+        technology.validate()
+        self.technology = technology
+        self.model_level = model_level
+
+    def _model(self, polarity: str):
+        # Imported lazily: repro.mos depends on repro.technology.
+        from repro.mos import make_model
+
+        return make_model(self.technology.device(polarity), level=self.model_level)
+
+    def transit_frequency(self, polarity: str, length: float, veff: float) -> float:
+        """fT = gm / (2 pi (Cgs + Cgd)) for a saturated device.
+
+        Independent of width to first order; evaluated at W = 10 um.
+        """
+        model = self._model(polarity)
+        width = 10.0 * UM
+        op = model.bias_saturated(width=width, length=length, veff=veff)
+        return op.gm / (2.0 * math.pi * (op.cgs + op.cgd))
+
+    def intrinsic_gain(self, polarity: str, length: float, veff: float) -> float:
+        """Self gain gm/gds of a saturated device."""
+        model = self._model(polarity)
+        op = model.bias_saturated(width=10.0 * UM, length=length, veff=veff)
+        return op.gm / op.gds
+
+    def gm_over_id(self, polarity: str, length: float, veff: float) -> float:
+        """Transconductance efficiency gm/ID at the given overdrive."""
+        model = self._model(polarity)
+        op = model.bias_saturated(width=10.0 * UM, length=length, veff=veff)
+        return op.gm / abs(op.id)
+
+    def ft_sweep(
+        self, polarity: str, lengths: Iterable[float], veff: float
+    ) -> List[tuple]:
+        """(length, fT) pairs over a length sweep."""
+        return [
+            (length, self.transit_frequency(polarity, length, veff))
+            for length in lengths
+        ]
+
+    def report(self, length: float | None = None, veff: float = 0.2) -> TechnologyReport:
+        """Reference-point report used for cross-technology comparison."""
+        if length is None:
+            length = 2.0 * self.technology.feature_size
+        return TechnologyReport(
+            technology=self.technology.name,
+            length=length,
+            veff=veff,
+            ft_nmos=self.transit_frequency("n", length, veff),
+            ft_pmos=self.transit_frequency("p", length, veff),
+            intrinsic_gain_nmos=self.intrinsic_gain("n", length, veff),
+            intrinsic_gain_pmos=self.intrinsic_gain("p", length, veff),
+            gm_over_id_nmos=self.gm_over_id("n", length, veff),
+            gm_over_id_pmos=self.gm_over_id("p", length, veff),
+        )
+
+
+def rank_technologies(
+    technologies: Sequence[Technology], gbw_target: float, veff: float = 0.2
+) -> List[tuple]:
+    """Rank technologies by fT headroom over a GBW target.
+
+    A common analog rule of thumb places the non-dominant poles near the
+    device fT; requiring fT >> GBW gives a quick suitability metric.
+    Returns ``(technology, headroom)`` sorted best-first, where headroom is
+    ``min(fT_n, fT_p) / gbw_target``.
+    """
+    ranked = []
+    for technology in technologies:
+        evaluator = TechnologyEvaluator(technology)
+        report = evaluator.report(veff=veff)
+        headroom = min(report.ft_nmos, report.ft_pmos) / gbw_target
+        ranked.append((technology, headroom))
+    ranked.sort(key=lambda item: item[1], reverse=True)
+    return ranked

@@ -1,0 +1,89 @@
+"""Interconnect layer electrical data.
+
+Each routing layer carries the data the parasitic estimator and the
+reliability checker need: capacitance to substrate (area + fringe), lateral
+coupling to a parallel neighbour, sheet resistance and the electromigration
+current-density limit.
+
+Units are SI: F/m^2 for area capacitance, F/m for fringe and coupling
+capacitance, ohm/square for sheet resistance, A/m for the electromigration
+limit (maximum DC current per metre of wire width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class MetalLayer:
+    """Electrical description of one routing layer."""
+
+    name: str
+    area_cap: float
+    """Capacitance to substrate per area, F/m^2."""
+    fringe_cap: float
+    """Fringe capacitance per edge length, F/m."""
+    coupling_cap: float
+    """Lateral coupling per length to a parallel wire at minimum spacing, F/m."""
+    min_spacing: float
+    """Minimum same-layer spacing, m (coupling scales with spacing/actual)."""
+    sheet_resistance: float
+    """Ohm per square."""
+    max_current_density: float
+    """Electromigration limit, A per metre of wire width."""
+
+    def validate(self) -> None:
+        if not self.name:
+            raise TechnologyError("metal layer needs a name")
+        for attr in (
+            "area_cap",
+            "fringe_cap",
+            "coupling_cap",
+            "min_spacing",
+            "sheet_resistance",
+            "max_current_density",
+        ):
+            if getattr(self, attr) <= 0.0:
+                raise TechnologyError(
+                    f"metal layer {self.name!r}: {attr} must be positive"
+                )
+
+    def wire_capacitance(self, length: float, width: float) -> float:
+        """Ground capacitance of a straight wire segment, F.
+
+        Area term plus fringe on both long edges.  Short wires are dominated
+        by the fringe term, matching the simple geometric estimators the
+        paper relies on.
+        """
+        if length < 0.0 or width < 0.0:
+            raise ValueError("wire dimensions must be non-negative")
+        return self.area_cap * length * width + 2.0 * self.fringe_cap * length
+
+    def coupling_capacitance(self, parallel_length: float, spacing: float) -> float:
+        """Coupling to a parallel neighbour over ``parallel_length``, F.
+
+        The lateral capacitance is inversely proportional to the spacing,
+        normalised so that minimum spacing yields ``coupling_cap`` per metre.
+        """
+        if parallel_length <= 0.0:
+            return 0.0
+        if spacing <= 0.0:
+            raise ValueError("coupling spacing must be positive")
+        return self.coupling_cap * parallel_length * (self.min_spacing / spacing)
+
+    def wire_resistance(self, length: float, width: float) -> float:
+        """Resistance of a straight wire segment, ohm."""
+        if width <= 0.0:
+            raise ValueError("wire width must be positive")
+        return self.sheet_resistance * length / width
+
+    def min_width_for_current(self, current: float, min_width: float) -> float:
+        """Width needed to carry ``current`` amperes without electromigration.
+
+        Never narrower than ``min_width`` (the design-rule minimum).
+        """
+        required = abs(current) / self.max_current_density
+        return max(min_width, required)

@@ -1,0 +1,266 @@
+"""Generic technology presets.
+
+The paper sizes its OTA in a 0.6 um process; :func:`generic_060` is a
+self-consistent synthetic equivalent with parameter values typical of
+published 0.6 um CMOS processes.  The 0.8 um and 0.35 um presets support the
+"technology evaluation interface" of section 4 (choosing the most suitable
+technology) and exercise technology independence of the layout generators.
+"""
+
+from __future__ import annotations
+
+from repro.technology.metals import MetalLayer
+from repro.technology.process import ContactRule, MosParams, Technology, WellParams
+from repro.technology.rules import scalable_rules
+from repro.units import NM, UM
+
+
+def _metal_stack(feature_size: float) -> dict:
+    """Two-layer metal stack with capacitances scaled from the feature size.
+
+    Finer processes sit closer to the substrate per layer but use narrower
+    minimum widths; the values below bracket typical published data
+    (0.02-0.04 fF/um^2 area, 0.03-0.06 fF/um fringe).
+    """
+    scale = feature_size / (0.6 * UM)
+    metal1 = MetalLayer(
+        name="metal1",
+        area_cap=0.035e-3 / scale**0.25,      # F/m^2  (0.035 fF/um^2 at 0.6 um)
+        fringe_cap=0.046e-9,                  # F/m    (0.046 fF/um)
+        coupling_cap=0.085e-9,                # F/m at minimum spacing
+        min_spacing=3.0 * feature_size / 2.0 / 2.0 * 2.0,  # = 1.5*feature
+        sheet_resistance=0.07,
+        max_current_density=1.0e3,            # 1 mA per um of width
+    )
+    metal2 = MetalLayer(
+        name="metal2",
+        area_cap=0.020e-3 / scale**0.25,
+        fringe_cap=0.040e-9,
+        coupling_cap=0.085e-9,
+        min_spacing=metal1.min_spacing,
+        sheet_resistance=0.05,
+        max_current_density=1.0e3,
+    )
+    return {"metal1": metal1, "metal2": metal2}
+
+
+def _poly_layer(feature_size: float) -> MetalLayer:
+    return MetalLayer(
+        name="poly",
+        area_cap=0.09e-3,
+        fringe_cap=0.045e-9,
+        coupling_cap=0.050e-9,
+        min_spacing=1.5 * feature_size,
+        sheet_resistance=25.0,
+        max_current_density=0.3e3,
+    )
+
+
+def generic_060() -> Technology:
+    """Synthetic generic 0.6 um CMOS process (the paper's target node)."""
+    feature = 0.6 * UM
+    nmos = MosParams(
+        name="nch",
+        polarity="n",
+        vto=0.75,
+        u0=460e-4,                 # 460 cm^2/Vs
+        tox=14.0 * NM,
+        gamma=0.80,
+        phi=0.70,
+        lambda_l=0.10 * UM,        # lambda = 0.167/V at L=0.6um
+        theta=0.18,
+        vmax=1.6e5,
+        cj=0.80e-3,                # 0.80 fF/um^2
+        cjsw=0.32e-9,              # 0.32 fF/um
+        mj=0.44,
+        mjsw=0.26,
+        pb=0.90,
+        cgso=0.30e-9,
+        cgdo=0.30e-9,
+        cgbo=0.15e-9,
+        kf=2.0e-26,
+        af=1.0,
+        rsh_diff=75.0,
+        avt=11e-9,
+        abeta=0.018e-6,
+    )
+    pmos = MosParams(
+        name="pch",
+        polarity="p",
+        vto=-0.85,
+        u0=160e-4,
+        tox=14.0 * NM,
+        gamma=0.55,
+        phi=0.70,
+        lambda_l=0.12 * UM,
+        theta=0.14,
+        vmax=1.0e5,
+        cj=1.00e-3,
+        cjsw=0.42e-9,
+        mj=0.46,
+        mjsw=0.28,
+        pb=0.92,
+        cgso=0.30e-9,
+        cgdo=0.30e-9,
+        cgbo=0.15e-9,
+        kf=0.8e-26,
+        af=1.0,
+        rsh_diff=120.0,
+        avt=13e-9,
+        abeta=0.022e-6,
+    )
+    tech = Technology(
+        name="generic-0.6um",
+        feature_size=feature,
+        nmos=nmos,
+        pmos=pmos,
+        rules=scalable_rules(feature),
+        metals=_metal_stack(feature),
+        poly=_poly_layer(feature),
+        contact=ContactRule(max_current=0.6e-3, resistance=6.0),
+        via=ContactRule(max_current=0.8e-3, resistance=3.0),
+        well=WellParams(cj_area=0.10e-3, cj_perimeter=0.55e-9, pb=0.75, mj=0.45),
+        supply_nominal=3.3,
+    )
+    tech.validate()
+    return tech
+
+
+def generic_080() -> Technology:
+    """Synthetic generic 0.8 um CMOS process."""
+    feature = 0.8 * UM
+    nmos = MosParams(
+        name="nch",
+        polarity="n",
+        vto=0.80,
+        u0=500e-4,
+        tox=17.0 * NM,
+        gamma=0.85,
+        phi=0.72,
+        lambda_l=0.11 * UM,
+        theta=0.15,
+        vmax=1.7e5,
+        cj=0.38e-3,
+        cjsw=0.30e-9,
+        mj=0.42,
+        mjsw=0.24,
+        pb=0.88,
+        cgso=0.35e-9,
+        cgdo=0.35e-9,
+        cgbo=0.18e-9,
+        kf=3.0e-26,
+        af=1.0,
+        rsh_diff=60.0,
+        avt=14e-9,
+        abeta=0.022e-6,
+    )
+    pmos = MosParams(
+        name="pch",
+        polarity="p",
+        vto=-0.90,
+        u0=175e-4,
+        tox=17.0 * NM,
+        gamma=0.60,
+        phi=0.72,
+        lambda_l=0.13 * UM,
+        theta=0.12,
+        vmax=1.0e5,
+        cj=0.50e-3,
+        cjsw=0.35e-9,
+        mj=0.44,
+        mjsw=0.26,
+        pb=0.90,
+        cgso=0.35e-9,
+        cgdo=0.35e-9,
+        cgbo=0.18e-9,
+        kf=1.2e-26,
+        af=1.0,
+        rsh_diff=100.0,
+        avt=17e-9,
+        abeta=0.028e-6,
+    )
+    tech = Technology(
+        name="generic-0.8um",
+        feature_size=feature,
+        nmos=nmos,
+        pmos=pmos,
+        rules=scalable_rules(feature),
+        metals=_metal_stack(feature),
+        poly=_poly_layer(feature),
+        contact=ContactRule(max_current=0.8e-3, resistance=5.0),
+        via=ContactRule(max_current=1.0e-3, resistance=2.5),
+        well=WellParams(cj_area=0.09e-3, cj_perimeter=0.50e-9, pb=0.75, mj=0.45),
+        supply_nominal=5.0,
+    )
+    tech.validate()
+    return tech
+
+
+def generic_035() -> Technology:
+    """Synthetic generic 0.35 um CMOS process."""
+    feature = 0.35 * UM
+    nmos = MosParams(
+        name="nch",
+        polarity="n",
+        vto=0.55,
+        u0=430e-4,
+        tox=7.5 * NM,
+        gamma=0.60,
+        phi=0.84,
+        lambda_l=0.080 * UM,
+        theta=0.25,
+        vmax=1.5e5,
+        cj=0.90e-3,
+        cjsw=0.28e-9,
+        mj=0.36,
+        mjsw=0.22,
+        pb=0.70,
+        cgso=0.21e-9,
+        cgdo=0.21e-9,
+        cgbo=0.11e-9,
+        kf=1.4e-26,
+        af=1.0,
+        rsh_diff=80.0,
+        avt=9e-9,
+        abeta=0.015e-6,
+    )
+    pmos = MosParams(
+        name="pch",
+        polarity="p",
+        vto=-0.65,
+        u0=150e-4,
+        tox=7.5 * NM,
+        gamma=0.45,
+        phi=0.84,
+        lambda_l=0.095 * UM,
+        theta=0.20,
+        vmax=0.9e5,
+        cj=1.10e-3,
+        cjsw=0.32e-9,
+        mj=0.38,
+        mjsw=0.24,
+        pb=0.72,
+        cgso=0.21e-9,
+        cgdo=0.21e-9,
+        cgbo=0.11e-9,
+        kf=0.5e-26,
+        af=1.0,
+        rsh_diff=130.0,
+        avt=8e-9,
+        abeta=0.013e-6,
+    )
+    tech = Technology(
+        name="generic-0.35um",
+        feature_size=feature,
+        nmos=nmos,
+        pmos=pmos,
+        rules=scalable_rules(feature),
+        metals=_metal_stack(feature),
+        poly=_poly_layer(feature),
+        contact=ContactRule(max_current=0.5e-3, resistance=8.0),
+        via=ContactRule(max_current=0.7e-3, resistance=4.0),
+        well=WellParams(cj_area=0.12e-3, cj_perimeter=0.60e-9, pb=0.70, mj=0.42),
+        supply_nominal=3.3,
+    )
+    tech.validate()
+    return tech

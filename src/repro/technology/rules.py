@@ -1,0 +1,157 @@
+"""Symbolic design rules resolved to metric values.
+
+The layout generators are technology independent: they only ever consult a
+:class:`DesignRules` instance, never hard-coded dimensions.  The presets
+derive every rule from the process ``feature_size`` (the minimum drawn gate
+length), following classic lambda-style scalable rules where
+``lambda = feature_size / 2``.
+
+All values are metres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class DesignRules:
+    """Minimum widths, spacings and enclosures used by the generators."""
+
+    grid: float
+    """Manufacturing grid; every coordinate snaps to a multiple of this."""
+
+    # Active / diffusion ----------------------------------------------------
+    active_min_width: float
+    active_spacing: float
+    active_well_enclosure: float
+    """N-well (or substrate guard) enclosure of active."""
+
+    # Poly -------------------------------------------------------------------
+    poly_min_width: float
+    """Minimum drawn transistor length."""
+    poly_spacing: float
+    poly_endcap: float
+    """Poly extension past active (gate end cap)."""
+    poly_active_spacing: float
+    """Field-poly to unrelated active spacing."""
+
+    # Contacts ---------------------------------------------------------------
+    contact_size: float
+    contact_spacing: float
+    contact_poly_spacing: float
+    """Spacing between a diffusion contact and the gate poly edge."""
+    contact_active_enclosure: float
+    contact_metal_enclosure: float
+
+    # Metal 1 ----------------------------------------------------------------
+    metal1_min_width: float
+    metal1_spacing: float
+
+    # Via 1 / Metal 2 ---------------------------------------------------------
+    via_size: float
+    via_spacing: float
+    via_metal_enclosure: float
+    metal2_min_width: float
+    metal2_spacing: float
+
+    # Wells -------------------------------------------------------------------
+    well_spacing: float
+    well_contact_pitch: float
+    """Maximum distance between substrate/well taps."""
+
+    def validate(self) -> None:
+        """Raise :class:`TechnologyError` if any rule is non-positive."""
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if value <= 0.0:
+                raise TechnologyError(
+                    f"design rule {field.name!r} must be positive, got {value}"
+                )
+        if self.grid > self.poly_min_width:
+            raise TechnologyError(
+                "manufacturing grid is coarser than the minimum poly width"
+            )
+
+    def snap(self, value: float) -> float:
+        """Snap ``value`` to the nearest manufacturing-grid point."""
+        steps = round(value / self.grid)
+        return steps * self.grid
+
+    def snap_up(self, value: float) -> float:
+        """Snap ``value`` to the next grid point at or above it."""
+        steps = value / self.grid
+        rounded = round(steps)
+        # Tolerate float fuzz: treat values within 1e-6 grid of a grid point
+        # as already on the grid.
+        if abs(steps - rounded) < 1e-6:
+            return rounded * self.grid
+        import math
+
+        return math.ceil(steps) * self.grid
+
+    # Derived dimensions used by the motif generator -------------------------
+
+    @property
+    def contacted_diffusion_width(self) -> float:
+        """Width of a contacted source/drain strip between two gates."""
+        return 2.0 * self.contact_poly_spacing + self.contact_size
+
+    @property
+    def end_diffusion_width(self) -> float:
+        """Width of a contacted source/drain strip at the end of a stack.
+
+        Drawn at the full contacted width (not the bare contact-enclosure
+        minimum): the margin keeps neighbouring terminal metal columns at
+        a legal metal-1 pitch even at minimum gate length.
+        """
+        return self.contacted_diffusion_width
+
+    @property
+    def gate_pitch(self) -> float:
+        """Centre-to-centre gate pitch for a minimum-length folded stack.
+
+        The space between neighbouring gates must hold one contacted
+        diffusion strip.
+        """
+        return self.poly_min_width + self.contacted_diffusion_width
+
+
+def scalable_rules(feature_size: float, grid: float | None = None) -> DesignRules:
+    """Build lambda-style rules from the minimum gate length.
+
+    ``lambda = feature_size / 2``; the multipliers follow the classic MOSIS
+    scalable CMOS rule set, slightly adapted for analog layout (wider default
+    metal to carry analog bias currents).
+    """
+    lam = feature_size / 2.0
+    if grid is None:
+        grid = lam / 6.0
+    rules = DesignRules(
+        grid=grid,
+        active_min_width=3.0 * lam,
+        active_spacing=3.0 * lam,
+        active_well_enclosure=5.0 * lam,
+        poly_min_width=2.0 * lam,
+        poly_spacing=3.0 * lam,
+        poly_endcap=2.0 * lam,
+        poly_active_spacing=1.0 * lam,
+        contact_size=2.0 * lam,
+        contact_spacing=2.0 * lam,
+        contact_poly_spacing=1.5 * lam,
+        contact_active_enclosure=1.0 * lam,
+        contact_metal_enclosure=1.0 * lam,
+        metal1_min_width=3.0 * lam,
+        metal1_spacing=3.0 * lam,
+        via_size=2.0 * lam,
+        via_spacing=3.0 * lam,
+        via_metal_enclosure=1.0 * lam,
+        metal2_min_width=3.0 * lam,
+        metal2_spacing=3.0 * lam,
+        well_spacing=6.0 * lam,
+        well_contact_pitch=100.0 * lam,
+    )
+    rules.validate()
+    return rules

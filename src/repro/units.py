@@ -1,0 +1,120 @@
+"""Unit helpers.
+
+All internal quantities are SI (metres, volts, amperes, farads, hertz,
+seconds).  These constants and helpers make call sites read like the paper:
+``w = 10 * UM`` or ``gbw = 65 * MEG``.
+"""
+
+from __future__ import annotations
+
+import math
+
+# Scale factors -------------------------------------------------------------
+
+TERA = 1e12
+GIGA = 1e9
+MEG = 1e6
+KILO = 1e3
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+FEMTO = 1e-15
+ATTO = 1e-18
+
+# Common engineering aliases.
+UM = MICRO
+NM = NANO
+MM = MILLI
+PF = PICO
+FF = FEMTO
+NF = NANO
+UA = MICRO
+MA = MILLI
+MV = MILLI
+UV = MICRO
+MHZ = MEG
+KHZ = KILO
+GHZ = GIGA
+
+# Physical constants ---------------------------------------------------------
+
+BOLTZMANN = 1.380649e-23
+"""Boltzmann constant k, J/K."""
+
+ELECTRON_CHARGE = 1.602176634e-19
+"""Elementary charge q, C."""
+
+EPSILON_0 = 8.8541878128e-12
+"""Vacuum permittivity, F/m."""
+
+EPSILON_SIO2 = 3.9 * EPSILON_0
+"""Permittivity of silicon dioxide, F/m."""
+
+EPSILON_SI = 11.7 * EPSILON_0
+"""Permittivity of silicon, F/m."""
+
+ROOM_TEMPERATURE = 300.15
+"""Default simulation temperature (27 C), K."""
+
+
+def thermal_voltage(temperature: float = ROOM_TEMPERATURE) -> float:
+    """Return kT/q at the given temperature in kelvin."""
+    return BOLTZMANN * temperature / ELECTRON_CHARGE
+
+
+def db(value: float) -> float:
+    """Return ``20*log10(|value|)``; -inf for zero."""
+    magnitude = abs(value)
+    if magnitude == 0.0:
+        return -math.inf
+    return 20.0 * math.log10(magnitude)
+
+
+def from_db(value_db: float) -> float:
+    """Inverse of :func:`db`."""
+    return 10.0 ** (value_db / 20.0)
+
+
+def degrees(radians: float) -> float:
+    """Radians to degrees."""
+    return math.degrees(radians)
+
+
+def parallel(*resistances: float) -> float:
+    """Parallel combination of resistances (or any conductive quantity).
+
+    Infinite inputs are ignored; if every input is infinite the result is
+    ``math.inf``.
+    """
+    conductance = 0.0
+    for resistance in resistances:
+        if resistance == 0.0:
+            return 0.0
+        if math.isinf(resistance):
+            continue
+        conductance += 1.0 / resistance
+    if conductance == 0.0:
+        return math.inf
+    return 1.0 / conductance
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an SI prefix, e.g. ``format_si(6.5e7, 'Hz')``.
+
+    >>> format_si(65e6, 'Hz')
+    '65.0MHz'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    prefixes = [
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+        (1e-18, "a"),
+    ]
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g}{prefix}{unit}"
+    scale, prefix = prefixes[-1]
+    return f"{value / scale:.{digits}g}{prefix}{unit}"

@@ -1,0 +1,173 @@
+"""Shared fixtures.
+
+Expensive artefacts (sized OTAs, generated layouts, synthesis outcomes)
+are session-scoped so the suite exercises the full pipeline exactly once
+and every test reads from the cached results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.topologies import DeviceSize, FoldedCascodeDesign, build_folded_cascode
+from repro.core.cases import run_case
+from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.layout.extraction import extract_cell
+from repro.layout.ota import OtaLayoutRequest, generate_ota_layout
+from repro.mos import make_model, width_for_current
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.technology import generic_035, generic_060, generic_080
+from repro.units import PF, UM
+
+
+@pytest.fixture(scope="session")
+def tech():
+    """The paper's 0.6 um technology."""
+    return generic_060()
+
+
+@pytest.fixture(scope="session")
+def tech_035():
+    return generic_035()
+
+
+@pytest.fixture(scope="session")
+def tech_080():
+    return generic_080()
+
+
+@pytest.fixture(scope="session")
+def specs():
+    """The paper's Table-1 input specifications."""
+    return OtaSpecs(
+        vdd=3.3,
+        gbw=65e6,
+        phase_margin=65.0,
+        cload=3 * PF,
+        input_cm_range=(0.55, 1.84),
+        output_range=(0.51, 2.31),
+    )
+
+
+@pytest.fixture(scope="session")
+def nmos_model(tech):
+    return make_model(tech.nmos, level=1)
+
+
+@pytest.fixture(scope="session")
+def pmos_model(tech):
+    return make_model(tech.pmos, level=1)
+
+
+def _hand_sizes(tech):
+    """A fixed hand-sized OTA used by layout/circuit tests."""
+    mn = make_model(tech.nmos, 1)
+    mp = make_model(tech.pmos, 1)
+    length = 1.0 * UM
+    i_tail, i_sink = 200e-6, 200e-6
+    i_casc = i_sink - i_tail / 2.0
+
+    def w(model, current, veff):
+        return width_for_current(model, current, length, veff)
+
+    sizes = {
+        "mp1": (w(mp, i_tail / 2, 0.2), length),
+        "mp2": (w(mp, i_tail / 2, 0.2), length),
+        "mp5": (w(mp, i_tail, 0.25), length),
+        "mn5": (w(mn, i_sink, 0.25), length),
+        "mn6": (w(mn, i_sink, 0.25), length),
+        "mn1c": (w(mn, i_casc, 0.2), length),
+        "mn2c": (w(mn, i_casc, 0.2), length),
+        "mp3": (w(mp, i_casc, 0.25), length),
+        "mp4": (w(mp, i_casc, 0.25), length),
+        "mp3c": (w(mp, i_casc, 0.2), length),
+        "mp4c": (w(mp, i_casc, 0.2), length),
+    }
+    currents = {
+        "mp1": i_tail / 2, "mp2": i_tail / 2, "mp5": i_tail,
+        "mn5": i_sink, "mn6": i_sink,
+        "mn1c": i_casc, "mn2c": i_casc,
+        "mp3": i_casc, "mp4": i_casc, "mp3c": i_casc, "mp4c": i_casc,
+    }
+    return sizes, currents
+
+
+@pytest.fixture(scope="session")
+def hand_sized(tech):
+    """(sizes, currents) for a plausible hand-designed OTA."""
+    return _hand_sizes(tech)
+
+
+@pytest.fixture(scope="session")
+def hand_testbench(tech, hand_sized):
+    """A measurable hand-designed folded-cascode testbench."""
+    mn = make_model(tech.nmos, 1)
+    mp = make_model(tech.pmos, 1)
+    sizes, _currents = hand_sized
+    vdd = 3.3
+    veff_sink, veff_ncas, veff_mirror, veff_pcas = 0.25, 0.2, 0.25, 0.2
+    veff_tail = 0.25
+    fold = veff_sink + 0.15
+    x_node = vdd - veff_mirror - 0.15
+    biases = {
+        "vbn": mn.threshold(0.0) + veff_sink,
+        "vc1": fold + mn.threshold(fold) + veff_ncas,
+        "vp1": vdd - (mp.threshold(0.0) + veff_tail),
+        "vc3": x_node - (mp.threshold(vdd - x_node) + veff_pcas),
+    }
+    design = FoldedCascodeDesign(
+        technology=tech,
+        sizes={name: DeviceSize(w=w, l=l) for name, (w, l) in sizes.items()},
+        biases=biases,
+        vdd=vdd,
+        vcm=1.2,
+        cload=3 * PF,
+    )
+    return build_folded_cascode(design)
+
+
+@pytest.fixture(scope="session")
+def ota_layout(tech, hand_sized):
+    """A generated OTA layout (generate mode) for the hand-sized design."""
+    sizes, currents = hand_sized
+    request = OtaLayoutRequest(
+        technology=tech, sizes=sizes, currents=currents, aspect=1.0
+    )
+    return generate_ota_layout(request, mode="generate")
+
+
+@pytest.fixture(scope="session")
+def ota_extraction(tech, ota_layout):
+    """Geometric extraction of the generated OTA layout."""
+    return extract_cell(ota_layout.cell, tech)
+
+
+@pytest.fixture(scope="session")
+def plan(tech):
+    return FoldedCascodePlan(tech)
+
+
+@pytest.fixture(scope="session")
+def sized_case1(plan, specs):
+    """Case-1 sizing result (no layout capacitances)."""
+    return plan.size(specs, ParasiticMode.NONE)
+
+
+@pytest.fixture(scope="session")
+def sized_case2(plan, specs):
+    """Case-2 sizing result (single-fold diffusion assumption)."""
+    return plan.size(specs, ParasiticMode.SINGLE_FOLD)
+
+
+@pytest.fixture(scope="session")
+def synthesis_outcome(tech, specs, plan):
+    """Full layout-oriented synthesis (case 4) with generated layout."""
+    synthesizer = LayoutOrientedSynthesizer(tech, plan=plan)
+    return synthesizer.run(specs, mode=ParasiticMode.FULL, generate=True)
+
+
+@pytest.fixture(scope="session")
+def case4_result(tech, specs):
+    """Complete case-4 run including extraction."""
+    return run_case(tech, specs, ParasiticMode.FULL)

@@ -1,0 +1,185 @@
+"""AC analysis: RC references, amplifier gains, impedance probing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_sweep, solve_dc, transfer_function
+from repro.analysis.ac import logspace_frequencies, output_impedance
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def rc_circuit():
+    circuit = Circuit("rc")
+    circuit.add_vsource("vin", "in", "0", dc=0.0, ac=1.0)
+    circuit.add_resistor("r1", "in", "out", 1e3)
+    circuit.add_capacitor("c1", "out", "0", 1e-9)
+    return circuit
+
+
+class TestRcLowpass:
+    """The simulator against the analytic single-pole response."""
+
+    def test_dc_gain_unity(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        tf = transfer_function(rc_circuit, dc, "out", [1.0])
+        assert abs(tf.values[0]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_pole_frequency(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        pole = 1.0 / (2 * math.pi * 1e3 * 1e-9)
+        tf = transfer_function(rc_circuit, dc, "out", [pole])
+        assert abs(tf.values[0]) == pytest.approx(1 / math.sqrt(2), rel=1e-9)
+
+    def test_phase_at_pole(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        pole = 1.0 / (2 * math.pi * 1e3 * 1e-9)
+        tf = transfer_function(rc_circuit, dc, "out", [pole])
+        assert np.degrees(np.angle(tf.values[0])) == pytest.approx(-45.0, abs=1e-6)
+
+    def test_rolloff_slope(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        pole = 1.0 / (2 * math.pi * 1e3 * 1e-9)
+        tf = transfer_function(
+            rc_circuit, dc, "out", [100 * pole, 1000 * pole]
+        )
+        slope = tf.magnitude_db[1] - tf.magnitude_db[0]
+        assert slope == pytest.approx(-20.0, abs=0.1)
+
+
+class TestCommonSourceGain:
+    @pytest.fixture(scope="class")
+    def cs_setup(self, tech):
+        circuit = Circuit("cs")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vin", "g", "0", dc=1.1, ac=1.0)
+        circuit.add_resistor("rload", "vdd!", "d", 20e3)
+        circuit.add_mos("m1", d="d", g="g", s="0", b="0",
+                        params=tech.nmos, w=30 * UM, l=1 * UM)
+        dc = solve_dc(circuit)
+        return circuit, dc
+
+    def test_low_frequency_gain(self, cs_setup):
+        circuit, dc = cs_setup
+        op = dc.devices["m1"].op
+        tf = transfer_function(circuit, dc, "d", [100.0], {"vdd": 0.0, "vin": 1.0})
+        expected = op.gm / (1 / 20e3 + op.gds)
+        assert abs(tf.values[0]) == pytest.approx(expected, rel=1e-6)
+
+    def test_inverting_phase(self, cs_setup):
+        circuit, dc = cs_setup
+        tf = transfer_function(circuit, dc, "d", [100.0], {"vdd": 0.0, "vin": 1.0})
+        assert abs(abs(np.degrees(np.angle(tf.values[0]))) - 180.0) < 0.5
+
+    def test_gain_drops_at_high_frequency(self, cs_setup):
+        circuit, dc = cs_setup
+        tf = transfer_function(
+            circuit, dc, "d", [1e3, 10e9], {"vdd": 0.0, "vin": 1.0}
+        )
+        assert abs(tf.values[1]) < abs(tf.values[0])
+
+
+class TestDrives:
+    def test_override_silences_source(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        sweep = ac_sweep(rc_circuit, dc, [1e3], overrides={"vin": 0.0})
+        assert abs(sweep.voltage("out")[0]) == pytest.approx(0.0, abs=1e-15)
+
+    def test_amplitude_scales_linearly(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        unit = ac_sweep(rc_circuit, dc, [1e3]).voltage("out")[0]
+        double = ac_sweep(rc_circuit, dc, [1e3], overrides={"vin": 2.0}).voltage(
+            "out"
+        )[0]
+        assert double == pytest.approx(2 * unit)
+
+    def test_current_source_drive(self):
+        circuit = Circuit("iac")
+        circuit.add_vsource("vref", "a", "0", dc=0.0)
+        circuit.add_isource("iin", "0", "node", dc=0.0, ac=1e-3)
+        circuit.add_resistor("r1", "node", "0", 1e3)
+        dc = solve_dc(circuit)
+        sweep = ac_sweep(circuit, dc, [1e3])
+        assert abs(sweep.voltage("node")[0]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_ground_voltage_is_zero(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        sweep = ac_sweep(rc_circuit, dc, [1e3])
+        assert np.all(sweep.voltage("0") == 0.0)
+
+
+class TestOutputImpedance:
+    def test_resistor_impedance(self):
+        circuit = Circuit("z")
+        circuit.add_vsource("v1", "a", "0", dc=1.0)
+        circuit.add_resistor("r1", "a", "out", 5e3)
+        circuit.add_resistor("r2", "out", "0", 5e3)
+        dc = solve_dc(circuit)
+        zout = output_impedance(circuit, dc, "out", [1.0])
+        assert zout.magnitude[0] == pytest.approx(2.5e3, rel=1e-9)
+
+    def test_capacitive_rolloff(self):
+        circuit = Circuit("zc")
+        circuit.add_vsource("v1", "a", "0", dc=0.0)
+        circuit.add_resistor("r1", "a", "out", 1e6)
+        circuit.add_capacitor("c1", "out", "0", 1e-12)
+        dc = solve_dc(circuit)
+        frequency = 1e9
+        zout = output_impedance(circuit, dc, "out", [frequency])
+        expected = 1.0 / (2 * math.pi * frequency * 1e-12)
+        assert zout.magnitude[0] == pytest.approx(expected, rel=0.01)
+
+
+class TestSweepValidation:
+    def test_empty_frequencies_rejected(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        with pytest.raises(AnalysisError):
+            ac_sweep(rc_circuit, dc, [])
+
+    def test_negative_frequency_rejected(self, rc_circuit):
+        dc = solve_dc(rc_circuit)
+        with pytest.raises(AnalysisError):
+            ac_sweep(rc_circuit, dc, [-1.0])
+
+    def test_logspace_endpoints(self):
+        grid = logspace_frequencies(1.0, 1e6, 10)
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(1e6)
+
+    def test_logspace_invalid_range(self):
+        with pytest.raises(AnalysisError):
+            logspace_frequencies(10.0, 1.0)
+
+
+class TestBodyEffectStamping:
+    """The gmb stamp against the textbook source-follower gain."""
+
+    def test_follower_gain_reduced_by_gmb(self, tech):
+        """An NMOS follower with body at ground has
+        ``Av = gm / (gm + gmb + gds + 1/R)`` — measurably below the
+        body-tied case."""
+        from repro.analysis import solve_dc
+
+        def follower_gain(tie_body_to_source):
+            circuit = Circuit("follower")
+            circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+            circuit.add_vsource("vin", "g", "0", dc=2.2, ac=1.0)
+            circuit.add_resistor("rload", "s", "0", 20e3)
+            bulk = "s" if tie_body_to_source else "0"
+            circuit.add_mos("m1", d="vdd!", g="g", s="s", b=bulk,
+                            params=tech.nmos, w=50 * UM, l=1 * UM)
+            dc = solve_dc(circuit)
+            op = dc.devices["m1"].op
+            tf = transfer_function(circuit, dc, "s", [1e3],
+                                   {"vdd": 0.0, "vin": 1.0})
+            return float(tf.magnitude[0]), op
+
+        gain_grounded, op = follower_gain(False)
+        gain_tied, _ = follower_gain(True)
+        expected = op.gm / (op.gm + op.gmb + op.gds + 1 / 20e3)
+        assert gain_grounded == pytest.approx(expected, rel=1e-3)
+        assert gain_tied > gain_grounded

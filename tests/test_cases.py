@@ -1,0 +1,97 @@
+"""Table-1 case harness: case 4 end to end, cross-case structure."""
+
+import pytest
+
+from repro.core.cases import run_case
+from repro.sizing.specs import ParasiticMode
+
+
+class TestCaseFour:
+    """The layout-oriented flow's headline column."""
+
+    def test_synthesized_meets_specs(self, case4_result, specs):
+        metrics = case4_result.synthesized
+        assert metrics.gbw == pytest.approx(specs.gbw, rel=0.015)
+        assert metrics.phase_margin_deg == pytest.approx(
+            specs.phase_margin, abs=0.8
+        )
+
+    def test_extracted_matches_synthesized_gbw(self, case4_result):
+        """Paper case 4: 'All results match the extracted netlist
+        simulations.'"""
+        synthesized = case4_result.synthesized
+        extracted = case4_result.extracted
+        assert extracted.gbw == pytest.approx(synthesized.gbw, rel=0.03)
+
+    def test_extracted_matches_synthesized_pm(self, case4_result):
+        assert case4_result.extracted.phase_margin_deg == pytest.approx(
+            case4_result.synthesized.phase_margin_deg, abs=1.5
+        )
+
+    def test_extracted_meets_specs(self, case4_result, specs):
+        extracted = case4_result.extracted
+        assert extracted.gbw >= specs.gbw * 0.97
+        assert extracted.phase_margin_deg >= specs.phase_margin - 1.5
+
+    def test_gain_agreement(self, case4_result):
+        assert case4_result.extracted.dc_gain_db == pytest.approx(
+            case4_result.synthesized.dc_gain_db, abs=1.0
+        )
+
+    def test_power_agreement(self, case4_result):
+        assert case4_result.extracted.power == pytest.approx(
+            case4_result.synthesized.power, rel=0.02
+        )
+
+    def test_layout_calls_recorded(self, case4_result):
+        assert 2 <= case4_result.layout_calls <= 6
+
+    def test_layout_generated(self, case4_result):
+        assert case4_result.layout.cell is not None
+
+    def test_offset_sub_millivolt(self, case4_result):
+        assert abs(case4_result.extracted.offset_voltage) < 1e-3
+
+    def test_extracted_devices_use_drawn_widths(self, case4_result):
+        """Extraction simulates the snapped geometry (the offset source)."""
+        report = case4_result.layout.report
+        for name, info in report.devices.items():
+            assert info.actual_width > 0
+            assert abs(info.width_error) < 0.05
+
+
+class TestCaseOneDegradation:
+    """Paper case 1: ignoring parasitics costs GBW and phase margin."""
+
+    @pytest.fixture(scope="class")
+    def case1(self, tech, specs):
+        return run_case(tech, specs, ParasiticMode.NONE)
+
+    def test_no_layout_calls_during_sizing(self, case1):
+        assert case1.layout_calls == 0
+
+    def test_extracted_gbw_degrades(self, case1, specs):
+        assert case1.extracted.gbw < 0.95 * specs.gbw
+
+    def test_extracted_pm_degrades(self, case1, specs):
+        """Paper: 65.3 synthesized -> 56.3 extracted."""
+        assert case1.extracted.phase_margin_deg < specs.phase_margin - 5.0
+
+    def test_dc_quantities_still_match(self, case1):
+        """Paper: 'all dc characteristics match the extracted layout
+        simulation results'."""
+        assert case1.extracted.dc_gain_db == pytest.approx(
+            case1.synthesized.dc_gain_db, abs=1.0
+        )
+        assert case1.extracted.power == pytest.approx(
+            case1.synthesized.power, rel=0.02
+        )
+
+    def test_case4_beats_case1_after_extraction(self, case1, case4_result,
+                                                specs):
+        """The paper's bottom line."""
+        shortfall_case1 = specs.phase_margin - case1.extracted.phase_margin_deg
+        shortfall_case4 = (
+            specs.phase_margin - case4_result.extracted.phase_margin_deg
+        )
+        assert shortfall_case4 < shortfall_case1 - 4.0

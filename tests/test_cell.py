@@ -1,0 +1,101 @@
+"""Layout cells: shapes, pins, instances, flattening."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.cell import Cell
+from repro.layout.geometry import Orientation, Rect
+from repro.layout.layers import Layer
+
+
+@pytest.fixture
+def leaf():
+    cell = Cell("leaf")
+    cell.add_shape(Layer.ACTIVE, Rect(0, 0, 2e-6, 1e-6))
+    cell.add_shape(Layer.METAL1, Rect(0, 0, 2e-6, 0.5e-6), net="a")
+    cell.add_pin("a", Layer.METAL1, Rect(0, 0, 0.5e-6, 0.5e-6))
+    return cell
+
+
+class TestCellBasics:
+    def test_nameless_rejected(self):
+        with pytest.raises(LayoutError):
+            Cell("")
+
+    def test_bbox(self, leaf):
+        assert leaf.bbox() == Rect(0, 0, 2e-6, 1e-6)
+
+    def test_dimensions(self, leaf):
+        assert leaf.width == pytest.approx(2e-6)
+        assert leaf.height == pytest.approx(1e-6)
+        assert leaf.area == pytest.approx(2e-12)
+
+    def test_shapes_on_layer(self, leaf):
+        assert len(leaf.shapes_on(Layer.METAL1)) == 2
+
+    def test_pin_lookup(self, leaf):
+        assert leaf.pin_rect("a") == Rect(0, 0, 0.5e-6, 0.5e-6)
+
+    def test_missing_pin_raises(self, leaf):
+        with pytest.raises(LayoutError):
+            leaf.pin_rect("b")
+
+    def test_pin_layer_filter(self, leaf):
+        with pytest.raises(LayoutError):
+            leaf.pin_rect("a", Layer.METAL2)
+
+    def test_nets(self, leaf):
+        assert leaf.nets() == ["a"]
+
+    def test_layer_area(self, leaf):
+        assert leaf.layer_area(Layer.ACTIVE) == pytest.approx(2e-12)
+        assert leaf.layer_area(Layer.METAL1, net="a") == pytest.approx(
+            1e-12 + 0.25e-12
+        )
+
+
+class TestInstances:
+    def test_translation(self, leaf):
+        parent = Cell("parent")
+        parent.add_instance(leaf, dx=10e-6, dy=0.0)
+        box = parent.bbox()
+        assert box.x0 == pytest.approx(10e-6)
+        assert box.x1 == pytest.approx(12e-6)
+
+    def test_flatten_applies_transform(self, leaf):
+        parent = Cell("parent")
+        parent.add_instance(leaf, dx=0.0, dy=0.0, orientation=Orientation.MY)
+        shapes = list(parent.flattened())
+        box = parent.bbox()
+        assert box.x1 == pytest.approx(0.0)
+        assert box.x0 == pytest.approx(-2e-6)
+        assert len(shapes) == 3
+
+    def test_net_remap(self, leaf):
+        parent = Cell("parent")
+        parent.add_instance(leaf, net_map={"a": "global_a"})
+        nets = parent.nets()
+        assert nets == ["global_a"]
+
+    def test_nested_hierarchy(self, leaf):
+        mid = Cell("mid")
+        mid.add_instance(leaf, dx=1e-6)
+        top = Cell("top")
+        top.add_instance(mid, dy=2e-6)
+        shapes = list(top.flattened())
+        assert len(shapes) == 3
+        metal = [s for s in shapes if s.layer is Layer.METAL1 and s.net == "a"]
+        assert metal[0].rect.x0 == pytest.approx(1e-6)
+        assert metal[0].rect.y0 == pytest.approx(2e-6)
+
+    def test_flatten_into_cell(self, leaf):
+        parent = Cell("parent")
+        parent.add_instance(leaf, dx=5e-6)
+        flat = parent.flatten_into()
+        assert len(flat.shapes) == 3
+        assert not flat.instances
+
+    def test_instance_count_in_repr(self, leaf):
+        parent = Cell("parent")
+        parent.add_instance(leaf)
+        assert "1 instances" in repr(parent)

@@ -1,0 +1,153 @@
+"""Netlist container and elements."""
+
+import pytest
+
+from repro.circuit import Circuit, Capacitor, Mos, Resistor
+from repro.circuit.net import canonical, is_ground
+from repro.errors import CircuitError
+from repro.units import UM
+
+
+@pytest.fixture
+def simple_circuit(tech):
+    circuit = Circuit("simple")
+    circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+    circuit.add_resistor("r1", "vdd!", "out", 10e3)
+    circuit.add_mos(
+        "m1", d="out", g="in", s="0", b="0",
+        params=tech.nmos, w=20 * UM, l=1 * UM,
+    )
+    circuit.add_vsource("vin", "in", "0", dc=1.0)
+    return circuit
+
+
+class TestNetNames:
+    @pytest.mark.parametrize("name", ["0", "gnd", "GND", "vss", "ground"])
+    def test_ground_aliases(self, name):
+        assert is_ground(name)
+
+    def test_signal_not_ground(self):
+        assert not is_ground("vout")
+
+    def test_canonical_ground(self):
+        assert canonical("GND") == "0"
+
+    def test_canonical_signal_unchanged(self):
+        assert canonical("vout") == "vout"
+
+
+class TestCircuitContainer:
+    def test_element_count(self, simple_circuit):
+        assert len(simple_circuit) == 4
+
+    def test_duplicate_name_rejected(self, simple_circuit):
+        with pytest.raises(CircuitError):
+            simple_circuit.add_resistor("r1", "a", "b", 1.0)
+
+    def test_lookup(self, simple_circuit):
+        assert isinstance(simple_circuit.element("r1"), Resistor)
+
+    def test_lookup_missing_raises(self, simple_circuit):
+        with pytest.raises(CircuitError):
+            simple_circuit.element("nope")
+
+    def test_mos_lookup_type_checked(self, simple_circuit):
+        assert simple_circuit.mos("m1").w == pytest.approx(20 * UM)
+        with pytest.raises(CircuitError):
+            simple_circuit.mos("r1")
+
+    def test_nets_ground_first(self, simple_circuit):
+        nets = simple_circuit.nets
+        assert nets[0] == "0"
+        assert set(nets) == {"0", "vdd!", "out", "in"}
+
+    def test_elements_on_net(self, simple_circuit):
+        names = {e.name for e in simple_circuit.elements_on_net("out")}
+        assert names == {"r1", "m1"}
+
+    def test_remove(self, simple_circuit):
+        simple_circuit.remove("r1")
+        assert "r1" not in simple_circuit
+
+    def test_remove_missing_raises(self, simple_circuit):
+        with pytest.raises(CircuitError):
+            simple_circuit.remove("nope")
+
+    def test_validate_passes(self, simple_circuit):
+        simple_circuit.validate()
+
+    def test_empty_circuit_invalid(self):
+        with pytest.raises(CircuitError):
+            Circuit("empty").validate()
+
+    def test_no_ground_invalid(self, tech):
+        circuit = Circuit("floating")
+        circuit.add_resistor("r1", "a", "b", 1.0)
+        with pytest.raises(CircuitError):
+            circuit.validate()
+
+
+class TestClone:
+    def test_clone_is_independent(self, simple_circuit):
+        clone = simple_circuit.clone("copy")
+        clone.mos("m1").w = 99 * UM
+        assert simple_circuit.mos("m1").w == pytest.approx(20 * UM)
+
+    def test_clone_name(self, simple_circuit):
+        assert simple_circuit.clone("copy").name == "copy"
+
+
+class TestParasitics:
+    def test_attach_creates_capacitor(self, simple_circuit):
+        cap = simple_circuit.attach_parasitic_cap("out", "0", 1e-15)
+        assert cap.parasitic
+        assert cap.value == pytest.approx(1e-15)
+
+    def test_attach_accumulates(self, simple_circuit):
+        simple_circuit.attach_parasitic_cap("out", "0", 1e-15)
+        simple_circuit.attach_parasitic_cap("out", "0", 2e-15)
+        assert simple_circuit.total_parasitic_on_net("out") == pytest.approx(3e-15)
+
+    def test_strip_parasitics(self, simple_circuit):
+        simple_circuit.attach_parasitic_cap("out", "0", 1e-15)
+        simple_circuit.add_capacitor("cload", "out", "0", 1e-12)
+        removed = simple_circuit.strip_parasitics()
+        assert removed == 1
+        assert "cload" in simple_circuit
+
+    def test_negative_parasitic_rejected(self, simple_circuit):
+        with pytest.raises(CircuitError):
+            simple_circuit.attach_parasitic_cap("out", "0", -1e-15)
+
+
+class TestElementValidation:
+    def test_negative_resistor_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("c").add_resistor("r", "a", "0", -1.0)
+
+    def test_negative_capacitor_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("c").add_capacitor("c1", "a", "0", -1.0)
+
+    def test_mos_without_params_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit("c").add(Mos(name="m", d="d", g="g", s="s", b="b",
+                                 params=None, w=1e-6, l=1e-6))
+
+    def test_mos_zero_width_rejected(self, tech):
+        with pytest.raises(CircuitError):
+            Circuit("c").add_mos(
+                "m", "d", "g", "s", "b", params=tech.nmos, w=0.0, l=1e-6
+            )
+
+    def test_resized_copy(self, tech):
+        mos = Mos(name="m", d="d", g="g", s="s", b="b",
+                  params=tech.nmos, w=10 * UM, l=1 * UM)
+        resized = mos.resized(w=20 * UM)
+        assert resized.w == pytest.approx(20 * UM)
+        assert mos.w == pytest.approx(10 * UM)
+        assert resized.l == mos.l
+
+    def test_summary_mentions_counts(self, simple_circuit):
+        summary = simple_circuit.summary()
+        assert "1 MOS" in summary

@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.technology == "0.6um"
+        assert args.gbw == 65.0
+
+    def test_spec_overrides(self):
+        args = build_parser().parse_args(
+            ["synthesize", "--gbw", "40", "--cload", "5", "--vdd", "5.0"]
+        )
+        assert args.gbw == 40.0
+        assert args.cload == 5.0
+        assert args.vdd == 5.0
+
+
+class TestCommands:
+    def test_figure2_prints_curve(self, capsys):
+        assert main(["figure2", "--max-folds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "0.5000" in out
+        assert "0.6667" in out
+
+    def test_figure3_prints_stack(self, capsys, tmp_path):
+        svg = tmp_path / "mirror.svg"
+        assert main(["figure3", "--svg", str(svg)]) == 0
+        out = capsys.readouterr().out
+        assert "centroid" in out
+        assert svg.stat().st_size > 1000
+
+    def test_evaluate_ranks(self, capsys):
+        assert main(["evaluate", "--gbw", "65"]) == 0
+        out = capsys.readouterr().out
+        assert "generic-0.35um" in out
+        assert "headroom" in out
+
+    def test_synthesize_runs(self, capsys, tmp_path):
+        svg = tmp_path / "ota.svg"
+        code = main([
+            "synthesize", "--gbw", "30", "--cload", "2",
+            "--svg", str(svg),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged in" in out
+        assert "GBW" in out
+        assert svg.stat().st_size > 10_000

@@ -1,0 +1,88 @@
+"""The Comdiac sizing-tool facade and verification interface."""
+
+import pytest
+
+from repro.errors import SizingError
+from repro.sizing.comdiac import Comdiac
+from repro.sizing.plans.base import DesignPlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.sizing.verification import VerificationInterface
+
+
+@pytest.fixture(scope="module")
+def tool(tech):
+    return Comdiac(tech)
+
+
+class TestRegistry:
+    def test_builtin_topologies(self, tool):
+        assert tool.topologies == ["folded_cascode", "two_stage"]
+
+    def test_plan_instances_cached(self, tool):
+        assert tool.plan("folded_cascode") is tool.plan("folded_cascode")
+
+    def test_unknown_topology_rejected(self, tool):
+        with pytest.raises(SizingError):
+            tool.plan("telescopic")
+
+    def test_register_custom_plan(self, tech):
+        class CustomPlan(DesignPlan):
+            topology = "custom"
+
+            def size(self, specs, mode=ParasiticMode.NONE, feedback=None):
+                raise NotImplementedError
+
+            def build_testbench(self, result, specs,
+                                mode=ParasiticMode.NONE, feedback=None):
+                raise NotImplementedError
+
+        tool = Comdiac(tech)
+        tool.register_plan(CustomPlan)
+        assert "custom" in tool.topologies
+
+    def test_abstract_plan_rejected(self, tech):
+        class Nameless(DesignPlan):
+            topology = "abstract"
+
+            def size(self, specs, mode=ParasiticMode.NONE, feedback=None):
+                raise NotImplementedError
+
+            def build_testbench(self, result, specs,
+                                mode=ParasiticMode.NONE, feedback=None):
+                raise NotImplementedError
+
+        tool = Comdiac(tech)
+        with pytest.raises(SizingError):
+            tool.register_plan(Nameless)
+
+    def test_synthesize_dispatches(self, tool, specs, sized_case1):
+        result = tool.synthesize("folded_cascode", specs, ParasiticMode.NONE)
+        assert result.sizes.keys() == sized_case1.sizes.keys()
+
+
+class TestVerification:
+    def test_passing_design(self, plan, specs, sized_case1):
+        bench = plan.build_testbench(sized_case1, specs, ParasiticMode.NONE)
+        report = VerificationInterface().verify(bench, specs)
+        assert report.passed
+        assert report.meets_gbw and report.meets_phase_margin
+
+    def test_failing_design_detected(self, plan, specs, sized_case1):
+        bench = plan.build_testbench(sized_case1, specs, ParasiticMode.NONE)
+        hard_specs = OtaSpecs(
+            vdd=specs.vdd, gbw=specs.gbw * 3, phase_margin=specs.phase_margin,
+            cload=specs.cload, input_cm_range=specs.input_cm_range,
+            output_range=specs.output_range,
+        )
+        report = VerificationInterface().verify(bench, hard_specs)
+        assert not report.meets_gbw
+        assert not report.passed
+        assert report.failures()["gbw"] is False
+
+    def test_statistical_analysis_included(self, plan, specs, sized_case1):
+        bench = plan.build_testbench(sized_case1, specs, ParasiticMode.NONE)
+        report = VerificationInterface().verify(
+            bench, specs, statistical_runs=8, seed=7
+        )
+        assert report.statistics is not None
+        assert len(report.statistics.samples["offset_voltage"]) == 8

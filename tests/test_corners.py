@@ -1,0 +1,138 @@
+"""Process corners and corner-based verification."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology.corners import CORNERS, all_corners, corner
+
+
+class TestCornerDerivation:
+    def test_tt_is_nominal(self, tech):
+        typical = corner(tech, "tt")
+        assert typical.nmos.vto == pytest.approx(tech.nmos.vto)
+        assert typical.pmos.u0 == pytest.approx(tech.pmos.u0)
+
+    def test_ss_raises_thresholds(self, tech):
+        slow = corner(tech, "ss")
+        assert slow.nmos.vto > tech.nmos.vto
+        assert abs(slow.pmos.vto) > abs(tech.pmos.vto)
+
+    def test_ff_lowers_thresholds_and_boosts_mobility(self, tech):
+        fast = corner(tech, "ff")
+        assert fast.nmos.vto < tech.nmos.vto
+        assert fast.nmos.u0 > tech.nmos.u0
+
+    def test_mixed_corner(self, tech):
+        mixed = corner(tech, "sf")
+        assert mixed.nmos.vto > tech.nmos.vto       # slow NMOS
+        assert abs(mixed.pmos.vto) < abs(tech.pmos.vto)  # fast PMOS
+
+    def test_hot_temperature_lowers_mobility(self, tech):
+        hot = corner(tech, "tt", delta_temperature=100.0)
+        assert hot.nmos.u0 < tech.nmos.u0
+        assert hot.temperature == pytest.approx(400.15)
+
+    def test_all_corners_cover_set(self, tech):
+        corners = all_corners(tech)
+        assert set(corners) == set(CORNERS)
+        for technology in corners.values():
+            technology.validate()
+
+    def test_corner_names_validated(self, tech):
+        with pytest.raises(TechnologyError):
+            corner(tech, "xx")
+        with pytest.raises(TechnologyError):
+            corner(tech, "t")
+
+
+class TestCornerImpact:
+    def test_slow_corner_less_current(self, tech):
+        from repro.mos import make_model
+        from repro.units import UM
+
+        nominal = make_model(tech.nmos, 1)
+        slow = make_model(corner(tech, "ss").nmos, 1)
+        vgs = tech.nmos.vto + 0.3
+        i_nominal, *_ = nominal.evaluate(20 * UM, 1 * UM, vgs, 1.0, 0.0)
+        i_slow, *_ = slow.evaluate(20 * UM, 1 * UM, vgs, 1.0, 0.0)
+        assert i_slow < 0.8 * i_nominal
+
+    def test_sized_design_degrades_at_ss(self, tech, plan, specs,
+                                         sized_case1):
+        """A tt-sized OTA, rebuilt with ss devices, loses GBW."""
+        from repro.analysis.metrics import measure_ota
+        from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+        from repro.sizing.specs import ParasiticMode
+
+        slow_tech = corner(tech, "ss")
+        slow_plan = FoldedCascodePlan(slow_tech)
+        bench = slow_plan.build_testbench(
+            sized_case1, specs, ParasiticMode.NONE
+        )
+        slow_metrics = measure_ota(bench)
+        # Thresholds rose: the fixed bias voltages deliver less current.
+        assert slow_metrics.gbw < sized_case1.predicted.gbw
+
+    def test_resizing_at_corner_recovers_spec(self, tech, specs):
+        """The plan re-sized *for* the slow corner meets the target again
+        (the knowledge-based tool adapts the operating point)."""
+        from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+        from repro.sizing.specs import ParasiticMode
+
+        slow_tech = corner(tech, "ss")
+        result = FoldedCascodePlan(slow_tech).size(specs, ParasiticMode.NONE)
+        assert result.predicted.gbw == pytest.approx(specs.gbw, rel=0.02)
+
+
+class TestPsrr:
+    def test_psrr_reported(self, hand_testbench):
+        from repro.analysis.metrics import measure_ota
+
+        metrics = measure_ota(hand_testbench)
+        assert metrics.psrr_db > 40.0
+
+    def test_psrr_finite(self, hand_testbench):
+        from repro.analysis.metrics import measure_ota
+
+        metrics = measure_ota(hand_testbench)
+        assert metrics.psrr_db < 200.0
+
+
+class TestCornerVerification:
+    def test_verify_corners_reports_all(self, tech, plan, specs, sized_case1):
+        from repro.sizing.verification import VerificationInterface
+
+        reports = VerificationInterface().verify_corners(
+            plan, sized_case1, specs
+        )
+        assert set(reports) == {"tt", "ss", "ff", "sf", "fs"}
+
+    def test_typical_corner_passes(self, tech, plan, specs, sized_case1):
+        from repro.sizing.verification import VerificationInterface
+
+        reports = VerificationInterface().verify_corners(
+            plan, sized_case1, specs
+        )
+        assert reports["tt"].passed
+
+    def test_fixed_bias_fails_somewhere(self, tech, plan, specs, sized_case1):
+        """Ideal fixed bias voltages are corner-fragile: at least one
+        corner fails, motivating a tracking bias generator."""
+        from repro.sizing.verification import VerificationInterface
+
+        reports = VerificationInterface().verify_corners(
+            plan, sized_case1, specs
+        )
+        assert any(not report.passed for report in reports.values())
+
+    def test_unmeasurable_corner_is_failed_not_crashed(self, tech, plan,
+                                                       specs, sized_case1):
+        from repro.sizing.verification import VerificationInterface
+
+        reports = VerificationInterface().verify_corners(
+            plan, sized_case1, specs
+        )
+        for report in reports.values():
+            if report.metrics is None:
+                assert not report.passed
+                assert report.failure_reason

@@ -1,0 +1,202 @@
+"""Nonlinear DC operating-point solver."""
+
+import pytest
+
+from repro.analysis import solve_dc
+from repro.circuit import Circuit
+from repro.errors import AnalysisError, ConvergenceError
+from repro.units import UM
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        circuit = Circuit("divider")
+        circuit.add_vsource("v1", "a", "0", dc=2.0)
+        circuit.add_resistor("r1", "a", "mid", 1e3)
+        circuit.add_resistor("r2", "mid", "0", 1e3)
+        solution = solve_dc(circuit)
+        assert solution.voltage("mid") == pytest.approx(1.0)
+
+    def test_source_current_direction(self):
+        """A delivering supply has negative branch current (pos->neg)."""
+        circuit = Circuit("load")
+        circuit.add_vsource("v1", "a", "0", dc=2.0)
+        circuit.add_resistor("r1", "a", "0", 1e3)
+        solution = solve_dc(circuit)
+        assert solution.source_currents["v1"] == pytest.approx(-2e-3)
+        assert solution.source_power("v1") == pytest.approx(4e-3)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit("isrc")
+        circuit.add_vsource("vref", "a", "0", dc=0.0)
+        circuit.add_isource("i1", "0", "node", dc=1e-3)
+        circuit.add_resistor("r1", "node", "0", 2e3)
+        solution = solve_dc(circuit)
+        assert solution.voltage("node") == pytest.approx(2.0)
+
+    def test_capacitor_open_at_dc(self):
+        circuit = Circuit("cap")
+        circuit.add_vsource("v1", "a", "0", dc=1.0)
+        circuit.add_resistor("r1", "a", "b", 1e3)
+        circuit.add_capacitor("c1", "b", "0", 1e-12)
+        # b floats through the capacitor; gmin pins it to the driven value.
+        solution = solve_dc(circuit)
+        assert solution.voltage("b") == pytest.approx(1.0, abs=1e-3)
+
+    def test_stacked_sources(self):
+        circuit = Circuit("stack")
+        circuit.add_vsource("v1", "a", "0", dc=1.0)
+        circuit.add_vsource("v2", "b", "a", dc=1.5)
+        circuit.add_resistor("r1", "b", "0", 1e3)
+        solution = solve_dc(circuit)
+        assert solution.voltage("b") == pytest.approx(2.5)
+
+
+class TestMosDc:
+    def test_diode_connected_device(self, tech):
+        """Diode device conducts its bias current at vgs > vth."""
+        circuit = Circuit("diode")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_isource("ib", "vdd!", "g", dc=100e-6)
+        circuit.add_mos("m1", d="g", g="g", s="0", b="0",
+                        params=tech.nmos, w=50 * UM, l=1 * UM)
+        solution = solve_dc(circuit)
+        op = solution.devices["m1"].op
+        assert op.id == pytest.approx(100e-6, rel=1e-6)
+        assert solution.voltage("g") > tech.nmos.vto
+
+    def test_common_source_amplifier(self, tech):
+        circuit = Circuit("cs")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vin", "g", "0", dc=1.0)
+        circuit.add_resistor("rload", "vdd!", "d", 10e3)
+        circuit.add_mos("m1", d="d", g="g", s="0", b="0",
+                        params=tech.nmos, w=20 * UM, l=1 * UM)
+        solution = solve_dc(circuit)
+        op = solution.devices["m1"].op
+        assert solution.voltage("d") == pytest.approx(3.3 - op.id * 10e3, rel=1e-6)
+
+    def test_cutoff_device(self, tech):
+        circuit = Circuit("off")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vin", "g", "0", dc=0.2)
+        circuit.add_resistor("rload", "vdd!", "d", 10e3)
+        circuit.add_mos("m1", d="d", g="g", s="0", b="0",
+                        params=tech.nmos, w=20 * UM, l=1 * UM)
+        solution = solve_dc(circuit)
+        assert solution.voltage("d") == pytest.approx(3.3, abs=1e-3)
+        assert solution.devices["m1"].op.region.value == "cutoff"
+
+    def test_reverse_conduction_swaps_terminals(self, tech):
+        """Drain biased below source: solver works in swapped orientation."""
+        circuit = Circuit("swap")
+        circuit.add_vsource("vhigh", "s_pin", "0", dc=2.0)
+        circuit.add_vsource("vg", "g", "0", dc=3.3)
+        circuit.add_resistor("r1", "d_pin", "0", 1e3)
+        circuit.add_mos("m1", d="d_pin", g="g", s="s_pin", b="0",
+                        params=tech.nmos, w=20 * UM, l=1 * UM)
+        solution = solve_dc(circuit)
+        device = solution.devices["m1"]
+        assert device.swapped
+        # Current flows from s_pin (higher) to d_pin: into d_pin terminal
+        # it is negative.
+        assert device.terminal_current < 0.0
+        assert solution.voltage("d_pin") > 0.1
+
+    def test_pmos_source_follower(self, tech):
+        circuit = Circuit("pmosf")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vg", "g", "0", dc=1.0)
+        # Bias current injected into the source node from the supply.
+        circuit.add_isource("ib", "vdd!", "s", dc=50e-6)
+        circuit.add_mos("m1", d="0", g="g", s="s", b="vdd!",
+                        params=tech.pmos, w=50 * UM, l=1 * UM)
+        solution = solve_dc(circuit)
+        # Source sits roughly one |vgs| above the gate.
+        assert solution.voltage("s") > 1.0 + abs(tech.pmos.vto) * 0.8
+        assert solution.devices["m1"].op.id == pytest.approx(50e-6, rel=1e-6)
+
+    def test_starved_node_raises_convergence_error(self, tech):
+        """A current source pulling from a node nothing can supply."""
+        circuit = Circuit("starved")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vg", "g", "0", dc=1.0)
+        circuit.add_isource("ib", "s", "0", dc=50e-6)
+        circuit.add_mos("m1", d="0", g="g", s="s", b="vdd!",
+                        params=tech.pmos, w=50 * UM, l=1 * UM)
+        with pytest.raises(ConvergenceError):
+            solve_dc(circuit)
+
+    def test_mismatch_shifts_current(self, tech):
+        def run(mismatch):
+            circuit = Circuit("mm")
+            circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+            circuit.add_vsource("vg", "g", "0", dc=1.2)
+            circuit.add_mos("m1", d="vdd!", g="g", s="0", b="0",
+                            params=tech.nmos, w=20 * UM, l=1 * UM)
+            circuit.mos("m1").mismatch_vth = mismatch
+            return solve_dc(circuit).devices["m1"].op.id
+
+        assert run(+0.02) < run(0.0) < run(-0.02)
+
+    def test_beta_mismatch_scales_current(self, tech):
+        circuit = Circuit("beta")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vg", "g", "0", dc=1.2)
+        circuit.add_mos("m1", d="vdd!", g="g", s="0", b="0",
+                        params=tech.nmos, w=20 * UM, l=1 * UM)
+        nominal = solve_dc(circuit).devices["m1"].op.id
+        circuit.mos("m1").mismatch_beta = 0.1
+        scaled = solve_dc(circuit).devices["m1"].op.id
+        assert scaled == pytest.approx(1.1 * nominal, rel=1e-6)
+
+
+class TestFullOta:
+    def test_converges(self, hand_testbench):
+        solution = solve_dc(hand_testbench.circuit)
+        assert solution.gmin == 0.0
+
+    def test_branch_currents_balance(self, hand_testbench):
+        solution = solve_dc(hand_testbench.circuit)
+        i_mp1 = solution.devices["mp1"].op.id
+        i_mp2 = solution.devices["mp2"].op.id
+        assert i_mp1 == pytest.approx(i_mp2, rel=1e-3)
+
+    def test_kcl_at_fold_node(self, hand_testbench):
+        """mn5 sinks the input device current plus the cascode current."""
+        solution = solve_dc(hand_testbench.circuit)
+        i_sink = solution.devices["mn5"].op.id
+        i_input = solution.devices["mp1"].op.id
+        i_cascode = solution.devices["mn1c"].op.id
+        assert i_sink == pytest.approx(i_input + i_cascode, rel=1e-6)
+
+    def test_supply_power_is_positive(self, hand_testbench):
+        solution = solve_dc(hand_testbench.circuit)
+        assert solution.total_supply_power() > 0.5e-3
+
+    def test_tail_current_splits(self, hand_testbench):
+        solution = solve_dc(hand_testbench.circuit)
+        tail = solution.devices["mp5"].op.id
+        split = solution.devices["mp1"].op.id + solution.devices["mp2"].op.id
+        assert tail == pytest.approx(split, rel=1e-6)
+
+
+class TestFailureModes:
+    def test_unknown_net_in_index(self):
+        from repro.analysis.mna import NodeIndex
+
+        circuit = Circuit("x")
+        circuit.add_vsource("v1", "a", "0", dc=1.0)
+        circuit.add_resistor("r1", "a", "0", 1.0)
+        index = NodeIndex(circuit)
+        with pytest.raises(AnalysisError):
+            index.node("nonexistent")
+
+    def test_conflicting_sources_fail(self):
+        """Two ideal sources forcing different voltages on one net."""
+        circuit = Circuit("conflict")
+        circuit.add_vsource("v1", "a", "0", dc=1.0)
+        circuit.add_vsource("v2", "a", "0", dc=2.0)
+        circuit.add_resistor("r1", "a", "0", 1e3)
+        with pytest.raises((AnalysisError, ConvergenceError)):
+            solve_dc(circuit)

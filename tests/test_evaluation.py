@@ -1,0 +1,70 @@
+"""Technology evaluation interface."""
+
+import pytest
+
+from repro.technology.evaluation import TechnologyEvaluator, rank_technologies
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def evaluator(tech):
+    return TechnologyEvaluator(tech)
+
+
+class TestFiguresOfMerit:
+    def test_ft_realistic(self, evaluator):
+        ft = evaluator.transit_frequency("n", 1.2 * UM, 0.2)
+        assert 0.2e9 < ft < 20e9
+
+    def test_ft_rises_with_overdrive(self, evaluator):
+        assert evaluator.transit_frequency("n", 1.2 * UM, 0.4) > (
+            evaluator.transit_frequency("n", 1.2 * UM, 0.15)
+        )
+
+    def test_ft_falls_with_length(self, evaluator):
+        assert evaluator.transit_frequency("n", 2.4 * UM, 0.2) < (
+            evaluator.transit_frequency("n", 0.6 * UM, 0.2)
+        )
+
+    def test_pmos_slower(self, evaluator):
+        assert evaluator.transit_frequency("p", 1.2 * UM, 0.2) < (
+            evaluator.transit_frequency("n", 1.2 * UM, 0.2)
+        )
+
+    def test_intrinsic_gain_rises_with_length(self, evaluator):
+        assert evaluator.intrinsic_gain("n", 2.4 * UM, 0.2) > (
+            evaluator.intrinsic_gain("n", 0.6 * UM, 0.2)
+        )
+
+    def test_gm_over_id_is_two_over_veff(self, evaluator):
+        assert evaluator.gm_over_id("n", 1.2 * UM, 0.2) == pytest.approx(
+            10.0, rel=0.01
+        )
+
+    def test_ft_sweep_shape(self, evaluator):
+        sweep = evaluator.ft_sweep("n", [0.6 * UM, 1.2 * UM, 2.4 * UM], 0.2)
+        values = [ft for _l, ft in sweep]
+        assert values == sorted(values, reverse=True)
+
+
+class TestReport:
+    def test_report_fields(self, evaluator):
+        report = evaluator.report()
+        assert report.technology == "generic-0.6um"
+        assert report.ft_nmos > report.ft_pmos
+
+    def test_format_readable(self, evaluator):
+        text = evaluator.report().format()
+        assert "fT" in text and "gm/ID" in text
+
+
+class TestRanking:
+    def test_finer_node_ranks_first(self, tech, tech_035, tech_080):
+        ranked = rank_technologies([tech_080, tech, tech_035], gbw_target=65e6)
+        names = [t.name for t, _headroom in ranked]
+        assert names[0] == "generic-0.35um"
+        assert names[-1] == "generic-0.8um"
+
+    def test_headroom_positive_for_modest_target(self, tech):
+        ranked = rank_technologies([tech], gbw_target=65e6)
+        assert ranked[0][1] > 1.0

@@ -1,0 +1,203 @@
+"""SVG and GDSII exporters."""
+
+import struct
+
+import pytest
+
+from repro.layout.cell import Cell
+from repro.layout.gds import DB_UNIT, cell_to_gds, write_gds
+from repro.layout.geometry import Rect
+from repro.layout.layers import GDS_LAYER_NUMBERS, Layer
+from repro.layout.svg import cell_to_svg, write_svg
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def sample_cell():
+    cell = Cell("sample")
+    cell.add_shape(Layer.ACTIVE, Rect(0, 0, 4 * UM, 2 * UM))
+    cell.add_shape(Layer.POLY, Rect(1 * UM, -0.5 * UM, 2 * UM, 2.5 * UM), net="g")
+    cell.add_shape(Layer.METAL1, Rect(0, 0, 4 * UM, 0.9 * UM), net="d")
+    return cell
+
+
+class TestSvg:
+    def test_valid_document_structure(self, sample_cell):
+        svg = cell_to_svg(sample_cell)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_one_rect_per_shape(self, sample_cell):
+        svg = cell_to_svg(sample_cell)
+        # Background rect plus three shape rects.
+        assert svg.count("<rect") == 4
+
+    def test_net_in_tooltip(self, sample_cell):
+        svg = cell_to_svg(sample_cell)
+        assert "net=g" in svg
+
+    def test_layer_filter(self, sample_cell):
+        svg = cell_to_svg(sample_cell, layers=[Layer.POLY])
+        assert svg.count("<rect") == 2  # background + poly
+
+    def test_scale_changes_size(self, sample_cell):
+        small = cell_to_svg(sample_cell, scale=5.0)
+        large = cell_to_svg(sample_cell, scale=20.0)
+        assert len(small) != len(large) or small != large
+
+    def test_write_to_file(self, sample_cell, tmp_path):
+        path = tmp_path / "cell.svg"
+        write_svg(sample_cell, str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_ota_renders(self, ota_layout):
+        svg = cell_to_svg(ota_layout.cell, scale=2.0)
+        assert svg.count("<rect") > 1000
+
+
+class TestGds:
+    def test_header_record(self, sample_cell):
+        stream = cell_to_gds(sample_cell)
+        length, record, data = struct.unpack(">HBB", stream[:4])
+        assert record == 0x00  # HEADER
+        version = struct.unpack(">h", stream[4:6])[0]
+        assert version == 600
+
+    def test_ends_with_endlib(self, sample_cell):
+        stream = cell_to_gds(sample_cell)
+        _length, record, _data = struct.unpack(">HBB", stream[-4:])
+        assert record == 0x04  # ENDLIB
+
+    def test_record_framing_consistent(self, sample_cell):
+        """Walk the stream record by record; lengths must tile exactly."""
+        stream = cell_to_gds(sample_cell)
+        offset = 0
+        records = []
+        while offset < len(stream):
+            length, record, _data = struct.unpack(
+                ">HBB", stream[offset:offset + 4]
+            )
+            assert length >= 4
+            records.append(record)
+            offset += length
+        assert offset == len(stream)
+        assert records[0] == 0x00
+        assert 0x08 in records  # at least one BOUNDARY
+
+    def test_boundary_per_shape(self, sample_cell):
+        stream = cell_to_gds(sample_cell)
+        offset = 0
+        boundaries = 0
+        while offset < len(stream):
+            length, record, _data = struct.unpack(
+                ">HBB", stream[offset:offset + 4]
+            )
+            if record == 0x08:
+                boundaries += 1
+            offset += length
+        assert boundaries == 3
+
+    def test_coordinates_in_database_units(self, sample_cell):
+        stream = cell_to_gds(sample_cell)
+        offset = 0
+        xy_payloads = []
+        while offset < len(stream):
+            length, record, _data = struct.unpack(
+                ">HBB", stream[offset:offset + 4]
+            )
+            if record == 0x10:  # XY
+                xy_payloads.append(stream[offset + 4:offset + length])
+            offset += length
+        coordinates = struct.unpack(">10i", xy_payloads[0])
+        assert max(coordinates) == round(4 * UM / DB_UNIT)
+
+    def test_layer_numbers_match_table(self, sample_cell):
+        stream = cell_to_gds(sample_cell)
+        offset = 0
+        layers = set()
+        while offset < len(stream):
+            length, record, _data = struct.unpack(
+                ">HBB", stream[offset:offset + 4]
+            )
+            if record == 0x0D:
+                layers.add(struct.unpack(">h", stream[offset + 4:offset + 6])[0])
+            offset += length
+        expected = {
+            GDS_LAYER_NUMBERS[Layer.ACTIVE][0],
+            GDS_LAYER_NUMBERS[Layer.POLY][0],
+            GDS_LAYER_NUMBERS[Layer.METAL1][0],
+        }
+        assert layers == expected
+
+    def test_write_to_file(self, sample_cell, tmp_path):
+        path = tmp_path / "cell.gds"
+        write_gds(sample_cell, str(path))
+        assert path.stat().st_size > 100
+
+    def test_deterministic_output(self, sample_cell):
+        assert cell_to_gds(sample_cell) == cell_to_gds(sample_cell)
+
+    def test_real8_unit_value(self):
+        from repro.layout.gds import _real8
+
+        # 1.0 in excess-64 base-16: exponent 65, mantissa 1/16.
+        encoded = _real8(1.0)
+        assert encoded[0] == 65
+        assert encoded[1] == 0x10
+
+
+class TestGdsReader:
+    """Round-trips through the GDSII reader."""
+
+    def test_motif_round_trip_geometry(self, tech):
+        from repro.layout.gds import cell_to_gds, gds_to_cell
+        from repro.layout.motif import generate_mos_motif
+
+        motif = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=4)
+        back = gds_to_cell(cell_to_gds(motif.cell))
+        original = sorted(
+            (s.layer.value, round(s.rect.x0 * 1e9), round(s.rect.y0 * 1e9),
+             round(s.rect.x1 * 1e9), round(s.rect.y1 * 1e9))
+            for s in motif.cell.flattened()
+        )
+        reread = sorted(
+            (s.layer.value, round(s.rect.x0 * 1e9), round(s.rect.y0 * 1e9),
+             round(s.rect.x1 * 1e9), round(s.rect.y1 * 1e9))
+            for s in back.flattened()
+        )
+        assert original == reread
+
+    def test_structure_name_recovered(self, sample_cell):
+        from repro.layout.gds import cell_to_gds, gds_to_cell
+
+        back = gds_to_cell(cell_to_gds(sample_cell))
+        assert back.name == "sample"
+
+    def test_file_round_trip(self, sample_cell, tmp_path):
+        from repro.layout.gds import read_gds, write_gds
+
+        path = tmp_path / "cell.gds"
+        write_gds(sample_cell, str(path))
+        back = read_gds(str(path))
+        assert len(back.shapes) == len(sample_cell.shapes)
+
+    def test_ota_round_trip_drc_clean(self, ota_layout, tech):
+        """The drawn OTA survives a GDS round trip geometrically (nets
+        are not stored in GDS, so only the geometric checks apply)."""
+        from repro.layout.drc import DrcChecker
+        from repro.layout.gds import cell_to_gds, gds_to_cell
+
+        back = gds_to_cell(cell_to_gds(ota_layout.cell))
+        checker = DrcChecker(tech)
+        geometric = [
+            v for v in checker.check(back)
+            if v.kind in ("min_width", "cut_size")
+        ]
+        assert geometric == []
+
+    def test_truncated_stream_rejected(self, sample_cell):
+        from repro.layout.gds import cell_to_gds, gds_to_cell
+
+        stream = cell_to_gds(sample_cell)
+        with pytest.raises(ValueError):
+            gds_to_cell(stream[:-3])

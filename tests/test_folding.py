@@ -1,0 +1,202 @@
+"""Capacitance reduction factor F and fold geometry (paper Figure 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.folding import (
+    DiffusionPosition,
+    capacitance_reduction_factor,
+    choose_fold_count,
+    effective_widths,
+    folded_diffusion_geometry,
+    strip_counts,
+)
+from repro.units import UM
+
+
+class TestPaperEquation:
+    """The three branches of the paper's equation (1)."""
+
+    def test_unfolded_is_unity(self):
+        for position in DiffusionPosition:
+            assert capacitance_reduction_factor(1, position) == 1.0
+
+    def test_even_internal_is_half(self):
+        for nf in (2, 4, 6, 8, 20):
+            assert capacitance_reduction_factor(
+                nf, DiffusionPosition.INTERNAL
+            ) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("nf", [2, 4, 6, 10])
+    def test_even_external(self, nf):
+        expected = (nf + 2) / (2 * nf)
+        assert capacitance_reduction_factor(
+            nf, DiffusionPosition.EXTERNAL
+        ) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("nf", [3, 5, 7, 9])
+    def test_odd(self, nf):
+        expected = (nf + 1) / (2 * nf)
+        assert capacitance_reduction_factor(
+            nf, DiffusionPosition.ALTERNATING
+        ) == pytest.approx(expected)
+
+    def test_figure2_reference_values(self):
+        """Spot values readable off the paper's Figure 2."""
+        assert capacitance_reduction_factor(
+            2, DiffusionPosition.EXTERNAL
+        ) == pytest.approx(1.0)
+        assert capacitance_reduction_factor(
+            3, DiffusionPosition.ALTERNATING
+        ) == pytest.approx(2 / 3)
+        assert capacitance_reduction_factor(
+            4, DiffusionPosition.EXTERNAL
+        ) == pytest.approx(0.75)
+
+    def test_invalid_combinations_rejected(self):
+        with pytest.raises(LayoutError):
+            capacitance_reduction_factor(4, DiffusionPosition.ALTERNATING)
+        with pytest.raises(LayoutError):
+            capacitance_reduction_factor(5, DiffusionPosition.INTERNAL)
+        with pytest.raises(LayoutError):
+            capacitance_reduction_factor(0, DiffusionPosition.INTERNAL)
+
+    @given(nf=st.integers(min_value=2, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_factor_bounds(self, nf):
+        if nf % 2 == 0:
+            internal = capacitance_reduction_factor(nf, DiffusionPosition.INTERNAL)
+            external = capacitance_reduction_factor(nf, DiffusionPosition.EXTERNAL)
+            assert 0.5 <= internal <= external <= 1.0
+        else:
+            factor = capacitance_reduction_factor(
+                nf, DiffusionPosition.ALTERNATING
+            )
+            assert 0.5 < factor <= 1.0
+
+    @given(nf=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_external_decreases_with_folds(self, nf):
+        """Figure 2: F falls with the first few folds for cases (b), (c)."""
+        position_a = (
+            DiffusionPosition.EXTERNAL if nf % 2 == 0
+            else DiffusionPosition.ALTERNATING
+        )
+        position_b = (
+            DiffusionPosition.EXTERNAL if (nf + 2) % 2 == 0
+            else DiffusionPosition.ALTERNATING
+        )
+        if nf == 1:
+            return
+        assert capacitance_reduction_factor(
+            nf + 2, position_b
+        ) <= capacitance_reduction_factor(nf, position_a) + 1e-12
+
+
+class TestStripCounts:
+    def test_total_strips(self):
+        for nf in range(1, 12):
+            drain, source = strip_counts(nf, drain_internal=True)
+            assert drain + source == nf + 1
+
+    def test_even_internal_drain_census(self):
+        drain, source = strip_counts(6, drain_internal=True)
+        assert drain == 3
+        assert source == 4
+
+    def test_even_external_drain_census(self):
+        drain, source = strip_counts(6, drain_internal=False)
+        assert drain == 4
+        assert source == 3
+
+    def test_odd_split_evenly(self):
+        drain, source = strip_counts(5, drain_internal=True)
+        assert drain == source == 3
+
+
+class TestEffectiveWidths:
+    def test_consistent_with_factor(self):
+        width = 60 * UM
+        for nf in (2, 4, 6, 8):
+            drain_weff, source_weff = effective_widths(width, nf, True)
+            assert drain_weff == pytest.approx(0.5 * width)
+            expected_source = capacitance_reduction_factor(
+                nf, DiffusionPosition.EXTERNAL
+            )
+            assert source_weff == pytest.approx(expected_source * width)
+
+    def test_drain_external_swaps(self):
+        drain_weff, source_weff = effective_widths(60 * UM, 4, False)
+        assert drain_weff > source_weff
+
+    def test_odd_symmetric(self):
+        drain_weff, source_weff = effective_widths(60 * UM, 5)
+        assert drain_weff == pytest.approx(source_weff)
+
+    @given(
+        nf=st.integers(min_value=1, max_value=40),
+        width=st.floats(min_value=1e-6, max_value=1e-3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_diffusion_conserved(self, nf, width):
+        """Drain + source effective width = (nf+1)/nf * W * strip fraction.
+
+        Equivalently: total effective width equals W * (nf+1)/ (2nf) * 2
+        ... i.e. one strip width per boundary: (nf+1) * (W/nf) fingers.
+        """
+        drain_weff, source_weff = effective_widths(width, nf)
+        expected_total = (nf + 1) * width / nf if nf > 1 else 2 * width
+        assert drain_weff + source_weff == pytest.approx(expected_total, rel=1e-9)
+
+
+class TestFoldedGeometry:
+    def test_matches_effective_width_model(self):
+        """Drawn areas equal F*W times the strip length for uniform ldif."""
+        width, nf, ldif = 60 * UM, 4, 1.5 * UM
+        geometry = folded_diffusion_geometry(width, nf, ldif, ldif, True)
+        drain_weff, source_weff = effective_widths(width, nf, True)
+        assert geometry.ad == pytest.approx(drain_weff * ldif)
+        assert geometry.as_ == pytest.approx(source_weff * ldif)
+
+    def test_internal_drain_has_no_outer_edge(self):
+        geometry = folded_diffusion_geometry(
+            60 * UM, 4, 1.5 * UM, 1.35 * UM, True
+        )
+        # Internal strips expose only their short ends: 2 strips * 2 * ldif.
+        assert geometry.pd == pytest.approx(2 * 2 * 1.5 * UM)
+
+    def test_single_fold_both_external(self):
+        geometry = folded_diffusion_geometry(30 * UM, 1, 1.5 * UM, 1.35 * UM)
+        assert geometry.ad == pytest.approx(30 * UM * 1.35 * UM)
+        assert geometry.pd == pytest.approx((30 + 2 * 1.35) * UM)
+
+    @given(nf=st.integers(min_value=2, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_folding_never_increases_drain_cap(self, nf):
+        """The motivation of Figure 2: folding shrinks drain diffusion."""
+        width, ldif = 60e-6, 1.5e-6
+        folded = folded_diffusion_geometry(width, nf, ldif, ldif, True)
+        unfolded = folded_diffusion_geometry(width, 1, ldif, ldif, True)
+        assert folded.ad <= unfolded.ad + 1e-18
+        assert folded.pd <= unfolded.pd + 1e-12
+
+
+class TestChooseFoldCount:
+    def test_small_device_stays_unfolded(self):
+        assert choose_fold_count(5 * UM, 10 * UM) == 1
+
+    def test_prefers_even(self):
+        nf = choose_fold_count(55 * UM, 11 * UM, prefer_even=True)
+        assert nf % 2 == 0
+
+    def test_odd_allowed_when_not_preferred(self):
+        nf = choose_fold_count(55 * UM, 11 * UM, prefer_even=False)
+        assert nf == 5
+
+    def test_respects_max(self):
+        assert choose_fold_count(1e-3, 1e-6, max_folds=16) == 16
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(LayoutError):
+            choose_fold_count(0.0, 1e-6)

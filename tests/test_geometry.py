@@ -1,0 +1,158 @@
+"""Planar geometry primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.geometry import Orientation, Point, Rect, bounding_box
+
+rect_strategy = st.builds(
+    Rect.from_size,
+    st.floats(min_value=-1e-3, max_value=1e-3),
+    st.floats(min_value=-1e-3, max_value=1e-3),
+    st.floats(min_value=1e-9, max_value=1e-3),
+    st.floats(min_value=1e-9, max_value=1e-3),
+)
+
+
+class TestRectBasics:
+    def test_measures(self):
+        rect = Rect(0.0, 0.0, 2.0, 3.0)
+        assert rect.width == 2.0
+        assert rect.height == 3.0
+        assert rect.area == 6.0
+        assert rect.perimeter == 10.0
+
+    def test_center(self):
+        assert Rect(0.0, 0.0, 2.0, 4.0).center == Point(1.0, 2.0)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(LayoutError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+
+    def test_from_size_negative_rejected(self):
+        with pytest.raises(LayoutError):
+            Rect.from_size(0.0, 0.0, -1.0, 1.0)
+
+    def test_centered_constructor(self):
+        rect = Rect.centered(5.0, 5.0, 2.0, 4.0)
+        assert rect == Rect(4.0, 3.0, 6.0, 7.0)
+
+    def test_translation(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0).translated(2.0, 3.0)
+        assert rect == Rect(2.0, 3.0, 3.0, 4.0)
+
+    def test_expansion(self):
+        rect = Rect(1.0, 1.0, 2.0, 2.0).expanded(0.5)
+        assert rect == Rect(0.5, 0.5, 2.5, 2.5)
+
+
+class TestTransforms:
+    def test_r90_swaps_dimensions(self):
+        rect = Rect(0.0, 0.0, 2.0, 1.0).transformed(Orientation.R90)
+        assert rect.width == pytest.approx(1.0)
+        assert rect.height == pytest.approx(2.0)
+
+    def test_mirror_y_flips_x(self):
+        rect = Rect(1.0, 0.0, 3.0, 1.0).transformed(Orientation.MY)
+        assert rect == Rect(-3.0, 0.0, -1.0, 1.0)
+
+    def test_mirror_x_flips_y(self):
+        rect = Rect(0.0, 1.0, 1.0, 3.0).transformed(Orientation.MX)
+        assert rect == Rect(0.0, -3.0, 1.0, -1.0)
+
+    def test_r180_negates_both(self):
+        rect = Rect(1.0, 2.0, 3.0, 4.0).transformed(Orientation.R180)
+        assert rect == Rect(-3.0, -4.0, -1.0, -2.0)
+
+    @given(rect_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_transforms_preserve_area(self, rect):
+        for orientation in Orientation:
+            assert rect.transformed(orientation).area == pytest.approx(rect.area)
+
+    @given(rect_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_double_mirror_is_identity(self, rect):
+        twice = rect.transformed(Orientation.MY).transformed(Orientation.MY)
+        assert twice.x0 == pytest.approx(rect.x0)
+        assert twice.y1 == pytest.approx(rect.y1)
+
+
+class TestPredicates:
+    def test_intersects_overlap(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 3.0, 3.0)
+        assert a.intersects(b)
+
+    def test_touching_edges_do_not_intersect(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(1.0, 0.0, 2.0, 1.0)
+        assert not a.intersects(b)
+
+    def test_contains(self):
+        outer = Rect(0.0, 0.0, 4.0, 4.0)
+        inner = Rect(1.0, 1.0, 2.0, 2.0)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_intersection_region(self):
+        a = Rect(0.0, 0.0, 2.0, 2.0)
+        b = Rect(1.0, 1.0, 3.0, 3.0)
+        assert a.intersection(b) == Rect(1.0, 1.0, 2.0, 2.0)
+
+    def test_disjoint_intersection_none(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(2.0, 2.0, 3.0, 3.0)
+        assert a.intersection(b) is None
+
+    def test_distance_horizontal(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(3.0, 0.0, 4.0, 1.0)
+        assert a.distance_to(b) == pytest.approx(2.0)
+
+    def test_distance_diagonal(self):
+        a = Rect(0.0, 0.0, 1.0, 1.0)
+        b = Rect(4.0, 5.0, 5.0, 6.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_parallel_run(self):
+        a = Rect(0.0, 0.0, 10.0, 1.0)
+        b = Rect(5.0, 2.0, 20.0, 3.0)
+        assert a.parallel_run_x(b) == pytest.approx(5.0)
+        assert a.parallel_run_y(b) == 0.0
+
+    @given(rect_strategy, rect_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_symmetric(self, a, b):
+        ab = a.intersection(b)
+        ba = b.intersection(a)
+        assert (ab is None) == (ba is None)
+        if ab is not None:
+            assert ab == ba
+
+    @given(rect_strategy, rect_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_intersection_inside_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains(overlap)
+            assert b.contains(overlap)
+
+
+class TestBoundingBox:
+    def test_union(self):
+        box = bounding_box([Rect(0, 0, 1, 1), Rect(2, -1, 3, 4)])
+        assert box == Rect(0, -1, 3, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            bounding_box([])
+
+    @given(st.lists(rect_strategy, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_contains_all_members(self, rects):
+        box = bounding_box(rects)
+        for rect in rects:
+            assert box.x0 <= rect.x0 and box.x1 >= rect.x1
+            assert box.y0 <= rect.y0 and box.y1 >= rect.y1

@@ -1,0 +1,79 @@
+"""Junction capacitance model and diffusion geometry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mos.junction import DiffusionGeometry, junction_capacitance
+from repro.units import UM
+
+
+class TestDiffusionGeometry:
+    def test_single_fold_area(self):
+        geometry = DiffusionGeometry.single_fold(10 * UM, 1.5 * UM)
+        assert geometry.ad == pytest.approx(15e-12)
+        assert geometry.as_ == pytest.approx(15e-12)
+
+    def test_single_fold_perimeter_excludes_gate_edge(self):
+        geometry = DiffusionGeometry.single_fold(10 * UM, 1.5 * UM)
+        assert geometry.pd == pytest.approx((10 + 2 * 1.5) * UM)
+
+    def test_from_effective_widths(self):
+        geometry = DiffusionGeometry.from_effective_widths(
+            drain_weff=5 * UM, source_weff=10 * UM, ldif=1.5 * UM
+        )
+        assert geometry.ad == pytest.approx(7.5e-12)
+        assert geometry.as_ == pytest.approx(15e-12)
+
+    def test_scaled(self):
+        geometry = DiffusionGeometry.single_fold(10 * UM, 1.5 * UM).scaled(2.0)
+        assert geometry.ad == pytest.approx(30e-12)
+        assert geometry.pd == pytest.approx(2 * (10 + 3) * UM)
+
+
+class TestJunctionCapacitance:
+    def test_zero_bias(self, tech):
+        params = tech.nmos
+        area, perimeter = 20e-12, 15e-6
+        value = junction_capacitance(params, area, perimeter, 0.0)
+        assert value == pytest.approx(params.cj * area + params.cjsw * perimeter)
+
+    def test_reverse_bias_reduces(self, tech):
+        params = tech.nmos
+        at_zero = junction_capacitance(params, 20e-12, 15e-6, 0.0)
+        at_two = junction_capacitance(params, 20e-12, 15e-6, 2.0)
+        assert at_two < at_zero
+
+    def test_grading_exponent(self, tech):
+        params = tech.nmos
+        area = 20e-12
+        bottom_only = junction_capacitance(params, area, 0.0, params.pb)
+        expected = params.cj * area / 2.0**params.mj
+        assert bottom_only == pytest.approx(expected)
+
+    def test_forward_bias_linearised(self, tech):
+        params = tech.nmos
+        value = junction_capacitance(params, 20e-12, 0.0, -0.2)
+        expected = params.cj * 20e-12 * (1 + params.mj * 0.2 / params.pb)
+        assert value == pytest.approx(expected)
+
+    def test_negative_area_rejected(self, tech):
+        with pytest.raises(ValueError):
+            junction_capacitance(tech.nmos, -1.0, 0.0, 0.0)
+
+    @given(
+        bias_a=st.floats(min_value=0.0, max_value=3.0),
+        bias_b=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_monotonically_decreasing_in_bias(self, tech, bias_a, bias_b):
+        lo, hi = sorted((bias_a, bias_b))
+        at_lo = junction_capacitance(tech.nmos, 20e-12, 15e-6, lo)
+        at_hi = junction_capacitance(tech.nmos, 20e-12, 15e-6, hi)
+        assert at_hi <= at_lo + 1e-20
+
+    @given(scale=st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_in_area(self, tech, scale):
+        base = junction_capacitance(tech.nmos, 20e-12, 0.0, 1.0)
+        scaled = junction_capacitance(tech.nmos, 20e-12 * scale, 0.0, 1.0)
+        assert scaled == pytest.approx(base * scale, rel=1e-9)

@@ -1,0 +1,137 @@
+"""Property-based fuzzing of the layout stack.
+
+Random CAIRO programs (devices, pairs, mirrors, capacitors, resistors in
+random row arrangements) must always produce DRC-clean geometry whose
+extraction is self-consistent — correctness by construction, tested by
+construction.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.layout.cairo import CairoProgram
+from repro.layout.drc import DrcChecker
+from repro.layout.extraction import extract_cell
+from repro.units import PF, UM
+
+widths = st.floats(min_value=6e-6, max_value=120e-6)
+lengths = st.floats(min_value=0.6e-6, max_value=3e-6)
+folds = st.sampled_from([1, 2, 4, 6])
+currents = st.floats(min_value=0.0, max_value=2e-3)
+polarity = st.sampled_from(["n", "p"])
+
+
+@st.composite
+def random_program_spec(draw):
+    """A random well-formed program description."""
+    modules = []
+    count = draw(st.integers(min_value=1, max_value=4))
+    for index in range(count):
+        kind = draw(st.sampled_from(["device", "pair", "cap", "res"]))
+        modules.append((kind, index, draw(st.integers(0, 10**6))))
+    rows = draw(st.integers(min_value=1, max_value=min(3, count)))
+    assignment = [
+        draw(st.integers(min_value=0, max_value=rows - 1))
+        for _ in modules
+    ]
+    # Ensure every row is non-empty.
+    for row in range(rows):
+        if row not in assignment:
+            assignment[row % len(assignment)] = row
+    seeds = {
+        "w": draw(widths), "l": draw(lengths), "nf": draw(folds),
+        "i": draw(currents), "pol": draw(polarity),
+    }
+    return modules, rows, assignment, seeds
+
+
+def build_program(tech, spec):
+    modules, rows, assignment, seeds = spec
+    program = CairoProgram(tech, "fuzz")
+    for kind, index, _salt in modules:
+        name = f"{kind}{index}"
+        if kind == "device":
+            program.device(
+                name, seeds["pol"], seeds["w"], seeds["l"],
+                nets=(f"d{index}", f"g{index}", f"s{index}",
+                      "vdd!" if seeds["pol"] == "p" else "0"),
+                nf=seeds["nf"], current=seeds["i"],
+            )
+        elif kind == "pair":
+            program.pair(
+                name, seeds["pol"], seeds["w"], seeds["l"],
+                nf=max(2, seeds["nf"]),
+                names=(f"{name}_a", f"{name}_b"),
+                drains=(f"da{index}", f"db{index}"),
+                gates=(f"ga{index}", f"gb{index}"),
+                source=f"tail{index}",
+                bulk="vdd!" if seeds["pol"] == "p" else "0",
+                current_per_side=seeds["i"] / 2.0,
+            )
+        elif kind == "cap":
+            program.capacitor(name, 0.5 * PF, f"ct{index}", f"cb{index}")
+        else:
+            program.resistor(name, 5e3, f"ra{index}", f"rb{index}")
+    row_members = {row: [] for row in range(rows)}
+    for (kind, index, _salt), row in zip(modules, assignment):
+        row_members[row].append(f"{kind}{index}")
+    for row in range(rows):
+        program.row(*row_members[row])
+    return program
+
+
+class TestRandomPrograms:
+    @given(spec=random_program_spec())
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_generated_layouts_are_drc_clean(self, tech, spec):
+        program = build_program(tech, spec)
+        try:
+            cell, _report = program.generate()
+        except Exception as error:
+            # Infeasible geometry (e.g. a fold count too high for the
+            # width) must fail loudly and cleanly, not draw garbage.
+            from repro.errors import ReproError
+
+            assert isinstance(error, ReproError)
+            return
+        DrcChecker(tech).assert_clean(cell)
+
+    @given(spec=random_program_spec())
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_estimate_matches_generate_report(self, tech, spec):
+        """Parasitic-calculation mode and generation mode agree."""
+        program_a = build_program(tech, spec)
+        program_b = build_program(tech, spec)
+        try:
+            estimate = program_a.calculate_parasitics()
+            _cell, generated = program_b.generate()
+        except Exception:
+            return
+        assert estimate.net_capacitance.keys() == (
+            generated.net_capacitance.keys()
+        )
+        for net, value in estimate.net_capacitance.items():
+            assert generated.net_capacitance[net] == pytest.approx(value)
+
+    @given(spec=random_program_spec())
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_extraction_covers_estimated_nets(self, tech, spec):
+        """Every net the estimator reports is visible to the extractor."""
+        program = build_program(tech, spec)
+        try:
+            cell, report = program.generate()
+        except Exception:
+            return
+        extracted = extract_cell(cell, tech)
+        for net, value in report.net_capacitance.items():
+            if value > 1e-16:
+                assert extracted.net_wire_cap.get(net, 0.0) > 0.0, net

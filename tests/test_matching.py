@@ -1,0 +1,93 @@
+"""Gradient-induced systematic mismatch (the matching constraints' value)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.matching import (
+    compare_pair_styles,
+    pair_offset_voltage,
+    stack_gradient_impact,
+)
+from repro.layout.stack import generate_stack
+from repro.units import UM
+
+
+class TestStackGradientImpact:
+    @pytest.fixture(scope="class")
+    def mirror_impact(self, tech):
+        plan = generate_stack({"m1": 1, "m2": 3, "m3": 6})
+        return plan, stack_gradient_impact(
+            plan, tech.rules.gate_pitch, vth_gradient=1.0
+        )
+
+    def test_balanced_device_immune(self, mirror_impact):
+        """The even-unit, centroid-zero device sees no gradient shift."""
+        _plan, impact = mirror_impact
+        assert impact["m3"].vth_shift == pytest.approx(0.0, abs=1e-9)
+        assert impact["m3"].beta_error == 0.0
+
+    def test_shift_proportional_to_centroid(self, mirror_impact, tech):
+        plan, impact = mirror_impact
+        pitch = tech.rules.gate_pitch
+        for device in ("m1", "m2"):
+            expected = plan.centroid_offset(device) * pitch * 1.0
+            assert impact[device].vth_shift == pytest.approx(expected)
+
+    def test_orientation_residual_scaled_by_count(self, mirror_impact):
+        _plan, impact = mirror_impact
+        # m1 (1 unit, |balance| 1) takes the full per-finger error; m2
+        # (3 units) averages it down.
+        assert abs(impact["m1"].beta_error) > 2 * abs(impact["m2"].beta_error)
+
+    def test_gradient_scales_linearly(self, tech):
+        plan = generate_stack({"m1": 1, "m2": 3, "m3": 6})
+        one = stack_gradient_impact(plan, tech.rules.gate_pitch, 1.0)
+        five = stack_gradient_impact(plan, tech.rules.gate_pitch, 5.0)
+        assert five["m1"].vth_shift == pytest.approx(5 * one["m1"].vth_shift)
+
+    def test_bad_pitch_rejected(self, tech):
+        plan = generate_stack({"a": 2})
+        with pytest.raises(LayoutError):
+            stack_gradient_impact(plan, 0.0)
+
+
+class TestPairOffset:
+    def test_common_centroid_pair_has_zero_offset(self, tech):
+        plan = generate_stack({"a": 4, "b": 4})
+        offset = pair_offset_voltage(
+            plan, ("a", "b"), tech.rules.gate_pitch, veff=0.2
+        )
+        assert offset == pytest.approx(0.0, abs=1e-9)
+
+    def test_unknown_pair_rejected(self, tech):
+        plan = generate_stack({"a": 2, "b": 2})
+        with pytest.raises(LayoutError):
+            pair_offset_voltage(plan, ("a", "zz"), tech.rules.gate_pitch, 0.2)
+
+
+class TestStyleComparison:
+    """The paper's matching claim quantified: common centroid beats
+    interdigitated under a linear process gradient."""
+
+    @pytest.fixture(scope="class")
+    def styles(self, tech):
+        return compare_pair_styles(
+            tech, 60 * UM, 1 * UM, nf=4, vth_gradient=1.0
+        )
+
+    def test_common_centroid_immune(self, styles):
+        assert abs(styles["common_centroid"]) < 1e-9
+
+    def test_interdigitated_sees_gradient(self, styles):
+        # ABAB leaves a one-pitch centroid difference: hundreds of uV
+        # under 1 mV/mm.
+        assert abs(styles["interdigitated"]) > 100e-6
+
+    def test_ordering_robust_across_fold_counts(self, tech):
+        for nf in (2, 4, 8):
+            styles = compare_pair_styles(
+                tech, 60 * UM, 1 * UM, nf=nf, vth_gradient=1.0
+            )
+            assert abs(styles["common_centroid"]) <= abs(
+                styles["interdigitated"]
+            ) + 1e-12

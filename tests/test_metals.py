@@ -1,0 +1,108 @@
+"""Interconnect layer electrical model."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.technology.metals import MetalLayer
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def metal():
+    return MetalLayer(
+        name="metal1",
+        area_cap=0.035e-3,
+        fringe_cap=0.046e-9,
+        coupling_cap=0.085e-9,
+        min_spacing=0.9 * UM,
+        sheet_resistance=0.07,
+        max_current_density=1.0e3,
+    )
+
+
+class TestWireCapacitance:
+    def test_area_plus_fringe(self, metal):
+        length, width = 100 * UM, 1 * UM
+        expected = metal.area_cap * length * width + 2 * metal.fringe_cap * length
+        assert metal.wire_capacitance(length, width) == pytest.approx(expected)
+
+    def test_zero_length_wire(self, metal):
+        assert metal.wire_capacitance(0.0, 1 * UM) == 0.0
+
+    def test_negative_dimensions_rejected(self, metal):
+        with pytest.raises(ValueError):
+            metal.wire_capacitance(-1.0, 1.0)
+
+    @given(
+        st.floats(min_value=1e-7, max_value=1e-3),
+        st.floats(min_value=1e-7, max_value=1e-5),
+    )
+    def test_monotonic_in_length(self, length, width):
+        metal = MetalLayer(
+            "m", 0.03e-3, 0.04e-9, 0.08e-9, 1e-6, 0.07, 1e3
+        )
+        assert metal.wire_capacitance(2 * length, width) > metal.wire_capacitance(
+            length, width
+        )
+
+
+class TestCouplingCapacitance:
+    def test_min_spacing_reference(self, metal):
+        run = 50 * UM
+        value = metal.coupling_capacitance(run, metal.min_spacing)
+        assert value == pytest.approx(metal.coupling_cap * run)
+
+    def test_decays_with_spacing(self, metal):
+        run = 50 * UM
+        near = metal.coupling_capacitance(run, metal.min_spacing)
+        far = metal.coupling_capacitance(run, 3 * metal.min_spacing)
+        assert far == pytest.approx(near / 3)
+
+    def test_zero_run_is_zero(self, metal):
+        assert metal.coupling_capacitance(0.0, metal.min_spacing) == 0.0
+
+    def test_zero_spacing_rejected(self, metal):
+        with pytest.raises(ValueError):
+            metal.coupling_capacitance(1e-6, 0.0)
+
+
+class TestResistanceAndEm:
+    def test_square_count(self, metal):
+        resistance = metal.wire_resistance(10 * UM, 1 * UM)
+        assert resistance == pytest.approx(10 * metal.sheet_resistance)
+
+    def test_zero_width_rejected(self, metal):
+        with pytest.raises(ValueError):
+            metal.wire_resistance(1e-6, 0.0)
+
+    def test_em_width_small_current_uses_minimum(self, metal):
+        width = metal.min_width_for_current(0.1e-3, 0.9 * UM)
+        assert width == pytest.approx(0.9 * UM)
+
+    def test_em_width_large_current(self, metal):
+        # 5 mA at 1 mA/um needs 5 um.
+        width = metal.min_width_for_current(5e-3, 0.9 * UM)
+        assert width == pytest.approx(5 * UM)
+
+    def test_em_width_uses_magnitude(self, metal):
+        assert metal.min_width_for_current(-5e-3, 0.9 * UM) == pytest.approx(
+            metal.min_width_for_current(5e-3, 0.9 * UM)
+        )
+
+
+class TestValidation:
+    def test_valid_layer(self, metal):
+        metal.validate()
+
+    def test_nameless_layer_rejected(self, metal):
+        broken = dataclasses.replace(metal, name="")
+        with pytest.raises(TechnologyError):
+            broken.validate()
+
+    def test_nonpositive_field_rejected(self, metal):
+        broken = dataclasses.replace(metal, area_cap=0.0)
+        with pytest.raises(TechnologyError):
+            broken.validate()

@@ -1,0 +1,295 @@
+"""MOS device models: level 1 and level 3."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.mos import Level1Model, Level3Model, make_model
+from repro.mos.model import Region
+from repro.units import UM
+
+
+class TestFactory:
+    def test_level1(self, tech):
+        assert isinstance(make_model(tech.nmos, 1), Level1Model)
+
+    def test_level3(self, tech):
+        assert isinstance(make_model(tech.nmos, 3), Level3Model)
+
+    def test_unknown_level_rejected(self, tech):
+        with pytest.raises(ValueError):
+            make_model(tech.nmos, 2)
+
+
+class TestThreshold:
+    def test_zero_body_bias(self, nmos_model, tech):
+        assert nmos_model.threshold(0.0) == pytest.approx(tech.nmos.vto)
+
+    def test_body_effect_raises_threshold(self, nmos_model):
+        assert nmos_model.threshold(1.0) > nmos_model.threshold(0.0)
+
+    def test_body_effect_formula(self, nmos_model, tech):
+        vsb = 1.0
+        expected = tech.nmos.vto + tech.nmos.gamma * (
+            math.sqrt(tech.nmos.phi + vsb) - math.sqrt(tech.nmos.phi)
+        )
+        assert nmos_model.threshold(vsb) == pytest.approx(expected)
+
+    def test_pmos_threshold_magnitude(self, pmos_model, tech):
+        assert pmos_model.threshold(0.0) == pytest.approx(-tech.pmos.vto)
+
+
+class TestSquareLaw:
+    def test_saturation_current(self, nmos_model, tech):
+        w, l, veff, vds = 50 * UM, 1 * UM, 0.3, 1.0
+        vgs = tech.nmos.vto + veff
+        current, gm, gds, gmb, region = nmos_model.evaluate(w, l, vgs, vds, 0.0)
+        lam = tech.nmos.lambda_l / l
+        expected = 0.5 * tech.nmos.kp * (w / l) * veff**2 * (1 + lam * vds)
+        assert region is Region.SATURATION
+        assert current == pytest.approx(expected, rel=1e-9)
+
+    def test_gm_equals_two_id_over_veff(self, nmos_model):
+        op = nmos_model.bias_saturated(width=50 * UM, length=1 * UM, veff=0.3)
+        assert op.gm == pytest.approx(2 * op.id / 0.3, rel=1e-9)
+
+    def test_gds_proportional_to_lambda(self, nmos_model, tech):
+        op = nmos_model.bias_saturated(
+            width=50 * UM, length=1 * UM, veff=0.3, vds=1.0
+        )
+        lam = tech.nmos.lambda_l / (1 * UM)
+        assert op.gds == pytest.approx(op.id / (1 + lam) * lam, rel=1e-6)
+
+    def test_longer_device_higher_ro(self, nmos_model):
+        short = nmos_model.bias_saturated(width=50 * UM, length=0.6 * UM, veff=0.3)
+        long_ = nmos_model.bias_saturated(width=50 * UM, length=2.4 * UM, veff=0.3)
+        assert long_.intrinsic_gain > 2 * short.intrinsic_gain
+
+    def test_triode_current_lower_than_saturation(self, nmos_model, tech):
+        w, l, veff = 50 * UM, 1 * UM, 0.4
+        vgs = tech.nmos.vto + veff
+        i_sat, *_ = nmos_model.evaluate(w, l, vgs, 1.0, 0.0)
+        i_triode, *_, region = nmos_model.evaluate(w, l, vgs, 0.1, 0.0)
+        assert region is Region.TRIODE
+        assert i_triode < i_sat
+
+    def test_deep_triode_resistive(self, nmos_model, tech):
+        """At tiny vds the channel behaves like 1/(kp W/L veff)."""
+        w, l, veff = 50 * UM, 1 * UM, 0.5
+        vgs = tech.nmos.vto + veff
+        vds = 1e-3
+        current, *_ = nmos_model.evaluate(w, l, vgs, vds, 0.0)
+        conductance = tech.nmos.kp * (w / l) * veff
+        assert current == pytest.approx(conductance * vds, rel=0.02)
+
+    def test_continuity_at_saturation_edge(self, nmos_model, tech):
+        w, l, veff = 50 * UM, 1 * UM, 0.3
+        vgs = tech.nmos.vto + veff
+        below, *_ = nmos_model.evaluate(w, l, vgs, veff - 1e-9, 0.0)
+        above, *_ = nmos_model.evaluate(w, l, vgs, veff + 1e-9, 0.0)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_negative_vds_rejected(self, nmos_model, tech):
+        with pytest.raises(ModelError):
+            nmos_model.evaluate(50 * UM, 1 * UM, 1.0, -0.1, 0.0)
+
+    def test_zero_geometry_rejected(self, nmos_model):
+        with pytest.raises(ModelError):
+            nmos_model.evaluate(0.0, 1 * UM, 1.0, 1.0, 0.0)
+
+
+class TestWeakInversion:
+    def test_subthreshold_region_flag(self, nmos_model, tech):
+        vgs = tech.nmos.vto - 0.1
+        *_, region = nmos_model.evaluate(50 * UM, 1 * UM, vgs, 1.0, 0.0)
+        assert region is Region.CUTOFF
+
+    def test_exponential_slope(self, nmos_model, tech):
+        """One decade of current per n*Vt*ln(10) of gate drive."""
+        w, l = 50 * UM, 1 * UM
+        vgs = tech.nmos.vto - 0.15
+        n = nmos_model.slope_factor(0.0)
+        step = n * nmos_model.vt * math.log(10.0)
+        low, *_ = nmos_model.evaluate(w, l, vgs, 1.0, 0.0)
+        high, *_ = nmos_model.evaluate(w, l, vgs + step, 1.0, 0.0)
+        assert high / low == pytest.approx(10.0, rel=1e-3)
+
+    def test_continuity_at_weak_inversion_onset(self, nmos_model, tech):
+        w, l = 50 * UM, 1 * UM
+        onset = nmos_model._weak_inversion_onset(0.0)
+        vgs_edge = tech.nmos.vto + onset
+        below, *_ = nmos_model.evaluate(w, l, vgs_edge - 1e-9, 1.0, 0.0)
+        above, *_ = nmos_model.evaluate(w, l, vgs_edge + 1e-9, 1.0, 0.0)
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_gm_continuity_at_onset(self, nmos_model, tech):
+        w, l = 50 * UM, 1 * UM
+        onset = nmos_model._weak_inversion_onset(0.0)
+        vgs_edge = tech.nmos.vto + onset
+        _, gm_below, *_ = nmos_model.evaluate(w, l, vgs_edge - 1e-9, 1.0, 0.0)
+        _, gm_above, *_ = nmos_model.evaluate(w, l, vgs_edge + 1e-9, 1.0, 0.0)
+        assert gm_below == pytest.approx(gm_above, rel=1e-4)
+
+    def test_deep_cutoff_current_negligible(self, nmos_model, tech):
+        current, *_ = nmos_model.evaluate(
+            50 * UM, 1 * UM, 0.0, 1.0, 0.0
+        )
+        assert current < 1e-12
+
+
+class TestLevel3:
+    def test_less_current_than_level1(self, tech):
+        l1 = make_model(tech.nmos, 1)
+        l3 = make_model(tech.nmos, 3)
+        op1 = l1.bias_saturated(width=50 * UM, length=1 * UM, veff=0.4)
+        op3 = l3.bias_saturated(width=50 * UM, length=1 * UM, veff=0.4)
+        assert op3.id < op1.id
+
+    def test_degradation_grows_with_overdrive(self, tech):
+        l1 = make_model(tech.nmos, 1)
+        l3 = make_model(tech.nmos, 3)
+        ratio_low = (
+            l3.bias_saturated(50 * UM, 1 * UM, veff=0.1).id
+            / l1.bias_saturated(50 * UM, 1 * UM, veff=0.1).id
+        )
+        ratio_high = (
+            l3.bias_saturated(50 * UM, 1 * UM, veff=0.6).id
+            / l1.bias_saturated(50 * UM, 1 * UM, veff=0.6).id
+        )
+        assert ratio_high < ratio_low
+
+    def test_velocity_saturation_stronger_at_short_length(self, tech):
+        l3 = make_model(tech.nmos, 3)
+        assert l3.theta_eff(0.6 * UM) > l3.theta_eff(2.4 * UM)
+
+    def test_triode_saturation_continuity(self, tech):
+        l3 = make_model(tech.nmos, 3)
+        w, l, veff = 50 * UM, 1 * UM, 0.3
+        vgs = tech.nmos.vto + veff
+        below, *_ = l3.evaluate(w, l, vgs, veff - 1e-9, 0.0)
+        above, *_ = l3.evaluate(w, l, vgs, veff + 1e-9, 0.0)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_gm_matches_numeric_derivative(self, tech):
+        l3 = make_model(tech.nmos, 3)
+        w, l = 50 * UM, 1 * UM
+        vgs, vds = 1.2, 1.0
+        delta = 1e-6
+        i_lo, *_ = l3.evaluate(w, l, vgs - delta, vds, 0.0)
+        i_hi, gm, *_ = l3.evaluate(w, l, vgs + delta, vds, 0.0)
+        numeric = (i_hi - i_lo) / (2 * delta)
+        assert gm == pytest.approx(numeric, rel=1e-3)
+
+
+class TestPropertyBased:
+    @given(
+        veff=st.floats(min_value=0.12, max_value=0.8),
+        width=st.floats(min_value=2e-6, max_value=500e-6),
+        length=st.floats(min_value=0.6e-6, max_value=5e-6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_current_positive_and_gm_positive(self, tech, veff, width, length):
+        model = make_model(tech.nmos, 1)
+        op = model.bias_saturated(width=width, length=length, veff=veff)
+        assert op.id > 0
+        assert op.gm > 0
+        assert op.gds > 0
+
+    @given(
+        vgs=st.floats(min_value=0.0, max_value=3.3),
+        vds=st.floats(min_value=0.0, max_value=3.3),
+        vsb=st.floats(min_value=0.0, max_value=2.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_current_monotonic_in_vgs(self, tech, vgs, vds, vsb):
+        model = make_model(tech.nmos, 1)
+        w, l = 20e-6, 1e-6
+        lower, *_ = model.evaluate(w, l, vgs, vds, vsb)
+        upper, *_ = model.evaluate(w, l, vgs + 0.05, vds, vsb)
+        assert upper >= lower - 1e-15
+
+    @given(
+        vgs=st.floats(min_value=0.9, max_value=3.0),
+        vds_a=st.floats(min_value=0.0, max_value=3.0),
+        vds_b=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_current_monotonic_in_vds(self, tech, vgs, vds_a, vds_b):
+        model = make_model(tech.nmos, 1)
+        w, l = 20e-6, 1e-6
+        lo, hi = sorted((vds_a, vds_b))
+        i_lo, *_ = model.evaluate(w, l, vgs, lo, 0.0)
+        i_hi, *_ = model.evaluate(w, l, vgs, hi, 0.0)
+        assert i_hi >= i_lo - 1e-15
+
+    @given(
+        veff=st.floats(min_value=0.12, max_value=0.7),
+        scale=st.floats(min_value=1.1, max_value=8.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_current_scales_with_width(self, tech, veff, scale):
+        model = make_model(tech.nmos, 3)
+        base = model.bias_saturated(width=10e-6, length=1e-6, veff=veff)
+        scaled = model.bias_saturated(width=10e-6 * scale, length=1e-6, veff=veff)
+        assert scaled.id == pytest.approx(base.id * scale, rel=1e-6)
+
+
+class TestCapacitances:
+    def test_saturation_cgs_two_thirds(self, nmos_model, tech):
+        w, l = 30 * UM, 1 * UM
+        cgs, cgd, _cgb = nmos_model.gate_capacitances(w, l, Region.SATURATION)
+        channel = tech.nmos.cox * w * l
+        assert cgs == pytest.approx(2 / 3 * channel + tech.nmos.cgso * w)
+        assert cgd == pytest.approx(tech.nmos.cgdo * w)
+
+    def test_triode_splits_channel(self, nmos_model, tech):
+        w, l = 30 * UM, 1 * UM
+        cgs, cgd, _ = nmos_model.gate_capacitances(w, l, Region.TRIODE)
+        assert cgs == pytest.approx(cgd)
+
+    def test_cutoff_channel_to_bulk(self, nmos_model, tech):
+        w, l = 30 * UM, 1 * UM
+        _cgs, _cgd, cgb = nmos_model.gate_capacitances(w, l, Region.CUTOFF)
+        assert cgb >= tech.nmos.cox * w * l
+
+    def test_operating_point_has_junction_caps(self, nmos_model):
+        op = nmos_model.bias_saturated(width=30 * UM, length=1 * UM, veff=0.3)
+        assert op.cdb > 0
+        assert op.csb > 0
+        # Drain reverse bias exceeds source, so cdb < csb.
+        assert op.cdb < op.csb
+
+
+class TestNoise:
+    def test_thermal_noise_proportional_to_gm(self, nmos_model):
+        op_small = nmos_model.bias_saturated(width=10 * UM, length=1 * UM, veff=0.2)
+        op_large = nmos_model.bias_saturated(width=40 * UM, length=1 * UM, veff=0.2)
+        ratio = nmos_model.thermal_noise_current_psd(
+            op_large
+        ) / nmos_model.thermal_noise_current_psd(op_small)
+        assert ratio == pytest.approx(op_large.gm / op_small.gm)
+
+    def test_flicker_inversely_proportional_to_frequency(self, nmos_model):
+        op = nmos_model.bias_saturated(width=30 * UM, length=1 * UM, veff=0.3)
+        at_1k = nmos_model.flicker_noise_current_psd(op, 1e3)
+        at_10k = nmos_model.flicker_noise_current_psd(op, 1e4)
+        assert at_1k == pytest.approx(10 * at_10k)
+
+    def test_flicker_decreases_with_length(self, nmos_model):
+        short = nmos_model.bias_saturated(width=30 * UM, length=0.6 * UM, veff=0.3)
+        long_ = nmos_model.bias_saturated(width=30 * UM, length=2.4 * UM, veff=0.3)
+        # Compare at equal current by normalising: psd ~ Id/L^2.
+        psd_short = nmos_model.flicker_noise_current_psd(short, 1e3) / short.id
+        psd_long = nmos_model.flicker_noise_current_psd(long_, 1e3) / long_.id
+        assert psd_long < psd_short
+
+    def test_flicker_corner_positive(self, nmos_model):
+        op = nmos_model.bias_saturated(width=30 * UM, length=1 * UM, veff=0.3)
+        assert nmos_model.flicker_corner(op) > 0
+
+    def test_negative_frequency_rejected(self, nmos_model):
+        op = nmos_model.bias_saturated(width=30 * UM, length=1 * UM, veff=0.3)
+        with pytest.raises(ValueError):
+            nmos_model.flicker_noise_current_psd(op, 0.0)

@@ -1,0 +1,93 @@
+"""Inverse model solvers (width/vgs for a target current)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SizingError
+from repro.mos import make_model, vgs_for_current, width_for_current
+from repro.units import UM
+
+
+class TestWidthForCurrent:
+    def test_round_trip_level1(self, nmos_model):
+        width = width_for_current(nmos_model, 150e-6, 1 * UM, 0.25, vds=0.8)
+        op = nmos_model.bias_saturated(
+            width=width, length=1 * UM, veff=0.25, vds=0.8
+        )
+        assert op.id == pytest.approx(150e-6, rel=1e-9)
+
+    def test_round_trip_level3(self, tech):
+        model = make_model(tech.nmos, 3)
+        width = width_for_current(model, 150e-6, 1 * UM, 0.25, vds=0.8)
+        op = model.bias_saturated(width=width, length=1 * UM, veff=0.25, vds=0.8)
+        assert op.id == pytest.approx(150e-6, rel=1e-9)
+
+    def test_width_linear_in_current(self, nmos_model):
+        w1 = width_for_current(nmos_model, 100e-6, 1 * UM, 0.25)
+        w2 = width_for_current(nmos_model, 200e-6, 1 * UM, 0.25)
+        assert w2 == pytest.approx(2 * w1, rel=1e-9)
+
+    def test_larger_overdrive_smaller_width(self, nmos_model):
+        wide = width_for_current(nmos_model, 100e-6, 1 * UM, 0.15)
+        narrow = width_for_current(nmos_model, 100e-6, 1 * UM, 0.4)
+        assert narrow < wide
+
+    def test_triode_vds_rejected(self, nmos_model):
+        with pytest.raises(SizingError):
+            width_for_current(nmos_model, 100e-6, 1 * UM, 0.4, vds=0.2)
+
+    def test_zero_current_rejected(self, nmos_model):
+        with pytest.raises(SizingError):
+            width_for_current(nmos_model, 0.0, 1 * UM, 0.25)
+
+    @given(
+        current=st.floats(min_value=1e-6, max_value=2e-3),
+        veff=st.floats(min_value=0.12, max_value=0.6),
+        length=st.floats(min_value=0.6e-6, max_value=4e-6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, tech, current, veff, length):
+        model = make_model(tech.pmos, 3)
+        width = width_for_current(model, current, length, veff, vds=veff + 0.3)
+        op = model.bias_saturated(
+            width=width, length=length, veff=veff, vds=veff + 0.3
+        )
+        assert op.id == pytest.approx(current, rel=1e-6)
+
+
+class TestVgsForCurrent:
+    def test_matches_forward_model(self, nmos_model, tech):
+        w, l, vds = 40 * UM, 1 * UM, 1.0
+        target = 120e-6
+        vgs = vgs_for_current(nmos_model, target, w, l, vds=vds)
+        current, *_ = nmos_model.evaluate(w, l, vgs, vds, 0.0)
+        assert current == pytest.approx(target, rel=1e-6)
+
+    def test_subthreshold_target(self, nmos_model):
+        """Tiny currents land in the weak-inversion tail."""
+        w, l = 40 * UM, 1 * UM
+        target = 10e-9
+        vgs = vgs_for_current(nmos_model, target, w, l, vds=1.0)
+        assert vgs < nmos_model.threshold(0.0)
+        current, *_ = nmos_model.evaluate(w, l, vgs, 1.0, 0.0)
+        assert current == pytest.approx(target, rel=1e-4)
+
+    def test_body_bias_shifts_vgs(self, nmos_model):
+        w, l = 40 * UM, 1 * UM
+        no_body = vgs_for_current(nmos_model, 100e-6, w, l, vds=1.0, vsb=0.0)
+        with_body = vgs_for_current(nmos_model, 100e-6, w, l, vds=1.0, vsb=1.0)
+        shift = nmos_model.threshold(1.0) - nmos_model.threshold(0.0)
+        assert with_body - no_body == pytest.approx(shift, rel=1e-3)
+
+    def test_zero_current_rejected(self, nmos_model):
+        with pytest.raises(SizingError):
+            vgs_for_current(nmos_model, 0.0, 40 * UM, 1 * UM)
+
+    @given(current=st.floats(min_value=1e-7, max_value=1e-3))
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_over_decades(self, tech, current):
+        model = make_model(tech.nmos, 1)
+        w, l, vds = 40e-6, 1e-6, 1.2
+        vgs = vgs_for_current(model, current, w, l, vds=vds)
+        measured, *_ = model.evaluate(w, l, vgs, vds, 0.0)
+        assert measured == pytest.approx(current, rel=1e-4)

@@ -1,0 +1,165 @@
+"""Transistor motif generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DesignRuleError, LayoutError
+from repro.layout.folding import folded_diffusion_geometry
+from repro.layout.layers import Layer
+from repro.layout.motif import generate_mos_motif
+from repro.units import UM
+
+
+class TestBasicMotif:
+    @pytest.fixture(scope="class")
+    def motif(self, tech):
+        return generate_mos_motif(
+            tech, "n", 40 * UM, 1 * UM, nf=4, drain_current=500e-6
+        )
+
+    def test_gate_count(self, motif):
+        # One poly shape per finger plus the strap and the tap pad.
+        gates = [
+            s for s in motif.cell.shapes_on(Layer.POLY)
+            if s.rect.height > 2 * s.rect.width
+        ]
+        assert len(gates) == 4
+
+    def test_strip_count(self, motif):
+        assert len(motif.strips) == 5
+
+    def test_drain_strips_internal(self, motif):
+        drains = [s for s in motif.strips if s.is_drain]
+        assert len(drains) == 2
+        assert all(not s.is_end for s in drains)
+
+    def test_sources_at_ends(self, motif):
+        ends = [s for s in motif.strips if s.is_end]
+        assert len(ends) == 2
+        assert all(not s.is_drain for s in ends)
+
+    def test_geometry_matches_formula(self, motif, tech):
+        expected = folded_diffusion_geometry(
+            motif.actual_w,
+            4,
+            ldif_internal=tech.rules.contacted_diffusion_width,
+            ldif_end=tech.rules.end_diffusion_width,
+            drain_internal=True,
+        )
+        assert motif.geometry.ad == pytest.approx(expected.ad)
+        assert motif.geometry.ps == pytest.approx(expected.ps)
+
+    def test_pins_present(self, motif):
+        assert set(motif.cell.pins) == {"d", "g", "s"}
+
+    def test_contacts_in_every_strip(self, motif):
+        assert all(s.contacts >= 1 for s in motif.strips)
+
+    def test_nmos_has_no_well(self, motif):
+        assert motif.well_rect is None
+        assert not motif.cell.shapes_on(Layer.NWELL)
+
+
+class TestFoldStyles:
+    def test_drain_external_option(self, tech):
+        motif = generate_mos_motif(
+            tech, "n", 40 * UM, 1 * UM, nf=4, drain_internal=False
+        )
+        ends = [s for s in motif.strips if s.is_end]
+        assert all(s.is_drain for s in ends)
+
+    def test_odd_fold_mixed(self, tech):
+        motif = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=5)
+        drains = [s for s in motif.strips if s.is_drain]
+        assert len(drains) == 3
+        assert sum(1 for s in drains if s.is_end) == 1
+
+    def test_more_folds_less_drain_area(self, tech):
+        unfolded = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=1)
+        folded = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=4)
+        assert folded.geometry.ad < unfolded.geometry.ad
+
+    def test_folding_shrinks_bbox_height_wise(self, tech):
+        unfolded = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=1)
+        folded = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=4)
+        assert folded.cell.height < unfolded.cell.height
+        assert folded.cell.width > unfolded.cell.width
+
+
+class TestGridSnapping:
+    def test_actual_width_on_grid(self, tech):
+        motif = generate_mos_motif(tech, "n", 40.37 * UM, 1 * UM, nf=4)
+        steps = motif.finger_width / tech.rules.grid
+        assert abs(steps - round(steps)) < 1e-6
+
+    def test_width_error_reported(self, tech):
+        motif = generate_mos_motif(tech, "n", 40.37 * UM, 1 * UM, nf=4)
+        assert motif.actual_w == pytest.approx(4 * motif.finger_width)
+        assert abs(motif.width_error) < 0.01
+
+    @given(
+        width=st.floats(min_value=10e-6, max_value=300e-6),
+        nf=st.sampled_from([1, 2, 4, 6, 8]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_snapping_error_bounded(self, tech, width, nf):
+        motif = generate_mos_motif(tech, "n", width, 1e-6, nf=nf)
+        # Error per finger bounded by half a grid step.
+        assert abs(motif.actual_w - width) <= nf * tech.rules.grid / 2 + 1e-15
+
+
+class TestReliabilityRules:
+    def test_high_current_widens_rails(self, tech):
+        quiet = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=4,
+                                   drain_current=0.0)
+        hot = generate_mos_motif(tech, "n", 40 * UM, 1 * UM, nf=4,
+                                 drain_current=5e-3)
+        rail_quiet = quiet.cell.pin_rect("d")
+        rail_hot = hot.cell.pin_rect("d")
+        assert rail_hot.height > rail_quiet.height
+
+    def test_impossible_current_rejected(self, tech):
+        # Tiny fingers cannot hold the cuts a huge current needs.
+        with pytest.raises(DesignRuleError):
+            generate_mos_motif(tech, "n", 8 * UM, 1 * UM, nf=4,
+                               drain_current=20e-3)
+
+    def test_more_contacts_for_wider_fingers(self, tech):
+        narrow = generate_mos_motif(tech, "n", 16 * UM, 1 * UM, nf=4)
+        wide = generate_mos_motif(tech, "n", 80 * UM, 1 * UM, nf=4)
+        assert wide.strips[0].contacts > narrow.strips[0].contacts
+
+
+class TestPmosMotif:
+    def test_well_drawn(self, tech):
+        motif = generate_mos_motif(tech, "p", 40 * UM, 1 * UM, nf=2,
+                                   net_b="vdd!")
+        assert motif.well_rect is not None
+        wells = motif.cell.shapes_on(Layer.NWELL)
+        assert wells[0].net == "vdd!"
+
+    def test_well_encloses_active(self, tech):
+        motif = generate_mos_motif(tech, "p", 40 * UM, 1 * UM, nf=2)
+        active = motif.cell.shapes_on(Layer.ACTIVE)[0].rect
+        assert motif.well_rect.contains(active)
+
+
+class TestValidation:
+    def test_short_gate_rejected(self, tech):
+        with pytest.raises(DesignRuleError):
+            generate_mos_motif(tech, "n", 10 * UM, 0.3 * UM)
+
+    def test_too_many_folds_rejected(self, tech):
+        with pytest.raises(DesignRuleError):
+            generate_mos_motif(tech, "n", 4 * UM, 1 * UM, nf=8)
+
+    def test_bad_polarity_rejected(self, tech):
+        with pytest.raises(LayoutError):
+            generate_mos_motif(tech, "x", 10 * UM, 1 * UM)
+
+    def test_custom_nets_propagate(self, tech):
+        motif = generate_mos_motif(
+            tech, "n", 20 * UM, 1 * UM, nf=2,
+            net_d="fold1", net_g="vc1", net_s="0",
+        )
+        assert set(motif.cell.pins) == {"fold1", "vc1", "0"}

@@ -1,0 +1,161 @@
+"""Noise analysis against analytic references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import NoiseAnalysis, solve_dc
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+from repro.units import BOLTZMANN, UM
+
+TEMPERATURE = 300.15
+
+
+class TestResistorNoise:
+    @pytest.fixture(scope="class")
+    def divider(self):
+        circuit = Circuit("rdiv")
+        circuit.add_vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        circuit.add_resistor("r1", "in", "out", 10e3)
+        circuit.add_resistor("r2", "out", "0", 10e3)
+        dc = solve_dc(circuit)
+        return circuit, dc
+
+    def test_output_psd_matches_parallel_resistance(self, divider):
+        """Output noise of a divider = 4kT * (R1 || R2)."""
+        circuit, dc = divider
+        analysis = NoiseAnalysis(circuit, dc, "out", temperature=TEMPERATURE)
+        result = analysis.run([1e3])
+        expected = 4 * BOLTZMANN * TEMPERATURE * 5e3
+        assert result.output_psd[0] == pytest.approx(expected, rel=1e-6)
+
+    def test_white_spectrum(self, divider):
+        circuit, dc = divider
+        result = NoiseAnalysis(circuit, dc, "out").run([1e2, 1e6])
+        assert result.output_psd[0] == pytest.approx(result.output_psd[1])
+
+    def test_input_referred_divides_by_gain(self, divider):
+        circuit, dc = divider
+        result = NoiseAnalysis(circuit, dc, "out").run([1e3])
+        # Divider gain is 0.5, so input PSD = output PSD / 0.25.
+        assert result.input_psd[0] == pytest.approx(
+            result.output_psd[0] / 0.25, rel=1e-9
+        )
+
+    def test_contributions_sum_to_total(self, divider):
+        circuit, dc = divider
+        result = NoiseAnalysis(circuit, dc, "out").run([1e3])
+        total = sum(psd[0] for psd in result.contributions.values())
+        assert total == pytest.approx(result.output_psd[0], rel=1e-12)
+
+    def test_equal_resistors_contribute_equally(self, divider):
+        circuit, dc = divider
+        result = NoiseAnalysis(circuit, dc, "out").run([1e3])
+        assert result.contributions["r1"][0] == pytest.approx(
+            result.contributions["r2"][0], rel=1e-9
+        )
+
+
+class TestMosNoise:
+    @pytest.fixture(scope="class")
+    def amplifier(self, tech):
+        circuit = Circuit("csamp")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vin", "g", "0", dc=1.1, ac=1.0)
+        circuit.add_resistor("rload", "vdd!", "d", 20e3)
+        circuit.add_mos("m1", d="d", g="g", s="0", b="0",
+                        params=tech.nmos, w=30 * UM, l=1 * UM)
+        dc = solve_dc(circuit)
+        return circuit, dc
+
+    def test_input_referred_thermal_floor(self, amplifier):
+        """At white frequencies, Svin ~= 4kT(2/3)/gm + 4kT R / (gm R)^2."""
+        circuit, dc = amplifier
+        op = dc.devices["m1"].op
+        result = NoiseAnalysis(
+            circuit, dc, "d", {"vdd": 0.0, "vin": 1.0}
+        ).run([10e6])
+        gain = op.gm / (1 / 20e3 + op.gds)
+        expected = (
+            4 * BOLTZMANN * TEMPERATURE * (2 / 3) * op.gm
+            + 4 * BOLTZMANN * TEMPERATURE / 20e3
+        ) / (op.gm / (1 / 20e3 + op.gds) * (1 / 20e3 + op.gds)) ** 2
+        assert result.input_psd[0] == pytest.approx(expected, rel=0.02)
+
+    def test_flicker_dominates_low_frequency(self, amplifier):
+        circuit, dc = amplifier
+        result = NoiseAnalysis(
+            circuit, dc, "d", {"vdd": 0.0, "vin": 1.0}
+        ).run([1.0, 10e6])
+        assert result.input_psd[0] > 10 * result.input_psd[1]
+
+    def test_flicker_slope_one_over_f(self, amplifier):
+        circuit, dc = amplifier
+        result = NoiseAnalysis(
+            circuit, dc, "d", {"vdd": 0.0, "vin": 1.0}
+        ).run([1.0, 10.0])
+        assert result.input_psd[0] == pytest.approx(
+            10 * result.input_psd[1], rel=0.05
+        )
+
+    def test_integrated_noise_positive(self, amplifier):
+        circuit, dc = amplifier
+        frequencies = np.logspace(0, 8, 60)
+        result = NoiseAnalysis(
+            circuit, dc, "d", {"vdd": 0.0, "vin": 1.0}
+        ).run(frequencies)
+        rms = result.integrated_input_noise(1.0, 1e8)
+        assert rms > 0
+
+    def test_dominant_contributor_is_device(self, amplifier):
+        circuit, dc = amplifier
+        frequencies = np.logspace(0, 8, 40)
+        result = NoiseAnalysis(
+            circuit, dc, "d", {"vdd": 0.0, "vin": 1.0}
+        ).run(frequencies)
+        top_name, _value = result.dominant_contributors(1)[0]
+        assert top_name == "m1"
+
+    def test_density_helper(self, amplifier):
+        circuit, dc = amplifier
+        frequencies = np.logspace(0, 8, 40)
+        result = NoiseAnalysis(
+            circuit, dc, "d", {"vdd": 0.0, "vin": 1.0}
+        ).run(frequencies)
+        density = result.input_density(1e6)
+        assert density == pytest.approx(
+            math.sqrt(np.interp(6.0, np.log10(frequencies), result.input_psd)),
+            rel=1e-6,
+        )
+
+
+class TestValidation:
+    def test_zero_drive_rejected(self):
+        circuit = Circuit("silent")
+        circuit.add_vsource("vin", "in", "0", dc=0.0, ac=0.0)
+        circuit.add_resistor("r1", "in", "out", 1e3)
+        circuit.add_resistor("r2", "out", "0", 1e3)
+        dc = solve_dc(circuit)
+        with pytest.raises(AnalysisError):
+            NoiseAnalysis(circuit, dc, "out")
+
+    def test_negative_frequency_rejected(self):
+        circuit = Circuit("rdiv")
+        circuit.add_vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        circuit.add_resistor("r1", "in", "out", 1e3)
+        circuit.add_resistor("r2", "out", "0", 1e3)
+        dc = solve_dc(circuit)
+        with pytest.raises(AnalysisError):
+            NoiseAnalysis(circuit, dc, "out").run([-1.0])
+
+    def test_short_band_integration_rejected(self):
+        circuit = Circuit("rdiv")
+        circuit.add_vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        circuit.add_resistor("r1", "in", "out", 1e3)
+        circuit.add_resistor("r2", "out", "0", 1e3)
+        dc = solve_dc(circuit)
+        result = NoiseAnalysis(circuit, dc, "out").run([1e3, 1e4])
+        with pytest.raises(AnalysisError):
+            result.integrated_input_noise(5e3, 6e3)

@@ -1,0 +1,186 @@
+"""The OTA layout generator (paper Figure 5)."""
+
+import pytest
+
+from repro.circuit.topologies.folded_cascode import FOLDED_CASCODE_DEVICES
+from repro.errors import LayoutError
+from repro.layout.ota import MODULE_ROWS, OtaLayoutRequest, generate_ota_layout
+from repro.units import UM
+
+
+class TestEstimateMode:
+    @pytest.fixture(scope="class")
+    def estimate(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        request = OtaLayoutRequest(
+            technology=tech, sizes=sizes, currents=currents, aspect=1.0
+        )
+        return generate_ota_layout(request, mode="estimate")
+
+    def test_no_cell_in_estimate_mode(self, estimate):
+        assert estimate.cell is None
+        assert estimate.mode == "estimate"
+
+    def test_every_device_reported(self, estimate):
+        assert set(estimate.report.devices) == set(FOLDED_CASCODE_DEVICES)
+
+    def test_fold_counts_positive(self, estimate):
+        assert all(nf >= 1 for nf in estimate.fold_config.values())
+
+    def test_matched_devices_get_equal_folds(self, estimate):
+        folds = estimate.fold_config
+        assert folds["mp1"] == folds["mp2"]
+        assert folds["mn5"] == folds["mn6"]
+        assert folds["mp3"] == folds["mp4"]
+
+    def test_even_folds_preferred(self, estimate):
+        for name, nf in estimate.fold_config.items():
+            assert nf == 1 or nf % 2 == 0, name
+
+    def test_critical_nets_have_capacitance(self, estimate):
+        for net in ("fold1", "fold2", "vout", "mir", "tail"):
+            assert estimate.report.net_capacitance.get(net, 0.0) > 1e-15
+
+    def test_symmetric_fold_nets(self, estimate):
+        c1 = estimate.report.net_capacitance["fold1"]
+        c2 = estimate.report.net_capacitance["fold2"]
+        assert c1 == pytest.approx(c2, rel=0.15)
+
+    def test_well_capacitance_on_supply(self, estimate):
+        assert estimate.report.well_capacitance.get("vdd!", 0.0) > 0
+
+    def test_snapped_widths_recorded(self, estimate, hand_sized):
+        sizes, _ = hand_sized
+        for name, info in estimate.report.devices.items():
+            assert info.requested_width == pytest.approx(sizes[name][0])
+            assert abs(info.width_error) < 0.05
+
+
+class TestGenerateMode:
+    def test_cell_present(self, ota_layout):
+        assert ota_layout.cell is not None
+        assert ota_layout.mode == "generate"
+
+    def test_all_modules_placed(self, ota_layout):
+        assert set(ota_layout.placements) == set(MODULE_ROWS)
+
+    def test_rows_stack_bottom_up(self, ota_layout):
+        def row_y(row):
+            members = [
+                m for name, m in ota_layout.placements.items()
+                if MODULE_ROWS[name][0] == row
+            ]
+            return min(m.bbox().y0 for m in members)
+
+        assert row_y(0) < row_y(1) < row_y(2) < row_y(3)
+
+    def test_modules_do_not_overlap(self, ota_layout):
+        boxes = [m.bbox() for m in ota_layout.placements.values()]
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1:]:
+                assert not a.intersects(b)
+
+    def test_aspect_near_target(self, ota_layout):
+        report = ota_layout.report
+        aspect = report.height / report.width
+        assert 0.4 < aspect < 2.5
+
+    def test_drawn_nets_cover_circuit_nets(self, ota_layout):
+        nets = set(ota_layout.cell.nets())
+        for net in ("fold1", "fold2", "mir", "vout", "tail", "inp", "inn"):
+            assert net in nets
+
+    def test_pair_module_in_dedicated_row(self, ota_layout):
+        assert MODULE_ROWS["pair"][0] == 1
+
+    def test_report_area_matches_cell(self, ota_layout):
+        box = ota_layout.cell.bbox()
+        # The reported area covers the placed modules (routing may stick
+        # out on the side columns).
+        assert box.width >= ota_layout.report.width * 0.9
+
+
+class TestShapeConstraint:
+    def test_wide_constraint_gives_wide_layout(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        wide = generate_ota_layout(
+            OtaLayoutRequest(technology=tech, sizes=sizes, currents=currents,
+                             aspect=0.5),
+            mode="estimate",
+        )
+        tall = generate_ota_layout(
+            OtaLayoutRequest(technology=tech, sizes=sizes, currents=currents,
+                             aspect=2.0),
+            mode="estimate",
+        )
+        assert wide.report.height / wide.report.width < (
+            tall.report.height / tall.report.width
+        )
+
+    def test_fold_config_responds_to_shape(self, tech, hand_sized):
+        """Area optimisation under different shapes picks different folds
+        for at least one device — the paper's central coupling point."""
+        sizes, currents = hand_sized
+        wide = generate_ota_layout(
+            OtaLayoutRequest(technology=tech, sizes=sizes, currents=currents,
+                             aspect=0.4),
+            mode="estimate",
+        )
+        tall = generate_ota_layout(
+            OtaLayoutRequest(technology=tech, sizes=sizes, currents=currents,
+                             aspect=2.5),
+            mode="estimate",
+        )
+        assert wide.fold_config != tall.fold_config
+
+
+class TestOddFoldAblation:
+    def test_odd_folds_raise_drain_capacitance(self, tech, hand_sized):
+        """prefer_even_folds=False forces odd folds: drains lose the
+        F=1/2 sharing and their junction capacitance grows."""
+        sizes, currents = hand_sized
+        even = generate_ota_layout(
+            OtaLayoutRequest(technology=tech, sizes=sizes, currents=currents,
+                             prefer_even_folds=True),
+            mode="estimate",
+        )
+        odd = generate_ota_layout(
+            OtaLayoutRequest(technology=tech, sizes=sizes, currents=currents,
+                             prefer_even_folds=False),
+            mode="estimate",
+        )
+        even_ad = even.report.devices["mn1c"].geometry.ad
+        odd_ad = odd.report.devices["mn1c"].geometry.ad
+        if odd.fold_config["mn1c"] > 1:
+            assert odd_ad > even_ad * 0.99
+
+
+class TestValidation:
+    def test_missing_sizes_rejected(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        partial = dict(sizes)
+        del partial["mp1"]
+        with pytest.raises(LayoutError):
+            generate_ota_layout(
+                OtaLayoutRequest(technology=tech, sizes=partial,
+                                 currents=currents),
+                mode="estimate",
+            )
+
+    def test_bad_mode_rejected(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        with pytest.raises(LayoutError):
+            generate_ota_layout(
+                OtaLayoutRequest(technology=tech, sizes=sizes,
+                                 currents=currents),
+                mode="fancy",
+            )
+
+    def test_floating_well_option(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        result = generate_ota_layout(
+            OtaLayoutRequest(technology=tech, sizes=sizes, currents=currents,
+                             input_pair_well_to_source=True),
+            mode="estimate",
+        )
+        assert result.report.well_capacitance.get("tail", 0.0) > 0

@@ -1,0 +1,173 @@
+"""SPICE netlist importer: value parsing and exporter round-trips."""
+
+import pytest
+
+from repro.circuit import Circuit, to_spice
+from repro.circuit.parser import from_spice, parse_value
+from repro.errors import CircuitError
+from repro.units import UM
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "token, expected",
+        [
+            ("1", 1.0),
+            ("3p", 3e-12),
+            ("3P", 3e-12),
+            ("2.5MEG", 2.5e6),
+            ("10k", 10e3),
+            ("100u", 100e-6),
+            ("5n", 5e-9),
+            ("1.5f", 1.5e-15),
+            ("-2m", -2e-3),
+            ("1e-6", 1e-6),
+            ("4.7e3", 4.7e3),
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_value("abc")
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(CircuitError):
+            parse_value("3x")
+
+
+class TestBasicDecks:
+    def test_rc_divider(self):
+        deck = """* divider
+Vin in 0 DC 2 AC 1
+R1 in out 10k
+C1 out 0 1p
+.END
+"""
+        circuit = from_spice(deck)
+        assert len(circuit) == 3
+        assert circuit.element("1").value == pytest.approx(10e3)
+
+    def test_continuation_lines(self):
+        deck = """* cont
+R1 a
++ 0 5k
+V1 a 0 1
+.END
+"""
+        circuit = from_spice(deck)
+        assert circuit.element("1").value == pytest.approx(5e3)
+
+    def test_comments_skipped(self):
+        deck = """* title
+* a comment
+R1 a 0 1k
+V1 a 0 1
+.END
+"""
+        assert len(from_spice(deck)) == 2
+
+    def test_current_source(self):
+        deck = """* i
+Iin 0 a DC 1m
+R1 a 0 1k
+.END
+"""
+        circuit = from_spice(deck)
+        source = circuit.element("in")
+        assert source.dc == pytest.approx(1e-3)
+
+    def test_unknown_card_rejected(self):
+        with pytest.raises(CircuitError):
+            from_spice("* t\nQ1 a b c model\n.END\n")
+
+    def test_unknown_model_reference_rejected(self):
+        with pytest.raises(CircuitError):
+            from_spice("* t\nM1 d g s b ghost W=1u L=1u\n.END\n")
+
+    def test_empty_deck_rejected(self):
+        with pytest.raises(CircuitError):
+            from_spice("\n\n")
+
+
+class TestMosDecks:
+    DECK = """* amp
+Vdd vdd! 0 DC 3.3
+Vin g 0 DC 1.1 AC 1
+Rload vdd! d 20k
+M1 d g 0 0 nch W=30u L=1u
+.MODEL nch NMOS (LEVEL=1 VTO=0.75 KP=1e-4 GAMMA=0.8 PHI=0.7 TOX=1.4e-8
++ LAMBDA=1e-7 CJ=8e-4 CJSW=3.2e-10 MJ=0.44 MJSW=0.26 PB=0.9)
+.END
+"""
+
+    def test_device_parsed(self):
+        circuit = from_spice(self.DECK)
+        mos = circuit.mos("1")
+        assert mos.w == pytest.approx(30e-6)
+        assert mos.l == pytest.approx(1e-6)
+        assert mos.params.vto == pytest.approx(0.75)
+
+    def test_kp_converted_to_mobility(self):
+        circuit = from_spice(self.DECK)
+        params = circuit.mos("1").params
+        assert params.kp == pytest.approx(1e-4, rel=1e-6)
+
+    def test_parsed_deck_simulates(self):
+        from repro.analysis import solve_dc
+
+        circuit = from_spice(self.DECK)
+        solution = solve_dc(circuit)
+        assert 0.0 < solution.voltage("d") < 3.3
+
+    def test_geometry_annotations(self):
+        deck = self.DECK.replace(
+            "W=30u L=1u", "W=30u L=1u AD=4.5e-11 PD=3.3e-5 AS=4.5e-11 PS=3.3e-5"
+        )
+        mos = from_spice(deck).mos("1")
+        assert mos.geometry is not None
+        assert mos.geometry.ad == pytest.approx(4.5e-11)
+
+
+class TestRoundTrip:
+    def test_ota_round_trip_simulates_identically(self, hand_testbench):
+        """Export the OTA, re-import it, and compare DC solutions."""
+        from repro.analysis import solve_dc
+
+        deck = to_spice(hand_testbench.circuit)
+        reimported = from_spice(deck)
+        original = solve_dc(hand_testbench.circuit)
+        parsed = solve_dc(reimported)
+        for net in ("vout", "fold1", "mir", "tail"):
+            assert parsed.voltage(net) == pytest.approx(
+                original.voltage(net), abs=2e-3
+            ), net
+
+    def test_round_trip_preserves_element_count(self, hand_testbench):
+        deck = to_spice(hand_testbench.circuit)
+        reimported = from_spice(deck)
+        assert len(reimported) == len(hand_testbench.circuit)
+
+    def test_round_trip_preserves_ac_drives(self):
+        circuit = Circuit("src")
+        circuit.add_vsource("vin", "a", "0", dc=1.5, ac=0.5)
+        circuit.add_resistor("r", "a", "0", 1e3)
+        reimported = from_spice(to_spice(circuit))
+        source = reimported.element("vin")
+        assert source.dc == pytest.approx(1.5)
+        assert source.ac == pytest.approx(0.5)
+
+    def test_round_trip_level3(self, tech):
+        circuit = Circuit("l3")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vg", "g", "0", dc=1.5)
+        circuit.add_mos("m1", d="vdd!", g="g", s="0", b="0",
+                        params=tech.nmos, w=30 * UM, l=1 * UM, model_level=3)
+        from repro.analysis import solve_dc
+
+        original = solve_dc(circuit).devices["m1"].op.id
+        parsed_circuit = from_spice(to_spice(circuit))
+        assert parsed_circuit.mos("m1").model_level == 3
+        parsed = solve_dc(parsed_circuit).devices["m1"].op.id
+        assert parsed == pytest.approx(original, rel=1e-3)

@@ -1,0 +1,103 @@
+"""Pole analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import solve_dc
+from repro.analysis.metrics import feedback_dc_solution, measure_ota
+from repro.analysis.poles import PoleSet, compute_poles, pole_sensitivity
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+
+
+class TestAnalyticReferences:
+    def test_rc_single_pole(self):
+        circuit = Circuit("rc")
+        circuit.add_vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        circuit.add_resistor("r1", "in", "out", 1e3)
+        circuit.add_capacitor("c1", "out", "0", 1e-9)
+        poles = compute_poles(circuit, solve_dc(circuit))
+        assert poles.dominant() == pytest.approx(
+            1.0 / (2 * math.pi * 1e3 * 1e-9), rel=1e-6
+        )
+
+    def test_two_independent_rc_poles(self):
+        circuit = Circuit("rc2")
+        circuit.add_vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        circuit.add_resistor("r1", "in", "a", 1e3)
+        circuit.add_capacitor("c1", "a", "0", 1e-9)
+        circuit.add_resistor("r2", "in", "b", 10e3)
+        circuit.add_capacitor("c2", "b", "0", 1e-9)
+        frequencies = compute_poles(circuit, solve_dc(circuit)).frequencies_hz
+        assert frequencies[0] == pytest.approx(
+            1.0 / (2 * math.pi * 1e4 * 1e-9), rel=1e-6
+        )
+        assert frequencies[1] == pytest.approx(
+            1.0 / (2 * math.pi * 1e3 * 1e-9), rel=1e-6
+        )
+
+    def test_stability_flag(self):
+        circuit = Circuit("rc")
+        circuit.add_vsource("vin", "in", "0", dc=0.0, ac=1.0)
+        circuit.add_resistor("r1", "in", "out", 1e3)
+        circuit.add_capacitor("c1", "out", "0", 1e-9)
+        assert compute_poles(circuit, solve_dc(circuit)).all_stable()
+
+    def test_capacitor_free_circuit_rejected(self):
+        circuit = Circuit("r")
+        circuit.add_vsource("vin", "in", "0", dc=0.0)
+        circuit.add_resistor("r1", "in", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            compute_poles(circuit, solve_dc(circuit))
+
+
+class TestOtaPoles:
+    @pytest.fixture(scope="class")
+    def ota_poles(self, hand_testbench):
+        dc, _offset = feedback_dc_solution(hand_testbench)
+        return hand_testbench, dc, compute_poles(hand_testbench.circuit, dc)
+
+    def test_ota_is_stable(self, ota_poles):
+        _tb, _dc, poles = ota_poles
+        assert poles.all_stable()
+
+    def test_dominant_pole_consistent_with_gain_and_gbw(self, ota_poles):
+        """GBW ~= Adc * p1 for a dominant-pole amplifier."""
+        tb, _dc, poles = ota_poles
+        metrics = measure_ota(tb)
+        gain = 10 ** (metrics.dc_gain_db / 20.0)
+        assert poles.dominant() * gain == pytest.approx(metrics.gbw, rel=0.1)
+
+    def test_non_dominant_poles_beyond_gbw(self, ota_poles):
+        tb, _dc, poles = ota_poles
+        metrics = measure_ota(tb)
+        for frequency in poles.non_dominant(2):
+            assert frequency > metrics.gbw
+
+    def test_output_cap_moves_dominant_pole(self, ota_poles):
+        """Extra load capacitance slows the dominant pole."""
+        tb, dc, poles = ota_poles
+        loaded = tb.circuit.clone("loaded")
+        loaded.attach_parasitic_cap(tb.output_net, "0", 3e-12)
+        slower = compute_poles(loaded, dc)
+        assert slower.dominant() < 0.6 * poles.dominant()
+
+    def test_sensitivity_flags_internal_nodes(self, ota_poles):
+        """Probing internal high-frequency nodes shifts the first
+        non-dominant pole; probing a bias net does not."""
+        tb, dc, _poles = ota_poles
+        sensitivities = pole_sensitivity(
+            tb.circuit, dc,
+            nets=["fold2", "mir", "x4", "vbn"],
+            probe_capacitance=200e-15,
+        )
+        most = max(sensitivities, key=sensitivities.get)
+        assert most in ("fold2", "mir", "x4")
+        assert sensitivities[most] > 5 * abs(sensitivities["vbn"])
+
+    def test_bad_pole_index_rejected(self, ota_poles):
+        tb, dc, _poles = ota_poles
+        with pytest.raises(AnalysisError):
+            pole_sensitivity(tb.circuit, dc, ["fold1"], pole_index=999)

@@ -1,0 +1,89 @@
+"""Electromigration reliability rules."""
+
+import pytest
+
+from repro.errors import DesignRuleError
+from repro.layout.layers import Layer
+from repro.layout.reliability import (
+    assert_reliable,
+    check_wire_currents,
+    contact_cuts_for_current,
+    wire_width_for_current,
+)
+from repro.units import UM
+
+
+class TestWireWidth:
+    def test_minimum_enforced(self, tech):
+        width = wire_width_for_current(tech, Layer.METAL1, 10e-6)
+        assert width == pytest.approx(tech.rules.metal1_min_width)
+
+    def test_high_current_widens(self, tech):
+        width = wire_width_for_current(tech, Layer.METAL1, 5e-3)
+        assert width >= 5 * UM
+
+    def test_metal2_minimum(self, tech):
+        width = wire_width_for_current(tech, Layer.METAL2, 0.0)
+        assert width == pytest.approx(tech.rules.metal2_min_width)
+
+    def test_result_on_grid(self, tech):
+        width = wire_width_for_current(tech, Layer.METAL1, 3.33e-3)
+        steps = width / tech.rules.grid
+        assert abs(steps - round(steps)) < 1e-6
+
+
+class TestContactCuts:
+    def test_single_cut_small_current(self, tech):
+        assert contact_cuts_for_current(tech, 0.1e-3) == 1
+
+    def test_via_rule_differs(self, tech):
+        current = 2.5e-3
+        assert contact_cuts_for_current(tech, current, via=True) <= (
+            contact_cuts_for_current(tech, current, via=False)
+        )
+
+
+class TestChecker:
+    def test_clean_wires_pass(self, tech):
+        wires = [("net1", Layer.METAL1, 5 * UM)]
+        violations = check_wire_currents(tech, wires, {"net1": 1e-3})
+        assert violations == []
+
+    def test_violation_detected(self, tech):
+        wires = [("net1", Layer.METAL1, 0.9 * UM)]
+        violations = check_wire_currents(tech, wires, {"net1": 5e-3})
+        assert len(violations) == 1
+        assert violations[0].net == "net1"
+        assert violations[0].required > violations[0].width
+
+    def test_zero_current_ignored(self, tech):
+        wires = [("quiet", Layer.METAL1, 0.1 * UM)]
+        assert check_wire_currents(tech, wires, {}) == []
+
+    def test_assert_raises_with_summary(self, tech):
+        wires = [("net1", Layer.METAL2, 0.5 * UM)]
+        with pytest.raises(DesignRuleError, match="net1"):
+            assert_reliable(tech, wires, {"net1": 10e-3})
+
+    def test_violation_message_readable(self, tech):
+        wires = [("hot", Layer.METAL1, 1 * UM)]
+        violations = check_wire_currents(tech, wires, {"hot": 8e-3})
+        message = str(violations[0])
+        assert "hot" in message and "metal1" in message
+
+
+class TestGeneratedLayoutRespectsEm:
+    def test_ota_rails_carry_their_currents(self, ota_layout, tech, hand_sized):
+        """Every M2 rail/track in the generated OTA passes the EM check."""
+        _sizes, currents = hand_sized
+        from repro.layout.ota import _net_currents
+
+        net_currents = _net_currents(currents)
+        wires = []
+        for shape in ota_layout.cell.flattened():
+            if shape.layer is Layer.METAL2 and shape.net in net_currents:
+                width = min(shape.rect.width, shape.rect.height)
+                wires.append((shape.net, Layer.METAL2, width))
+        assert wires, "expected routed metal2 wires"
+        violations = check_wire_currents(tech, wires, net_currents)
+        assert violations == []

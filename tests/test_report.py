@@ -1,0 +1,48 @@
+"""Table-1 report formatting."""
+
+import pytest
+
+from repro.core.report import TABLE1_ROWS, format_table1, metrics_rows
+
+
+class TestMetricsRows:
+    def test_all_rows_present(self, case4_result):
+        rows = metrics_rows(case4_result.synthesized)
+        assert len(rows) == len(TABLE1_ROWS)
+        assert "GBW (MHz)" in rows
+
+    def test_scaling_applied(self, case4_result):
+        rows = metrics_rows(case4_result.synthesized)
+        assert rows["GBW (MHz)"] == pytest.approx(
+            case4_result.synthesized.gbw / 1e6
+        )
+        assert rows["Power dissipation (mW)"] == pytest.approx(
+            case4_result.synthesized.power * 1e3
+        )
+
+
+class TestFormatTable1:
+    def test_paper_layout(self, case4_result):
+        table = format_table1([case4_result])
+        assert "Case (4)" in table
+        assert "DC gain (dB)" in table
+        assert "Phase margin (degrees)" in table
+
+    def test_bracket_convention(self, case4_result):
+        """Every cell is synthesized(extracted), as in the paper."""
+        table = format_table1([case4_result])
+        gbw_line = next(l for l in table.splitlines() if l.startswith("GBW"))
+        assert "(" in gbw_line and ")" in gbw_line
+
+    def test_layout_calls_row(self, case4_result):
+        table = format_table1([case4_result])
+        assert "Layout tool calls" in table
+
+    def test_multiple_columns(self, case4_result):
+        table = format_table1([case4_result, case4_result])
+        header = table.splitlines()[1]
+        assert header.count("Case (4)") == 2
+
+    def test_custom_title(self, case4_result):
+        table = format_table1([case4_result], title="My experiment")
+        assert table.startswith("My experiment")

@@ -1,0 +1,73 @@
+"""Serpentine poly resistor generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.drc import DrcChecker
+from repro.layout.layers import Layer
+from repro.layout.resistor import poly_resistor
+from repro.units import UM
+
+
+class TestValueAccuracy:
+    @pytest.mark.parametrize("value", [500.0, 1e3, 4.7e3, 22e3, 100e3])
+    def test_drawn_within_one_percent(self, tech, value):
+        resistor = poly_resistor(tech, value, "a", "b")
+        assert resistor.actual_widths["res"] == pytest.approx(value, rel=0.01)
+
+    def test_value_from_sheet_resistance(self, tech):
+        resistor = poly_resistor(tech, 10e3, "a", "b")
+        squares = 10e3 / tech.poly.sheet_resistance
+        total_poly = sum(
+            s.rect.area for s in resistor.cell.shapes_on(Layer.POLY)
+        )
+        # The body holds at least `squares` squares of poly.
+        width = resistor.finger_width
+        assert total_poly >= squares * width * width * 0.95
+
+    @given(value=st.floats(min_value=300.0, max_value=300e3))
+    @settings(max_examples=30, deadline=None)
+    def test_accuracy_property(self, tech, value):
+        resistor = poly_resistor(tech, value, "a", "b")
+        assert resistor.actual_widths["res"] == pytest.approx(value, rel=0.02)
+
+
+class TestGeometry:
+    def test_multi_bar_taps_on_opposite_edges(self, tech):
+        resistor = poly_resistor(tech, 50e3, "a", "b")
+        pin_a = resistor.cell.pin_rect("a")
+        pin_b = resistor.cell.pin_rect("b")
+        assert pin_b.center.y > pin_a.center.y
+
+    def test_wider_body_shorter_serpentine(self, tech):
+        narrow = poly_resistor(tech, 20e3, "a", "b")
+        wide = poly_resistor(tech, 20e3, "a", "b",
+                             width=4 * tech.rules.poly_min_width)
+        assert wide.cell.width >= narrow.cell.width
+
+    @pytest.mark.parametrize("value", [500.0, 4.7e3, 100e3])
+    def test_drc_clean(self, tech, value):
+        resistor = poly_resistor(tech, value, "a", "b")
+        DrcChecker(tech).assert_clean(resistor.cell)
+
+    def test_body_unnetted_by_convention(self, tech):
+        """Interior bars carry no net tag (resistive body)."""
+        resistor = poly_resistor(tech, 100e3, "a", "b")
+        bodies = [s for s in resistor.cell.shapes_on(Layer.POLY)
+                  if s.net is None]
+        assert bodies
+
+
+class TestValidation:
+    def test_zero_value_rejected(self, tech):
+        with pytest.raises(LayoutError):
+            poly_resistor(tech, 0.0, "a", "b")
+
+    def test_sub_square_value_rejected(self, tech):
+        with pytest.raises(LayoutError):
+            poly_resistor(tech, 1.0, "a", "b")
+
+    def test_too_short_for_taps_rejected(self, tech):
+        with pytest.raises(LayoutError):
+            poly_resistor(tech, 30.0, "a", "b")

@@ -1,0 +1,93 @@
+"""Design rules: scaling, snapping, derived dimensions."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.technology.rules import DesignRules, scalable_rules
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def rules():
+    return scalable_rules(0.6 * UM)
+
+
+class TestScalableRules:
+    def test_poly_min_width_equals_feature(self, rules):
+        assert rules.poly_min_width == pytest.approx(0.6 * UM)
+
+    def test_rules_scale_with_feature(self):
+        small = scalable_rules(0.35 * UM)
+        large = scalable_rules(0.70 * UM)
+        ratio = large.contact_size / small.contact_size
+        assert ratio == pytest.approx(2.0)
+
+    def test_validation_passes(self, rules):
+        rules.validate()
+
+    def test_nonpositive_rule_rejected(self, rules):
+        broken = dataclasses.replace(rules, contact_size=0.0)
+        with pytest.raises(TechnologyError):
+            broken.validate()
+
+    def test_coarse_grid_rejected(self, rules):
+        broken = dataclasses.replace(rules, grid=rules.poly_min_width * 2)
+        with pytest.raises(TechnologyError):
+            broken.validate()
+
+
+class TestSnapping:
+    def test_snap_to_grid(self, rules):
+        snapped = rules.snap(rules.grid * 3.4)
+        assert snapped == pytest.approx(rules.grid * 3)
+
+    def test_snap_rounds_up_at_half(self, rules):
+        snapped = rules.snap(rules.grid * 3.6)
+        assert snapped == pytest.approx(rules.grid * 4)
+
+    def test_snap_up_never_decreases(self, rules):
+        value = rules.grid * 3.01
+        assert rules.snap_up(value) >= value - 1e-18
+
+    def test_snap_up_idempotent_on_grid(self, rules):
+        on_grid = rules.grid * 7
+        assert rules.snap_up(on_grid) == pytest.approx(on_grid)
+
+    @given(st.floats(min_value=1e-8, max_value=1e-4))
+    def test_snap_error_below_half_grid(self, value):
+        rules = scalable_rules(0.6 * UM)
+        assert abs(rules.snap(value) - value) <= rules.grid / 2 + 1e-15
+
+    @given(st.floats(min_value=1e-8, max_value=1e-4))
+    def test_snap_up_is_on_grid(self, value):
+        rules = scalable_rules(0.6 * UM)
+        snapped = rules.snap_up(value)
+        steps = snapped / rules.grid
+        assert abs(steps - round(steps)) < 1e-6
+
+
+class TestDerivedDimensions:
+    def test_contacted_strip_holds_contact(self, rules):
+        assert rules.contacted_diffusion_width >= (
+            rules.contact_size + 2 * rules.contact_poly_spacing - 1e-15
+        )
+
+    def test_end_strip_at_contacted_width(self, rules):
+        """End strips are drawn at the full contacted width: the slack
+        beyond the bare contact enclosure keeps terminal metal columns at
+        legal pitch at minimum gate length (found by DRC fuzzing)."""
+        assert rules.end_diffusion_width == pytest.approx(
+            rules.contacted_diffusion_width
+        )
+        assert rules.end_diffusion_width >= (
+            rules.contact_poly_spacing
+            + rules.contact_size
+            + rules.contact_active_enclosure
+        )
+
+    def test_gate_pitch_sum(self, rules):
+        expected = rules.poly_min_width + rules.contacted_diffusion_width
+        assert rules.gate_pitch == pytest.approx(expected)

@@ -1,0 +1,121 @@
+"""Switched-capacitor system synthesis (the paper's future-work hook)."""
+
+import math
+
+import pytest
+
+from repro.core.sc import (
+    ScIntegratorSpecs,
+    synthesize_sc_integrator,
+)
+from repro.errors import SizingError
+from repro.sizing.specs import ParasiticMode
+from repro.units import PF
+
+
+@pytest.fixture(scope="module")
+def sc_specs():
+    return ScIntegratorSpecs(
+        clock=10e6,
+        resolution_bits=10,
+        sampling_cap=1 * PF,
+        integration_cap=4 * PF,
+        load_cap=1 * PF,
+    )
+
+
+class TestRequirementDerivation:
+    def test_feedback_factor(self, sc_specs):
+        assert sc_specs.feedback_factor == pytest.approx(0.8)
+
+    def test_effective_load(self, sc_specs):
+        assert sc_specs.effective_load == pytest.approx(1.8e-12)
+
+    def test_settling_window_is_half_period(self, sc_specs):
+        assert sc_specs.settling_window == pytest.approx(50e-9)
+
+    def test_time_constants_half_lsb(self, sc_specs):
+        assert sc_specs.required_time_constants() == pytest.approx(
+            11 * math.log(2)
+        )
+
+    def test_required_gbw_formula(self, sc_specs):
+        linear_window = 0.75 * 50e-9
+        expected = (
+            11 * math.log(2) / (0.8 * linear_window)
+        ) / (2 * math.pi)
+        assert sc_specs.required_gbw() == pytest.approx(expected)
+
+    def test_more_bits_need_more_gbw(self, sc_specs):
+        harder = ScIntegratorSpecs(
+            clock=10e6, resolution_bits=14,
+            sampling_cap=1 * PF, integration_cap=4 * PF,
+        )
+        assert harder.required_gbw() > sc_specs.required_gbw()
+
+    def test_faster_clock_needs_more_gbw(self, sc_specs):
+        faster = ScIntegratorSpecs(
+            clock=40e6, resolution_bits=10,
+            sampling_cap=1 * PF, integration_cap=4 * PF,
+        )
+        assert faster.required_gbw() == pytest.approx(
+            4 * sc_specs.required_gbw(), rel=1e-9
+        )
+
+    def test_slew_budget(self, sc_specs):
+        # 1 V across a quarter of the 50 ns window.
+        assert sc_specs.required_slew_rate() == pytest.approx(
+            1.0 / 12.5e-9
+        )
+
+    def test_gain_requirement(self, sc_specs):
+        assert sc_specs.required_dc_gain() == pytest.approx(2**11 / 0.8)
+
+    def test_ota_specs_carry_margin(self, sc_specs):
+        ota = sc_specs.ota_specs(margin=1.1)
+        assert ota.gbw == pytest.approx(1.1 * sc_specs.required_gbw())
+        assert ota.cload == pytest.approx(sc_specs.effective_load)
+
+    def test_validation(self):
+        with pytest.raises(SizingError):
+            ScIntegratorSpecs(
+                clock=0.0, resolution_bits=10,
+                sampling_cap=1e-12, integration_cap=1e-12,
+            ).validate()
+        with pytest.raises(SizingError):
+            ScIntegratorSpecs(
+                clock=1e6, resolution_bits=10,
+                sampling_cap=1e-12, integration_cap=1e-12,
+                slew_fraction=1.5,
+            ).validate()
+
+
+class TestScSynthesis:
+    @pytest.fixture(scope="class")
+    def outcome(self, tech, sc_specs):
+        return synthesize_sc_integrator(
+            tech, sc_specs, mode=ParasiticMode.FULL, generate=False
+        )
+
+    def test_flow_converges(self, outcome):
+        assert outcome.synthesis.converged
+
+    def test_gbw_met_with_parasitics(self, outcome):
+        metrics = outcome.synthesis.sizing.predicted
+        assert metrics.gbw >= 0.98 * outcome.ota_specs.gbw
+
+    def test_gain_requirement_checked(self, outcome, sc_specs):
+        metrics = outcome.synthesis.sizing.predicted
+        gain = 10 ** (metrics.dc_gain_db / 20)
+        assert outcome.gain_ok == (gain >= sc_specs.required_dc_gain())
+
+    def test_slew_requirement_checked(self, outcome, sc_specs):
+        metrics = outcome.synthesis.sizing.predicted
+        assert outcome.slew_ok == (
+            metrics.slew_rate >= sc_specs.required_slew_rate()
+        )
+
+    def test_overall_verdict_consistent(self, outcome):
+        assert outcome.passed == (
+            outcome.synthesis.converged and outcome.slew_ok and outcome.gain_ok
+        )

@@ -1,0 +1,127 @@
+"""Shape functions and slicing composition."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.shape import ShapeFunction, ShapePoint
+
+point_strategy = st.builds(
+    ShapePoint,
+    st.floats(min_value=1e-6, max_value=1e-3),
+    st.floats(min_value=1e-6, max_value=1e-3),
+)
+
+
+class TestFrontier:
+    def test_dominated_points_pruned(self):
+        function = ShapeFunction(
+            [
+                ShapePoint(1.0, 5.0),
+                ShapePoint(2.0, 6.0),  # dominated: wider AND taller
+                ShapePoint(3.0, 2.0),
+            ]
+        )
+        widths = [p.width for p in function]
+        assert widths == [1.0, 3.0]
+
+    def test_single_point(self):
+        function = ShapeFunction([ShapePoint(2.0, 3.0)])
+        assert len(function) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            ShapeFunction([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(LayoutError):
+            ShapeFunction([ShapePoint(0.0, 1.0)])
+
+    @given(st.lists(point_strategy, min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_strictly_monotone(self, points):
+        function = ShapeFunction(points)
+        frontier = list(function)
+        for a, b in zip(frontier, frontier[1:]):
+            assert b.width > a.width
+            assert b.height < a.height
+
+
+class TestComposition:
+    @pytest.fixture
+    def pair(self):
+        left = ShapeFunction([ShapePoint(1.0, 4.0), ShapePoint(2.0, 2.0)])
+        right = ShapeFunction([ShapePoint(1.0, 3.0), ShapePoint(3.0, 1.0)])
+        return left, right
+
+    def test_horizontal_adds_widths(self, pair):
+        left, right = pair
+        combined = ShapeFunction.horizontal(left, right)
+        narrowest = min(combined, key=lambda p: p.width)
+        assert narrowest.width == pytest.approx(2.0)
+        assert narrowest.height == pytest.approx(4.0)
+
+    def test_vertical_adds_heights(self, pair):
+        left, right = pair
+        combined = ShapeFunction.vertical(left, right)
+        shortest = min(combined, key=lambda p: p.height)
+        assert shortest.height == pytest.approx(3.0)
+
+    def test_spacing_accounted(self, pair):
+        left, right = pair
+        with_gap = ShapeFunction.horizontal(left, right, spacing=0.5)
+        without = ShapeFunction.horizontal(left, right)
+        assert min(p.width for p in with_gap) == pytest.approx(
+            min(p.width for p in without) + 0.5
+        )
+
+    def test_tags_carry_children(self, pair):
+        left, right = pair
+        combined = ShapeFunction.horizontal(left, right)
+        a, b = combined.points[0].tag
+        assert isinstance(a, ShapePoint) and isinstance(b, ShapePoint)
+
+    @given(
+        st.lists(point_strategy, min_size=1, max_size=6),
+        st.lists(point_strategy, min_size=1, max_size=6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_composed_area_lower_bound(self, left_points, right_points):
+        """Every composed point is at least as large as its parts."""
+        left = ShapeFunction(left_points)
+        right = ShapeFunction(right_points)
+        combined = ShapeFunction.horizontal(left, right)
+        min_area = min(p.area for p in left) + min(p.area for p in right)
+        for point in combined:
+            assert point.area >= min_area * 0.999
+
+
+class TestSelection:
+    @pytest.fixture
+    def function(self):
+        return ShapeFunction(
+            [ShapePoint(1.0, 9.0), ShapePoint(3.0, 3.0), ShapePoint(9.0, 1.0)]
+        )
+
+    def test_best_for_square_aspect(self, function):
+        assert function.best_for_aspect(1.0).width == pytest.approx(3.0)
+
+    def test_best_for_tall_aspect(self, function):
+        assert function.best_for_aspect(9.0).width == pytest.approx(1.0)
+
+    def test_best_for_height(self, function):
+        assert function.best_for_height(3.5).width == pytest.approx(3.0)
+
+    def test_best_for_height_unreachable(self, function):
+        # Nothing fits under 0.5; the flattest point wins.
+        assert function.best_for_height(0.5).height == pytest.approx(1.0)
+
+    def test_best_for_width(self, function):
+        assert function.best_for_width(4.0).width == pytest.approx(3.0)
+
+    def test_minimum_area(self, function):
+        assert function.minimum_area().area == pytest.approx(9.0)
+
+    def test_invalid_aspect_rejected(self, function):
+        with pytest.raises(LayoutError):
+            function.best_for_aspect(0.0)

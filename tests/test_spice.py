@@ -1,0 +1,66 @@
+"""SPICE export."""
+
+import pytest
+
+from repro.circuit import Circuit, to_spice
+from repro.units import UM
+
+
+@pytest.fixture
+def deck(tech):
+    circuit = Circuit("testckt")
+    circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+    circuit.add_vsource("vin", "in", "0", dc=1.0, ac=1.0)
+    circuit.add_isource("ib", "vdd!", "bias", dc=10e-6)
+    circuit.add_resistor("r1", "vdd!", "out", 10e3)
+    circuit.add_capacitor("cl", "out", "0", 1e-12)
+    circuit.add_mos(
+        "m1", d="out", g="in", s="0", b="0",
+        params=tech.nmos, w=20 * UM, l=1 * UM,
+    )
+    return to_spice(circuit)
+
+
+class TestSpiceExport:
+    def test_title_line(self, deck):
+        assert deck.startswith("* testckt")
+
+    def test_ends_with_end_card(self, deck):
+        assert deck.rstrip().endswith(".END")
+
+    def test_mos_card_present(self, deck):
+        assert "Mm1 out in 0 0 nch" in deck
+
+    def test_mos_geometry(self, deck):
+        assert "W=2e-05" in deck and "L=1e-06" in deck
+
+    def test_resistor_card(self, deck):
+        assert "Rr1 vdd! out 10000" in deck
+
+    def test_capacitor_card(self, deck):
+        assert "Ccl out 0 1e-12" in deck
+
+    def test_voltage_source_with_ac(self, deck):
+        assert "Vvin in 0 DC 1 AC 1" in deck
+
+    def test_current_source(self, deck):
+        assert "Iib vdd! bias DC 1e-05" in deck
+
+    def test_model_card_emitted_once(self, deck):
+        assert deck.count(".MODEL nch NMOS") == 1
+
+    def test_model_card_has_level(self, deck):
+        assert "LEVEL=1" in deck
+
+    def test_geometry_annotations(self, tech):
+        from repro.mos.junction import DiffusionGeometry
+
+        circuit = Circuit("geo")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_mos(
+            "m1", d="vdd!", g="vdd!", s="0", b="0",
+            params=tech.nmos, w=20 * UM, l=1 * UM,
+            geometry=DiffusionGeometry.single_fold(20 * UM, 1.5 * UM),
+        )
+        deck = to_spice(circuit)
+        assert "AD=" in deck and "PS=" in deck

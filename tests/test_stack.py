@@ -1,0 +1,190 @@
+"""Analog stack generation (paper Figure 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutError
+from repro.layout.stack import DUMMY, StackPlan, generate_stack
+
+
+class TestFigure3Mirror:
+    """The paper's 1:3:6 current mirror."""
+
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return generate_stack({"m1": 1, "m2": 3, "m3": 6})
+
+    def test_finger_census(self, plan):
+        assert len(plan.positions("m1")) == 1
+        assert len(plan.positions("m2")) == 3
+        assert len(plan.positions("m3")) == 6
+
+    def test_dummies_at_both_ends(self, plan):
+        assert plan.fingers[0].is_dummy
+        assert plan.fingers[-1].is_dummy
+
+    def test_largest_device_centred(self, plan):
+        """Paper: all transistors centred around the stack midpoint."""
+        assert abs(plan.centroid_offset("m3")) < 0.3
+
+    def test_m1_as_central_as_possible(self, plan):
+        # 10 active fingers have a half-integer centre: |offset| >= 0.5.
+        assert abs(plan.centroid_offset("m1")) == pytest.approx(0.5)
+
+    def test_even_device_current_directions_cancel(self, plan):
+        assert plan.orientation_balance("m3") == 0
+
+    def test_odd_devices_one_residual(self, plan):
+        assert abs(plan.orientation_balance("m1")) == 1
+        assert abs(plan.orientation_balance("m2")) == 1
+
+    def test_few_breaks(self, plan):
+        assert len(plan.breaks) <= 2
+
+    def test_pattern_shows_arrows(self, plan):
+        pattern = plan.pattern()
+        assert ">" in pattern and "<" in pattern
+        assert pattern.count("D") == 2
+
+    def test_strip_nets_share_source(self, plan):
+        nets = plan.strip_nets(
+            {"m1": ("d1", "s"), "m2": ("d2", "s"), "m3": ("d3", "s")}
+        )
+        assert nets.count("s") >= 4
+        assert "d1" in nets and "d2" in nets and "d3" in nets
+
+
+class TestMatchedPair:
+    def test_common_centroid_abba(self):
+        plan = generate_stack({"a": 2, "b": 2})
+        active = [f.device for f in plan.fingers if not f.is_dummy]
+        assert active in (["a", "b", "b", "a"], ["b", "a", "a", "b"])
+
+    def test_pair_perfectly_balanced(self):
+        plan = generate_stack({"a": 2, "b": 2})
+        assert plan.centroid_offset("a") == 0.0
+        assert plan.centroid_offset("b") == 0.0
+        assert plan.orientation_balance("a") == 0
+        assert plan.orientation_balance("b") == 0
+
+    def test_larger_pair_no_breaks(self):
+        plan = generate_stack({"a": 4, "b": 4})
+        assert plan.breaks == []
+        assert plan.centroid_offset("a") == 0.0
+
+    def test_single_device_all_drains_internal(self):
+        plan = generate_stack({"x": 8}, with_dummies=False)
+        assert plan.breaks == []
+        nets = plan.strip_nets({"x": ("d", "s")})
+        assert nets[0] == "s" and nets[-1] == "s"
+        assert nets.count("d") == 4
+
+
+class TestHeuristicPath:
+    """Large stacks route through the constructive heuristic."""
+
+    def test_large_pair_balanced(self):
+        plan = generate_stack({"a": 16, "b": 16})
+        assert plan.centroid_offset("a") == 0.0
+        assert plan.centroid_offset("b") == 0.0
+        assert plan.breaks == []
+
+    def test_large_mirror_with_odd(self):
+        plan = generate_stack({"m1": 3, "m2": 12, "m3": 12})
+        assert len(plan.positions("m1")) == 3
+        assert abs(plan.centroid_offset("m2")) <= 1.0
+        assert abs(plan.centroid_offset("m3")) <= 1.0
+
+    def test_heuristic_matches_search_on_small_input(self):
+        from repro.layout.stack import _symmetric_sequence, _assign_orientations
+
+        sequence = _symmetric_sequence({"a": 4, "b": 4}, None)
+        _fingers, breaks = _assign_orientations(sequence)
+        assert breaks == []
+
+
+class TestStripNets:
+    def test_dummy_adopts_neighbour(self):
+        plan = generate_stack({"a": 2}, with_dummies=True)
+        nets = plan.strip_nets({"a": ("d", "s")}, dummy_net="gnd")
+        # Outer strips belong to the dummies, inner ones to the device.
+        assert nets[0] == "gnd"
+        assert nets[-1] == "gnd"
+        assert "d" in nets
+
+    def test_incompatible_sharing_detected(self):
+        plan = StackPlan(
+            fingers=generate_stack({"a": 1, "b": 1}, with_dummies=False).fingers,
+            units={"a": 1, "b": 1},
+            breaks=[],  # deliberately drop the required break
+        )
+        from repro.layout.stack import StackFinger
+
+        plan.fingers = [
+            StackFinger("a", drain_left=False),
+            StackFinger("b", drain_left=True),
+        ]
+        with pytest.raises(LayoutError):
+            plan.strip_nets({"a": ("da", "s"), "b": ("db", "s")})
+
+
+class TestValidation:
+    def test_empty_units_rejected(self):
+        with pytest.raises(LayoutError):
+            generate_stack({})
+
+    def test_nonpositive_units_rejected(self):
+        with pytest.raises(LayoutError):
+            generate_stack({"a": 0})
+
+    def test_reserved_name_rejected(self):
+        with pytest.raises(LayoutError):
+            generate_stack({DUMMY: 2})
+
+    def test_unknown_device_centroid_raises(self):
+        plan = generate_stack({"a": 2})
+        with pytest.raises(LayoutError):
+            plan.centroid_offset("zz")
+
+    def test_bad_center_device_rejected(self):
+        with pytest.raises(LayoutError):
+            generate_stack({"a": 2, "b": 40}, center_device="a")
+
+
+class TestProperties:
+    @given(
+        units=st.dictionaries(
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=1, max_value=6),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_fingers_accounted(self, units):
+        plan = generate_stack(units)
+        for device, count in units.items():
+            assert len(plan.positions(device)) == count
+        dummies = [f for f in plan.fingers if f.is_dummy]
+        assert len(dummies) == 2
+
+    @given(
+        units=st.dictionaries(
+            st.sampled_from(["a", "b"]),
+            st.integers(min_value=1, max_value=8),
+            min_size=1,
+            max_size=2,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_strip_nets_consistent_with_breaks(self, units):
+        plan = generate_stack(units)
+        terminals = {d: (f"d_{d}", "s") for d in units}
+        nets = plan.strip_nets(terminals)
+        assert len(nets) == len(plan.fingers) + 1 + len(plan.breaks)
+
+    @given(count=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None)
+    def test_even_devices_perfectly_oriented(self, count):
+        plan = generate_stack({"a": 2 * count})
+        assert plan.orientation_balance("a") == 0

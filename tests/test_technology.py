@@ -1,0 +1,128 @@
+"""Technology descriptions: process parameters, presets, validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.technology import (
+    MetalLayer,
+    Technology,
+    generic_035,
+    generic_060,
+    generic_080,
+)
+from repro.units import UM
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "factory, feature",
+        [(generic_035, 0.35), (generic_060, 0.60), (generic_080, 0.80)],
+    )
+    def test_feature_size(self, factory, feature):
+        tech = factory()
+        assert tech.feature_size == pytest.approx(feature * UM)
+
+    @pytest.mark.parametrize("factory", [generic_035, generic_060, generic_080])
+    def test_presets_validate(self, factory):
+        factory().validate()
+
+    def test_nmos_faster_than_pmos(self, tech):
+        assert tech.nmos.u0 > tech.pmos.u0
+
+    def test_kp_derived_from_mobility_and_oxide(self, tech):
+        expected = tech.nmos.u0 * tech.nmos.cox
+        assert tech.nmos.kp == pytest.approx(expected)
+
+    def test_cox_magnitude_realistic(self, tech):
+        # 0.6 um processes run around 2-3 fF/um^2.
+        assert 1.5e-3 < tech.nmos.cox < 3.5e-3
+
+    def test_default_ldif_conservative(self, tech):
+        """The pre-layout diffusion assumption exceeds anything the
+        generators actually draw (the paper's case-2 over-estimation)."""
+        assert tech.default_ldif > 1.5 * tech.rules.contacted_diffusion_width
+        assert tech.default_ldif == pytest.approx(
+            2.8 * tech.rules.contacted_diffusion_width
+        )
+
+
+class TestDeviceLookup:
+    def test_device_n(self, tech):
+        assert tech.device("n") is tech.nmos
+
+    def test_device_p(self, tech):
+        assert tech.device("p") is tech.pmos
+
+    def test_device_unknown_raises(self, tech):
+        with pytest.raises(TechnologyError):
+            tech.device("x")
+
+    def test_metal_lookup(self, tech):
+        assert tech.metal("metal1").name == "metal1"
+
+    def test_poly_via_metal_lookup(self, tech):
+        assert tech.metal("poly") is tech.poly
+
+    def test_unknown_metal_raises(self, tech):
+        with pytest.raises(TechnologyError):
+            tech.metal("metal9")
+
+
+class TestValidation:
+    def test_swapped_polarity_rejected(self, tech):
+        broken = dataclasses.replace(tech, nmos=tech.pmos, pmos=tech.nmos)
+        with pytest.raises(TechnologyError):
+            broken.validate()
+
+    def test_positive_pmos_vto_rejected(self, tech):
+        bad_pmos = dataclasses.replace(tech.pmos, vto=0.85)
+        with pytest.raises(TechnologyError):
+            bad_pmos.validate()
+
+    def test_negative_nmos_vto_rejected(self, tech):
+        bad_nmos = dataclasses.replace(tech.nmos, vto=-0.75)
+        with pytest.raises(TechnologyError):
+            bad_nmos.validate()
+
+    def test_grading_coefficient_range(self, tech):
+        bad = dataclasses.replace(tech.nmos, mj=1.5)
+        with pytest.raises(TechnologyError):
+            bad.validate()
+
+    def test_zero_feature_size_rejected(self, tech):
+        broken = dataclasses.replace(tech, feature_size=0.0)
+        with pytest.raises(TechnologyError):
+            broken.validate()
+
+
+class TestWellParams:
+    def test_zero_bias_capacitance(self, tech):
+        area, perimeter = 100e-12, 40e-6
+        value = tech.well.capacitance(area, perimeter, bias=0.0)
+        expected = tech.well.cj_area * area + tech.well.cj_perimeter * perimeter
+        assert value == pytest.approx(expected)
+
+    def test_reverse_bias_reduces_capacitance(self, tech):
+        area, perimeter = 100e-12, 40e-6
+        at_zero = tech.well.capacitance(area, perimeter, bias=0.0)
+        at_three = tech.well.capacitance(area, perimeter, bias=3.0)
+        assert at_three < at_zero
+
+
+class TestContactRule:
+    def test_single_cut_for_small_current(self, tech):
+        assert tech.contact.cuts_for_current(0.1e-3) == 1
+
+    def test_multiple_cuts_for_large_current(self, tech):
+        cuts = tech.contact.cuts_for_current(2.0e-3)
+        assert cuts >= 3
+
+    def test_zero_current_still_one_cut(self, tech):
+        assert tech.contact.cuts_for_current(0.0) == 1
+
+    def test_negative_current_uses_magnitude(self, tech):
+        assert tech.contact.cuts_for_current(-2.0e-3) == tech.contact.cuts_for_current(
+            2.0e-3
+        )

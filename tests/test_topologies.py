@@ -1,0 +1,210 @@
+"""Topology generators."""
+
+import pytest
+
+from repro.analysis import solve_dc
+from repro.circuit.topologies import (
+    FOLDED_CASCODE_DEVICES,
+    DeviceSize,
+    FoldedCascodeDesign,
+    TwoStageDesign,
+    build_current_mirror,
+    build_diff_pair,
+    build_folded_cascode,
+    build_two_stage,
+)
+from repro.errors import CircuitError
+from repro.units import PF, UM
+
+
+class TestFoldedCascode:
+    def test_all_devices_present(self, hand_testbench):
+        names = {m.name for m in hand_testbench.circuit.mos_devices}
+        assert names == set(FOLDED_CASCODE_DEVICES)
+
+    def test_output_net_exists(self, hand_testbench):
+        assert "vout" in hand_testbench.circuit.nets
+
+    def test_load_capacitor(self, hand_testbench):
+        cload = hand_testbench.circuit.element("cload")
+        assert cload.value == pytest.approx(3 * PF)
+
+    def test_slew_device_is_tail(self, hand_testbench):
+        assert hand_testbench.slew_devices == ("mp5",)
+
+    def test_input_pair_shares_tail(self, hand_testbench):
+        mp1 = hand_testbench.circuit.mos("mp1")
+        mp2 = hand_testbench.circuit.mos("mp2")
+        assert mp1.s == mp2.s == "tail"
+
+    def test_mirror_gates_at_mir_node(self, hand_testbench):
+        mp3 = hand_testbench.circuit.mos("mp3")
+        mp4 = hand_testbench.circuit.mos("mp4")
+        assert mp3.g == mp4.g == "mir"
+
+    def test_cascode_output_stacking(self, hand_testbench):
+        mn2c = hand_testbench.circuit.mos("mn2c")
+        mp4c = hand_testbench.circuit.mos("mp4c")
+        assert mn2c.d == "vout"
+        assert mp4c.d == "vout"
+
+    def test_missing_device_size_rejected(self, tech):
+        design = FoldedCascodeDesign(
+            technology=tech,
+            sizes={"mp1": DeviceSize(w=10 * UM, l=1 * UM)},
+            biases={"vp1": 2.0, "vbn": 1.0, "vc1": 1.5, "vc3": 1.8},
+            vdd=3.3,
+            vcm=1.2,
+            cload=3 * PF,
+        )
+        with pytest.raises(CircuitError):
+            build_folded_cascode(design)
+
+    def test_missing_bias_rejected(self, tech, hand_sized):
+        sizes, _ = hand_sized
+        design = FoldedCascodeDesign(
+            technology=tech,
+            sizes={k: DeviceSize(w=w, l=l) for k, (w, l) in sizes.items()},
+            biases={"vp1": 2.0},
+            vdd=3.3,
+            vcm=1.2,
+            cload=3 * PF,
+        )
+        with pytest.raises(CircuitError):
+            build_folded_cascode(design)
+
+    def test_extra_net_caps_attached(self, tech, hand_sized):
+        sizes, _ = hand_sized
+        design = FoldedCascodeDesign(
+            technology=tech,
+            sizes={k: DeviceSize(w=w, l=l) for k, (w, l) in sizes.items()},
+            biases={"vp1": 2.2, "vbn": 1.0, "vc1": 1.5, "vc3": 1.75},
+            vdd=3.3,
+            vcm=1.2,
+            cload=3 * PF,
+            extra_net_caps={"fold1": 50e-15},
+            coupling_caps={("fold1", "fold2"): 10e-15},
+        )
+        bench = build_folded_cascode(design)
+        assert bench.circuit.total_parasitic_on_net("fold1") == pytest.approx(
+            60e-15
+        )
+
+    def test_devices_saturate_at_bias(self, hand_testbench):
+        solution = solve_dc(hand_testbench.circuit)
+        for name, device in solution.devices.items():
+            assert device.op.region.value == "saturation", name
+
+
+class TestDiffPair:
+    def test_dc_splits_tail_current(self, tech):
+        bench = build_diff_pair(
+            tech, w=100 * UM, l=1 * UM, tail_current=200e-6,
+            load_resistance=10e3,
+        )
+        solution = solve_dc(bench.circuit)
+        assert solution.devices["m1"].op.id == pytest.approx(100e-6, rel=1e-6)
+        assert solution.devices["m2"].op.id == pytest.approx(100e-6, rel=1e-6)
+
+    def test_output_level(self, tech):
+        bench = build_diff_pair(
+            tech, w=100 * UM, l=1 * UM, tail_current=200e-6,
+            load_resistance=10e3, vdd=3.3,
+        )
+        solution = solve_dc(bench.circuit)
+        assert solution.voltage("vout") == pytest.approx(3.3 - 1.0, rel=1e-6)
+
+    def test_invalid_parameters_rejected(self, tech):
+        with pytest.raises(CircuitError):
+            build_diff_pair(tech, w=100 * UM, l=1 * UM,
+                            tail_current=0.0, load_resistance=10e3)
+
+
+class TestCurrentMirrorCircuit:
+    def test_output_ratios(self, tech):
+        circuit = build_current_mirror(
+            tech, reference_current=50e-6, ratios=[2, 4],
+            unit_width=10 * UM, length=2 * UM,
+        )
+        solution = solve_dc(circuit)
+        reference = abs(solution.devices["m1"].op.id)
+        assert abs(solution.devices["m2"].op.id) == pytest.approx(
+            2 * reference, rel=0.05
+        )
+        assert abs(solution.devices["m3"].op.id) == pytest.approx(
+            4 * reference, rel=0.08
+        )
+
+    def test_pmos_variant(self, tech):
+        circuit = build_current_mirror(
+            tech, reference_current=50e-6, ratios=[2],
+            unit_width=20 * UM, length=2 * UM, polarity="p",
+        )
+        solution = solve_dc(circuit)
+        assert abs(solution.devices["m2"].op.id) == pytest.approx(
+            2 * abs(solution.devices["m1"].op.id), rel=0.05
+        )
+
+    def test_empty_ratios_rejected(self, tech):
+        with pytest.raises(CircuitError):
+            build_current_mirror(tech, 50e-6, [], 10 * UM, 2 * UM)
+
+
+class TestTwoStage:
+    @pytest.fixture(scope="class")
+    def two_stage_bench(self, tech):
+        sizes = {
+            "m1": DeviceSize(w=30 * UM, l=1 * UM),
+            "m2": DeviceSize(w=30 * UM, l=1 * UM),
+            "m3": DeviceSize(w=15 * UM, l=1 * UM),
+            "m4": DeviceSize(w=15 * UM, l=1 * UM),
+            "m5": DeviceSize(w=30 * UM, l=1 * UM),
+            "m6": DeviceSize(w=120 * UM, l=0.8 * UM),
+            "m7": DeviceSize(w=60 * UM, l=0.8 * UM),
+        }
+        from repro.mos import make_model
+
+        mn = make_model(tech.nmos, 1)
+        design = TwoStageDesign(
+            technology=tech,
+            sizes=sizes,
+            vbn=mn.threshold(0.0) + 0.2,
+            vdd=3.3,
+            vcm=1.4,
+            cload=3 * PF,
+            cc=0.8 * PF,
+        )
+        return build_two_stage(design)
+
+    def test_miller_cap_present(self, two_stage_bench):
+        assert "cc" in two_stage_bench.circuit
+
+    def test_dc_converges(self, two_stage_bench):
+        solution = solve_dc(two_stage_bench.circuit)
+        assert 0.1 < solution.voltage("vout") < 3.2
+
+    def test_nulling_resistor_variant(self, tech, two_stage_bench):
+        sizes = {
+            name: DeviceSize(w=m.w, l=m.l)
+            for name, m in (
+                (d.name, d) for d in two_stage_bench.circuit.mos_devices
+            )
+        }
+        design = TwoStageDesign(
+            technology=tech, sizes=sizes, vbn=0.95, vdd=3.3, vcm=1.4,
+            cload=3 * PF, cc=0.8 * PF, rz=1e3,
+        )
+        bench = build_two_stage(design)
+        assert "rz" in bench.circuit
+
+    def test_zero_cc_rejected(self, tech, two_stage_bench):
+        sizes = {
+            d.name: DeviceSize(w=d.w, l=d.l)
+            for d in two_stage_bench.circuit.mos_devices
+        }
+        design = TwoStageDesign(
+            technology=tech, sizes=sizes, vbn=0.95, vdd=3.3, vcm=1.4,
+            cload=3 * PF, cc=0.0,
+        )
+        with pytest.raises(CircuitError):
+            build_two_stage(design)

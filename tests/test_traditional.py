@@ -1,0 +1,52 @@
+"""The traditional flow baseline (paper Figure 1a)."""
+
+import pytest
+
+from repro.core.traditional import TraditionalFlow
+
+
+@pytest.fixture(scope="module")
+def traditional_outcome(tech, specs):
+    return TraditionalFlow(tech, max_rounds=6).run(specs)
+
+
+class TestTraditionalFlow:
+    def test_eventually_converges(self, traditional_outcome):
+        assert traditional_outcome.converged
+
+    def test_needs_at_least_one_full_round(self, traditional_outcome):
+        assert traditional_outcome.full_layout_rounds >= 1
+
+    def test_final_extracted_meets_specs(self, traditional_outcome, specs):
+        extracted = traditional_outcome.extracted
+        assert extracted.gbw >= specs.gbw * (1 - 0.021)
+        assert extracted.phase_margin_deg >= specs.phase_margin - 1.1
+
+    def test_iterations_record_shortfalls(self, traditional_outcome):
+        first = traditional_outcome.iterations[0]
+        assert first.extracted is not None
+        # The first blind round typically misses at least one spec
+        # (otherwise there would be nothing to iterate on).
+        if traditional_outcome.full_layout_rounds > 1:
+            assert first.gbw_shortfall > 0.02 or first.pm_shortfall > 1.0
+
+    def test_layout_kept_from_final_round(self, traditional_outcome):
+        assert traditional_outcome.layout.cell is not None
+
+
+class TestFlowComparison:
+    """The paper's argument: the coupled flow avoids the expensive
+    generate-extract-resize rounds."""
+
+    def test_layout_oriented_needs_no_full_rounds(self, synthesis_outcome,
+                                                  traditional_outcome):
+        # The layout-oriented loop runs only estimate-mode calls before
+        # final generation; the traditional flow pays one full
+        # generate+extract per round.
+        assert synthesis_outcome.layout_calls <= 6
+        assert traditional_outcome.full_layout_rounds >= 1
+
+    def test_both_meet_specs_eventually(self, synthesis_outcome,
+                                        traditional_outcome, specs):
+        assert synthesis_outcome.sizing.predicted.gbw >= specs.gbw * 0.98
+        assert traditional_outcome.extracted.gbw >= specs.gbw * 0.975

@@ -1,0 +1,122 @@
+"""Transfer-function post-processing against analytic responses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.transfer import TransferFunction
+from repro.errors import AnalysisError
+
+
+def single_pole(gain, pole_hz, frequencies):
+    frequencies = np.asarray(frequencies, dtype=float)
+    return TransferFunction(
+        frequencies, gain / (1.0 + 1j * frequencies / pole_hz)
+    )
+
+
+def two_pole(gain, p1, p2, frequencies):
+    frequencies = np.asarray(frequencies, dtype=float)
+    response = gain / (
+        (1.0 + 1j * frequencies / p1) * (1.0 + 1j * frequencies / p2)
+    )
+    return TransferFunction(frequencies, response)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return np.logspace(0, 10, 600)
+
+
+class TestBasics:
+    def test_dc_gain(self, grid):
+        tf = single_pole(100.0, 1e3, grid)
+        assert tf.dc_gain == pytest.approx(100.0, rel=1e-4)
+        assert tf.dc_gain_db == pytest.approx(40.0, abs=0.01)
+
+    def test_gain_interpolation(self, grid):
+        tf = single_pole(100.0, 1e3, grid)
+        assert tf.gain_db_at(1e3) == pytest.approx(40.0 - 3.01, abs=0.05)
+
+    def test_phase_interpolation(self, grid):
+        tf = single_pole(100.0, 1e3, grid)
+        assert tf.phase_deg_at(1e3) == pytest.approx(-45.0, abs=0.5)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(AnalysisError):
+            TransferFunction(np.array([1.0, 2.0]), np.array([1.0 + 0j]))
+
+    def test_non_increasing_frequencies_rejected(self):
+        with pytest.raises(AnalysisError):
+            TransferFunction(
+                np.array([2.0, 1.0]), np.array([1.0 + 0j, 1.0 + 0j])
+            )
+
+
+class TestUnityGain:
+    def test_single_pole_gbw(self, grid):
+        """For a single pole, unity crossing = gain * pole."""
+        tf = single_pole(100.0, 1e3, grid)
+        assert tf.unity_gain_frequency() == pytest.approx(1e5, rel=0.01)
+
+    def test_no_crossing_returns_none(self, grid):
+        tf = single_pole(0.5, 1e3, grid)
+        assert tf.unity_gain_frequency() is None
+
+    def test_two_pole_crossing_below_single_pole(self, grid):
+        lone = single_pole(1000.0, 1e3, grid).unity_gain_frequency()
+        double = two_pole(1000.0, 1e3, 1e5, grid).unity_gain_frequency()
+        assert double < lone
+
+
+class TestPhaseMargin:
+    def test_single_pole_ninety_degrees(self, grid):
+        tf = single_pole(100.0, 1e3, grid)
+        assert tf.phase_margin() == pytest.approx(90.0, abs=1.0)
+
+    def test_two_pole_margin_matches_analytic_phase(self, grid):
+        """PM equals 180 minus the analytic phase lag at the crossing."""
+        import math
+
+        tf = two_pole(100.0, 1e3, 9.9e4, grid)
+        unity = tf.unity_gain_frequency()
+        expected = 180.0 - math.degrees(
+            math.atan(unity / 1e3) + math.atan(unity / 9.9e4)
+        )
+        assert tf.phase_margin() == pytest.approx(expected, abs=1.0)
+
+    def test_inverting_response_normalised(self, grid):
+        tf = single_pole(100.0, 1e3, grid)
+        inverted = TransferFunction(tf.frequencies, -tf.values)
+        assert inverted.phase_margin() == pytest.approx(
+            tf.phase_margin(), abs=0.5
+        )
+
+    def test_no_crossing_returns_none(self, grid):
+        tf = single_pole(0.5, 1e3, grid)
+        assert tf.phase_margin() is None
+
+
+class TestBandwidth:
+    def test_single_pole_3db(self, grid):
+        tf = single_pole(100.0, 1e3, grid)
+        assert tf.bandwidth_3db() == pytest.approx(1e3, rel=0.02)
+
+    def test_flat_response_no_3db(self):
+        frequencies = np.logspace(0, 6, 50)
+        tf = TransferFunction(frequencies, np.ones(50, dtype=complex))
+        assert tf.bandwidth_3db() is None
+
+
+class TestGainMargin:
+    def test_two_pole_has_no_180_crossing(self, grid):
+        tf = two_pole(100.0, 1e3, 1e5, grid)
+        assert tf.gain_margin_db() is None
+
+    def test_three_pole_gain_margin_positive(self, grid):
+        response = 100.0 / (
+            (1 + 1j * grid / 1e3) * (1 + 1j * grid / 1e5) * (1 + 1j * grid / 2e5)
+        )
+        tf = TransferFunction(grid, response)
+        margin = tf.gain_margin_db()
+        assert margin is not None
+        assert margin > 0.0

@@ -1,0 +1,158 @@
+"""Transient analysis against analytic references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.transient import (
+    measure_slew_rate,
+    run_transient,
+    step_waveform,
+)
+from repro.circuit import Circuit
+from repro.errors import AnalysisError
+
+
+class TestWaveforms:
+    def test_step_levels(self):
+        wave = step_waveform(0.0, 1.0, t_step=1e-6, t_rise=1e-9)
+        assert wave(0.0) == 0.0
+        assert wave(0.999e-6) == 0.0
+        assert wave(1.002e-6) == 1.0
+
+    def test_linear_rise(self):
+        wave = step_waveform(0.0, 1.0, t_step=0.0, t_rise=10e-9)
+        assert wave(5e-9) == pytest.approx(0.5)
+
+
+@pytest.fixture(scope="module")
+def rc_response():
+    circuit = Circuit("rc")
+    circuit.add_vsource("vin", "in", "0", dc=0.0)
+    circuit.add_resistor("r1", "in", "out", 1e3)
+    circuit.add_capacitor("c1", "out", "0", 1e-9)
+    return run_transient(
+        circuit, t_stop=6e-6, dt=5e-9,
+        waveforms={"vin": step_waveform(0.0, 1.0, 0.5e-6, 1e-9)},
+    )
+
+
+class TestRcStep:
+    def test_starts_at_zero(self, rc_response):
+        assert rc_response.voltage("out")[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_one_tau_value(self, rc_response):
+        t = rc_response.times
+        v = rc_response.voltage("out")
+        index = np.argmin(np.abs(t - 1.5e-6))
+        assert v[index] == pytest.approx(1 - math.exp(-1), abs=0.01)
+
+    def test_final_value(self, rc_response):
+        assert rc_response.voltage("out")[-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_monotonic_charging(self, rc_response):
+        t = rc_response.times
+        v = rc_response.voltage("out")
+        after = v[t > 0.51e-6]
+        assert np.all(np.diff(after) >= -1e-9)
+
+    def test_settling_time_vs_analytic(self, rc_response):
+        """Settling to 2% of a 1 V step takes ~ 4 tau = 4 us."""
+        settled = rc_response.settling_time("out", 1.0, 0.02, t_start=0.5e-6)
+        assert settled is not None
+        assert settled - 0.5e-6 == pytest.approx(3.9e-6, rel=0.15)
+
+    def test_slew_rate_of_rc(self, rc_response):
+        """Peak dv/dt of an RC step is V/(RC) right after the edge."""
+        slew = rc_response.slew_rate("out", t_start=0.5e-6)
+        assert slew == pytest.approx(1.0 / 1e-6, rel=0.15)
+
+
+class TestNonlinearTransient:
+    def test_mos_inverter_switches(self, tech):
+        from repro.units import UM
+
+        circuit = Circuit("inv")
+        circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+        circuit.add_vsource("vin", "g", "0", dc=0.0)
+        circuit.add_resistor("rload", "vdd!", "out", 20e3)
+        circuit.add_mos("m1", d="out", g="g", s="0", b="0",
+                        params=tech.nmos, w=20 * UM, l=1 * UM)
+        circuit.add_capacitor("cl", "out", "0", 0.5e-12)
+        result = run_transient(
+            circuit, t_stop=100e-9, dt=0.5e-9,
+            waveforms={"vin": step_waveform(0.0, 3.3, 20e-9, 1e-9)},
+        )
+        v = result.voltage("out")
+        assert v[0] == pytest.approx(3.3, abs=0.01)
+        assert v[-1] < 0.5
+
+    def test_device_capacitance_slows_edge(self, tech):
+        """A bigger device loads its own drain: slower output edge."""
+        from repro.units import UM
+
+        def edge(width):
+            circuit = Circuit("inv")
+            circuit.add_vsource("vdd", "vdd!", "0", dc=3.3)
+            circuit.add_vsource("vin", "g", "0", dc=3.3)
+            circuit.add_resistor("rload", "vdd!", "out", 100e3)
+            circuit.add_mos("m1", d="out", g="g", s="0", b="0",
+                            params=tech.nmos, w=width, l=1 * UM)
+            # Turn the device off and watch the resistor pull 'out' up
+            # against the junction capacitance.
+            result = run_transient(
+                circuit, t_stop=60e-9, dt=0.25e-9,
+                waveforms={"vin": step_waveform(3.3, 0.0, 5e-9, 1e-9)},
+            )
+            return result.voltage("out")[-1]
+
+        assert edge(10 * UM) > edge(200 * UM)
+
+
+class TestValidation:
+    def test_bad_timestep_rejected(self):
+        circuit = Circuit("x")
+        circuit.add_vsource("v", "a", "0", dc=1.0)
+        circuit.add_resistor("r", "a", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            run_transient(circuit, t_stop=1e-6, dt=0.0)
+
+    def test_waveform_on_non_source_rejected(self):
+        circuit = Circuit("x")
+        circuit.add_vsource("v", "a", "0", dc=1.0)
+        circuit.add_resistor("r", "a", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            run_transient(circuit, t_stop=1e-6, dt=1e-9,
+                          waveforms={"r": lambda t: 0.0})
+
+
+class TestOtaSlewMeasurement:
+    @pytest.fixture(scope="class")
+    def slew_measurement(self, hand_testbench):
+        return measure_slew_rate(hand_testbench, step_amplitude=0.8)
+
+    def test_slew_in_estimate_ballpark(self, hand_testbench,
+                                       slew_measurement):
+        """The measured slew agrees with I/C within a factor of ~2 (the
+        estimate ignores the asymmetric branch-current limit)."""
+        from repro.analysis.metrics import measure_ota
+
+        slew, _result = slew_measurement
+        estimate = measure_ota(hand_testbench).slew_rate
+        assert 0.4 * estimate < slew < 1.6 * estimate
+
+    def test_buffer_settles_to_step(self, hand_testbench, slew_measurement):
+        _slew, result = slew_measurement
+        vcm = hand_testbench.common_mode_voltage()
+        final = result.voltage(hand_testbench.output_net)[-1]
+        assert final == pytest.approx(vcm + 0.4, abs=0.02)
+
+    def test_settling_time_reported(self, hand_testbench, slew_measurement):
+        _slew, result = slew_measurement
+        vcm = hand_testbench.common_mode_voltage()
+        settled = result.settling_time(
+            hand_testbench.output_net, vcm + 0.4, 0.01, t_start=20e-9
+        )
+        assert settled is not None
+        assert settled < 200e-9

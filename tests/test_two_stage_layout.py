@@ -1,0 +1,175 @@
+"""Capacitor generator and the two-stage OTA layout (DSL-built)."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.layout.capacitor import plate_capacitor
+from repro.layout.drc import DrcChecker
+from repro.layout.layers import Layer
+from repro.layout.two_stage_ota import (
+    TwoStageLayoutRequest,
+    generate_two_stage_layout,
+)
+from repro.sizing.plans.two_stage import TwoStagePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.units import PF, UM
+
+
+class TestPlateCapacitor:
+    @pytest.fixture(scope="class")
+    def cap(self, tech):
+        return plate_capacitor(tech, 0.75 * PF, "top", "bot", "cc")
+
+    def test_drawn_value_matches(self, cap):
+        assert cap.actual_widths["cc"] == pytest.approx(0.75e-12, rel=0.01)
+
+    def test_plates_on_both_poly_layers(self, cap):
+        assert cap.cell.shapes_on(Layer.POLY)
+        assert cap.cell.shapes_on(Layer.POLY2)
+
+    def test_bottom_plate_encloses_top(self, cap):
+        bottom = cap.cell.shapes_on(Layer.POLY)[0].rect
+        top = cap.cell.shapes_on(Layer.POLY2)[0].rect
+        assert bottom.contains(top)
+
+    def test_pins_on_opposite_edges(self, cap):
+        top_pin = cap.cell.pin_rect("top")
+        bottom_pin = cap.cell.pin_rect("bot")
+        assert top_pin.center.y > bottom_pin.center.y
+
+    def test_drc_clean(self, cap, tech):
+        DrcChecker(tech).assert_clean(cap.cell)
+
+    def test_aspect_controls_shape(self, tech):
+        square = plate_capacitor(tech, 1 * PF, "a", "b", aspect=1.0)
+        tall = plate_capacitor(tech, 1 * PF, "a", "b", aspect=4.0)
+        assert tall.cell.height > square.cell.height
+        assert tall.cell.width < square.cell.width
+
+    def test_bottom_plate_parasitic_extracted(self, cap, tech):
+        """The extractor reports the bottom plate's substrate parasitic —
+        the reason the bottom plate goes on the driven node."""
+        from repro.layout.extraction import extract_cell
+
+        extracted = extract_cell(cap.cell, tech)
+        bottom_parasitic = extracted.net_wire_cap["bot"]
+        # Poly area cap of a ~0.75 pF plate (~830 um^2): tens of fF.
+        assert bottom_parasitic > 30e-15
+        assert extracted.net_wire_cap.get("top", 0.0) < bottom_parasitic
+
+    def test_zero_value_rejected(self, tech):
+        with pytest.raises(LayoutError):
+            plate_capacitor(tech, 0.0, "a", "b")
+
+
+@pytest.fixture(scope="module")
+def two_stage_sized(tech):
+    specs = OtaSpecs(
+        vdd=3.3, gbw=30e6, phase_margin=60.0, cload=2 * PF,
+        input_cm_range=(1.0, 2.0), output_range=(0.4, 2.9),
+    )
+    plan = TwoStagePlan(tech)
+    result = plan.size(specs, ParasiticMode.SINGLE_FOLD)
+    return specs, plan, result
+
+
+@pytest.fixture(scope="module")
+def two_stage_layout(tech, two_stage_sized):
+    _specs, _plan, result = two_stage_sized
+    request = TwoStageLayoutRequest(
+        technology=tech, sizes=result.sizes, currents=result.currents,
+        cc=result.biases["_cc"], aspect=1.0,
+    )
+    return generate_two_stage_layout(request, mode="generate")
+
+
+class TestTwoStageLayout:
+    def test_all_devices_reported(self, two_stage_layout):
+        assert set(two_stage_layout.report.devices) == {
+            "m1", "m2", "m3", "m4", "m5", "m6", "m7"
+        }
+
+    def test_matched_folds(self, two_stage_layout):
+        folds = two_stage_layout.fold_config
+        assert folds["m1"] == folds["m2"]
+        assert folds["m3"] == folds["m4"]
+
+    def test_miller_node_capacitances_reported(self, two_stage_layout):
+        report = two_stage_layout.report
+        assert report.net_capacitance.get("d2", 0.0) > 1e-15
+        assert report.net_capacitance.get("vout", 0.0) > 10e-15
+
+    def test_drc_clean(self, two_stage_layout, tech):
+        DrcChecker(tech).assert_clean(two_stage_layout.cell)
+
+    def test_estimate_mode_has_no_cell(self, tech, two_stage_sized):
+        _specs, _plan, result = two_stage_sized
+        request = TwoStageLayoutRequest(
+            technology=tech, sizes=result.sizes, currents=result.currents,
+            cc=result.biases["_cc"],
+        )
+        estimate = generate_two_stage_layout(request, mode="estimate")
+        assert estimate.cell is None
+        assert estimate.report.net_capacitance
+
+    def test_missing_device_rejected(self, tech, two_stage_sized):
+        _specs, _plan, result = two_stage_sized
+        partial = {k: v for k, v in result.sizes.items() if k != "m6"}
+        request = TwoStageLayoutRequest(
+            technology=tech, sizes=partial, currents=result.currents,
+            cc=1e-12,
+        )
+        with pytest.raises(LayoutError):
+            generate_two_stage_layout(request)
+
+
+class TestTwoStageCoupledFlow:
+    """The paper's extensibility claim, end to end: the second topology
+    runs through the *same* layout-oriented loop."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self, tech, two_stage_sized):
+        from repro.core.synthesis import LayoutOrientedSynthesizer
+
+        specs, plan, _result = two_stage_sized
+
+        def layout_tool(sizing, mode):
+            return generate_two_stage_layout(
+                TwoStageLayoutRequest(
+                    technology=tech, sizes=sizing.sizes,
+                    currents=sizing.currents, cc=sizing.biases["_cc"],
+                ),
+                mode=mode,
+            )
+
+        synthesizer = LayoutOrientedSynthesizer(
+            tech, plan=plan, layout_tool=layout_tool
+        )
+        return specs, plan, synthesizer.run(
+            specs, ParasiticMode.FULL, generate=True
+        )
+
+    def test_converges(self, outcome):
+        _specs, _plan, result = outcome
+        assert result.converged
+        assert 2 <= result.layout_calls <= 6
+
+    def test_meets_specs_with_parasitics(self, outcome):
+        specs, _plan, result = outcome
+        metrics = result.sizing.predicted
+        assert metrics.gbw == pytest.approx(specs.gbw, rel=0.03)
+        assert metrics.phase_margin_deg >= specs.phase_margin - 1.5
+
+    def test_extraction_agrees(self, outcome, tech):
+        from repro.core.cases import extract_and_measure
+
+        specs, plan, result = outcome
+        extracted = extract_and_measure(
+            plan, result.sizing, specs, result.layout, tech
+        )
+        assert extracted.gbw == pytest.approx(
+            result.sizing.predicted.gbw, rel=0.05
+        )
+        assert extracted.phase_margin_deg == pytest.approx(
+            result.sizing.predicted.phase_margin_deg, abs=2.5
+        )

@@ -1,0 +1,86 @@
+"""Unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestScaleFactors:
+    def test_micron_alias(self):
+        assert units.UM == 1e-6
+
+    def test_femtofarad_alias(self):
+        assert units.FF == 1e-15
+
+    def test_megahertz_alias(self):
+        assert units.MHZ == 1e6
+
+    def test_composed_quantity(self):
+        assert 3 * units.PF == pytest.approx(3e-12)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert units.thermal_voltage() == pytest.approx(0.02585, rel=1e-3)
+
+    def test_scales_linearly_with_temperature(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2.0 * units.thermal_voltage(300.0)
+        )
+
+
+class TestDecibels:
+    def test_db_of_unity_is_zero(self):
+        assert units.db(1.0) == 0.0
+
+    def test_db_of_ten_is_twenty(self):
+        assert units.db(10.0) == pytest.approx(20.0)
+
+    def test_db_of_zero_is_minus_infinity(self):
+        assert units.db(0.0) == -math.inf
+
+    def test_db_uses_magnitude(self):
+        assert units.db(-10.0) == pytest.approx(20.0)
+
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_db_round_trip(self, value):
+        assert units.from_db(units.db(value)) == pytest.approx(value, rel=1e-9)
+
+
+class TestParallel:
+    def test_two_equal_resistors(self):
+        assert units.parallel(2.0, 2.0) == pytest.approx(1.0)
+
+    def test_infinite_branch_is_ignored(self):
+        assert units.parallel(5.0, math.inf) == pytest.approx(5.0)
+
+    def test_all_infinite(self):
+        assert units.parallel(math.inf, math.inf) == math.inf
+
+    def test_short_dominates(self):
+        assert units.parallel(0.0, 10.0) == 0.0
+
+    @given(
+        st.floats(min_value=1e-3, max_value=1e9),
+        st.floats(min_value=1e-3, max_value=1e9),
+    )
+    def test_result_below_either_branch(self, a, b):
+        combined = units.parallel(a, b)
+        assert combined <= min(a, b) + 1e-12
+
+
+class TestFormatSi:
+    def test_megahertz(self):
+        assert units.format_si(65e6, "Hz") == "65MHz"
+
+    def test_femtofarads(self):
+        assert units.format_si(2.5e-15, "F") == "2.5fF"
+
+    def test_zero(self):
+        assert units.format_si(0.0, "V") == "0V"
+
+    def test_plain_unit(self):
+        assert units.format_si(2.0, "V") == "2V"
