@@ -7,7 +7,9 @@ Commands mirror the paper's experiments:
 * ``flows``       — traditional vs layout-oriented flow comparison;
 * ``figure2``     — the capacitance reduction factor curves;
 * ``figure3``     — the 1:3:6 current-mirror stack;
-* ``evaluate``    — technology characterisation and ranking.
+* ``evaluate``    — technology characterisation and ranking;
+* ``bench``       — legacy vs compiled analysis-engine timings
+  (writes ``BENCH_analysis.json``).
 """
 
 from __future__ import annotations
@@ -182,6 +184,30 @@ def cmd_figure3(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.perf import format_bench_table, run_benchmarks, write_bench
+
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    json_dir = os.path.dirname(os.path.abspath(args.json))
+    if not os.path.isdir(json_dir):
+        print(f"error: output directory does not exist: {json_dir}",
+              file=sys.stderr)
+        return 2
+    print("timing legacy vs compiled engines ...", file=sys.stderr)
+    results = run_benchmarks(
+        repeat=args.repeat,
+        include_synthesis=not args.no_synthesis,
+    )
+    print(format_bench_table(results))
+    write_bench(results, args.json)
+    print(f"benchmark record written to {args.json}", file=sys.stderr)
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.technology.evaluation import (
         TechnologyEvaluator,
@@ -243,6 +269,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_technology_argument(figure3)
     figure3.add_argument("--svg", help="write the layout as SVG")
     figure3.set_defaults(func=cmd_figure3)
+
+    bench = subparsers.add_parser(
+        "bench", help="time the legacy vs compiled analysis engines"
+    )
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="best-of repetitions per workload (default 3)")
+    bench.add_argument("--no-synthesis", action="store_true",
+                       help="skip the end-to-end synthesis benchmark")
+    bench.add_argument("--json", default="BENCH_analysis.json",
+                       help="output record path "
+                            "(default BENCH_analysis.json)")
+    bench.set_defaults(func=cmd_bench)
 
     evaluate = subparsers.add_parser(
         "evaluate", help="characterise and rank the bundled technologies"

@@ -16,8 +16,20 @@ A compact modified-nodal-analysis (MNA) simulator sized for analog cells:
 
 It plays the role the commercial simulator plays in the paper: the
 *independent* evaluation of extracted netlists.
+
+Two interchangeable engines back every analysis (see
+:mod:`repro.analysis.engine`): the default vectorized compiled-stamp
+engine (:mod:`repro.analysis.stamps`) and the legacy per-element
+reference implementation, selectable per call via ``engine=`` or
+process-wide via :func:`use_engine` / :func:`set_default_engine`.
 """
 
+from repro.analysis.engine import (
+    default_engine,
+    set_default_engine,
+    use_engine,
+)
+from repro.analysis.stamps import LinearSystem, StampProgram
 from repro.analysis.dcop import DcSolution, solve_dc
 from repro.analysis.ac import AcSolution, ac_sweep, transfer_function
 from repro.analysis.transfer import TransferFunction
@@ -34,18 +46,23 @@ from repro.analysis.transient import (
 __all__ = [
     "AcSolution",
     "DcSolution",
+    "LinearSystem",
     "MonteCarloResult",
     "NoiseAnalysis",
     "NoiseResult",
     "OtaMetrics",
+    "StampProgram",
     "TransferFunction",
     "TransientResult",
     "ac_sweep",
+    "default_engine",
     "measure_ota",
     "measure_slew_rate",
     "run_monte_carlo",
     "run_transient",
+    "set_default_engine",
     "solve_dc",
     "step_waveform",
     "transfer_function",
+    "use_engine",
 ]

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, Optional, Tuple
 import numpy as np
 
 from repro.analysis.dcop import DcSolution
+from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.mna import (
     NodeIndex,
     solve_linear,
@@ -157,13 +158,29 @@ def ac_sweep(
     dc: DcSolution,
     frequencies: Iterable[float],
     overrides: Optional[Dict[str, complex]] = None,
+    engine: Optional[str] = None,
 ) -> AcSolution:
-    """Solve the linearised circuit across ``frequencies``."""
+    """Solve the linearised circuit across ``frequencies``.
+
+    The compiled engine stacks ``(G + j 2 pi f C)`` for every frequency
+    into one tensor and performs a single broadcasted solve; the legacy
+    engine factorizes per frequency.
+    """
     freq_array = np.asarray(list(frequencies), dtype=float)
     if freq_array.size == 0:
         raise AnalysisError("ac_sweep needs at least one frequency")
     if np.any(freq_array <= 0.0):
         raise AnalysisError("AC frequencies must be positive")
+    if resolve_engine(engine) == COMPILED:
+        from repro.analysis.stamps import LinearSystem
+
+        system = LinearSystem(circuit, dc)
+        solutions = system.solve_batch(freq_array, system.rhs(overrides))
+        return AcSolution(
+            frequencies=freq_array,
+            index=system.index,
+            solutions=solutions[:, :, 0],
+        )
     conductance, capacitance, index = build_ac_matrices(circuit, dc)
     rhs = build_ac_rhs(circuit, index, overrides)
     solutions = np.zeros((freq_array.size, index.size), dtype=complex)
@@ -180,9 +197,12 @@ def transfer_function(
     output_net: str,
     frequencies: Iterable[float],
     overrides: Optional[Dict[str, complex]] = None,
+    engine: Optional[str] = None,
 ) -> TransferFunction:
     """Convenience wrapper: sweep and return the transfer to one net."""
-    return ac_sweep(circuit, dc, frequencies, overrides).transfer(output_net)
+    return ac_sweep(circuit, dc, frequencies, overrides, engine).transfer(
+        output_net
+    )
 
 
 def output_impedance(
@@ -191,20 +211,29 @@ def output_impedance(
     output_net: str,
     frequencies: Iterable[float],
     injection_name: str = "_zout_probe",
+    engine: Optional[str] = None,
 ) -> TransferFunction:
     """Impedance seen into ``output_net`` with all drives silenced.
 
     A unit AC current is injected into the node; every stored ``ac``
     amplitude is overridden to zero.
     """
+    if injection_name in circuit:
+        raise AnalysisError(
+            f"injection source name {injection_name!r} collides with an "
+            "existing element; pass a unique injection_name"
+        )
     probe_circuit = circuit.clone()
     probe_circuit.add_isource(injection_name, "0", output_net, dc=0.0, ac=1.0)
     overrides = {
         e.name: 0.0
-        for e in circuit
+        for e in probe_circuit
         if isinstance(e, (VoltageSource, CurrentSource))
+        and e.name != injection_name
     }
-    return transfer_function(probe_circuit, dc, output_net, frequencies, overrides)
+    return transfer_function(
+        probe_circuit, dc, output_net, frequencies, overrides, engine
+    )
 
 
 def logspace_frequencies(

@@ -17,11 +17,12 @@ recomputed differently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.mna import NodeIndex, solve_linear
 from repro.circuit.elements import (
     Capacitor,
@@ -31,18 +32,23 @@ from repro.circuit.elements import (
     VoltageSource,
 )
 from repro.circuit.netlist import Circuit
-from repro.errors import ConvergenceError
+from repro.errors import AnalysisError, ConvergenceError
 from repro.mos import make_model
 from repro.mos.junction import DiffusionGeometry
 from repro.mos.model import MosModel, OperatingPoint
+from repro.technology.process import MosParams
 
-_MODEL_CACHE: Dict[Tuple[int, int], MosModel] = {}
+# Keyed on the (frozen, hashable) params value rather than ``id(params)``:
+# an id can be reused after the original object is garbage-collected, which
+# would silently hand back a model built for different parameters.  Value
+# keys also let cloned circuits (deep-copied params) share one model.
+_MODEL_CACHE: Dict[Tuple[MosParams, int], MosModel] = {}
 
 
 def model_for(mos: Mos) -> MosModel:
     """Shared model instance for a MOS element (cached per params+level)."""
     assert mos.params is not None
-    key = (id(mos.params), mos.model_level)
+    key = (mos.params, mos.model_level)
     model = _MODEL_CACHE.get(key)
     if model is None:
         model = make_model(mos.params, level=mos.model_level)
@@ -95,6 +101,12 @@ class DcSolution:
 
     def source_power(self, name: str) -> float:
         """Power delivered by a voltage source, W (positive = delivering)."""
+        if self._source_dc is None:
+            raise AnalysisError(
+                "DcSolution has no recorded source DC values; "
+                "source_power is only available on solutions produced by "
+                "solve_dc"
+            )
         current = self.source_currents[name]
         return -current * self._source_dc[name]
 
@@ -103,7 +115,7 @@ class DcSolution:
         return sum(self.source_power(name) for name in self.source_currents)
 
     # populated by solve_dc
-    _source_dc: Dict[str, float] = None  # type: ignore[assignment]
+    _source_dc: Optional[Dict[str, float]] = field(default=None, repr=False)
 
 
 def _device_terminal_state(
@@ -289,12 +301,20 @@ def solve_dc(
     circuit: Circuit,
     gmin_sequence: Tuple[float, ...] = GMIN_SEQUENCE,
     max_iterations: int = 200,
+    engine: Optional[str] = None,
 ) -> DcSolution:
     """Find the DC operating point of ``circuit``.
 
+    ``engine`` selects the compiled-stamp or legacy implementation (see
+    :mod:`repro.analysis.engine`); ``None`` uses the process default.
     Raises :class:`ConvergenceError` when neither gmin stepping nor source
     stepping converges.
     """
+    if resolve_engine(engine) == COMPILED:
+        from repro.analysis.stamps import StampProgram
+
+        return StampProgram(circuit).solve_dc(gmin_sequence, max_iterations)
+
     circuit.validate()
     index = NodeIndex(circuit)
     voltages = _initial_guess(circuit, index)

@@ -1,0 +1,68 @@
+"""Analysis engine selection.
+
+Every analysis entry point (:func:`~repro.analysis.dcop.solve_dc`,
+:func:`~repro.analysis.ac.ac_sweep`, :class:`~repro.analysis.noise.NoiseAnalysis`,
+:func:`~repro.analysis.metrics.measure_ota`) accepts an ``engine`` argument:
+
+* ``"compiled"`` — the vectorized compiled-stamp engine
+  (:mod:`repro.analysis.stamps`): one walk over the circuit produces a
+  stamp program of flat numpy index/value arrays, Newton iterations update
+  the system with scatter-adds and batched model evaluation, and AC sweeps
+  solve all frequencies as one stacked tensor;
+* ``"legacy"`` — the original per-element, per-frequency reference
+  implementation, kept as the golden oracle for equivalence tests and as
+  the "before" side of the benchmark harness.
+
+``None`` (the default everywhere) resolves to the process-wide default set
+here, so a single :func:`use_engine` context flips a whole flow — this is
+how ``python -m repro bench`` measures before/after on identical code paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+COMPILED = "compiled"
+LEGACY = "legacy"
+_ENGINES = (COMPILED, LEGACY)
+
+_default_engine = COMPILED
+
+
+def default_engine() -> str:
+    """The process-wide engine used when callers pass ``engine=None``."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default analysis engine."""
+    global _default_engine
+    _default_engine = _validated(name)
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Resolve an ``engine`` argument to a concrete engine name."""
+    if engine is None:
+        return _default_engine
+    return _validated(engine)
+
+
+@contextmanager
+def use_engine(name: str) -> Iterator[str]:
+    """Temporarily switch the default engine (benchmarks, golden tests)."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = _validated(name)
+    try:
+        yield _default_engine
+    finally:
+        _default_engine = previous
+
+
+def _validated(name: str) -> str:
+    if name not in _ENGINES:
+        raise ValueError(
+            f"unknown analysis engine {name!r}; expected one of {_ENGINES}"
+        )
+    return name

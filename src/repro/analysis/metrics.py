@@ -23,7 +23,9 @@ from repro.analysis.ac import (
     output_impedance,
 )
 from repro.analysis.dcop import DcSolution, solve_dc
+from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.noise import NoiseAnalysis
+from repro.analysis.transfer import TransferFunction
 from repro.circuit.net import canonical
 from repro.circuit.elements import VoltageSource
 from repro.circuit.testbench import OtaTestbench
@@ -62,7 +64,9 @@ class OtaMetrics:
         )
 
 
-def feedback_dc_solution(tb: OtaTestbench) -> Tuple[DcSolution, float]:
+def feedback_dc_solution(
+    tb: OtaTestbench, engine: Optional[str] = None
+) -> Tuple[DcSolution, float]:
     """DC solve in unity feedback; returns (solution, offset voltage).
 
     The inverting-input source is replaced by a 0 V source from the output,
@@ -72,7 +76,7 @@ def feedback_dc_solution(tb: OtaTestbench) -> Tuple[DcSolution, float]:
     clone = tb.circuit.clone(tb.circuit.name + "_fb")
     clone.remove(tb.source_neg)
     clone.add_vsource("_fb", tb.input_neg_net, tb.output_net, dc=0.0)
-    solution = solve_dc(clone)
+    solution = solve_dc(clone, engine=engine)
     offset = solution.voltage(tb.output_net) - tb.common_mode_voltage()
     return solution, offset
 
@@ -113,9 +117,18 @@ def measure_ota(
     f_start: float = 1.0,
     f_stop: float = 3.0e9,
     points_per_decade: int = 24,
+    engine: Optional[str] = None,
 ) -> OtaMetrics:
-    """Run the full Table-1 measurement suite on an OTA testbench."""
-    dc, offset = feedback_dc_solution(tb)
+    """Run the full Table-1 measurement suite on an OTA testbench.
+
+    With the compiled engine the circuit is linearised once into a shared
+    :class:`~repro.analysis.stamps.LinearSystem`; the differential,
+    common-mode and supply sweeps plus the impedance probe become four
+    right-hand-side columns of a single batched solve, and the noise
+    analysis reuses the same system.
+    """
+    engine_name = resolve_engine(engine)
+    dc, offset = feedback_dc_solution(tb, engine=engine_name)
 
     frequencies = logspace_frequencies(f_start, f_stop, points_per_decade)
     diff_drive = {tb.source_pos: 0.5, tb.source_neg: -0.5}
@@ -125,12 +138,6 @@ def measure_ota(
         for name in (s.name for s in tb.circuit if isinstance(s, VoltageSource))
         if name not in (tb.source_pos, tb.source_neg)
     }
-
-    dm_sweep = ac_sweep(tb.circuit, dc, frequencies, {**silence, **diff_drive})
-    dm = dm_sweep.transfer(tb.output_net)
-    cm = ac_sweep(tb.circuit, dc, frequencies, {**silence, **cm_drive}).transfer(
-        tb.output_net
-    )
     supply_drive = {
         **{name: 0.0 for name in silence},
         tb.source_pos: 0.0,
@@ -138,9 +145,73 @@ def measure_ota(
     }
     for supply in tb.supply_sources:
         supply_drive[supply] = 1.0
-    ps = ac_sweep(tb.circuit, dc, frequencies, supply_drive).transfer(
-        tb.output_net
-    )
+
+    if engine_name == COMPILED:
+        import numpy as np
+
+        from repro.analysis.stamps import LinearSystem
+
+        system = LinearSystem(tb.circuit, dc)
+        out_node = system.index.node(tb.output_net)
+        if out_node < 0:
+            raise AnalysisError("OTA output cannot be the ground net")
+        noise_analysis = NoiseAnalysis(
+            tb.circuit,
+            dc,
+            tb.output_net,
+            {**silence, **diff_drive},
+            engine=engine_name,
+            system=system,
+        )
+        # A current probe stamps nothing into G/C, so the impedance column
+        # is a unit injection into the output on the very same system; the
+        # noise injections ride along too, so the whole measurement suite
+        # is one factorisation of the stacked (F, n, n) tensor.
+        zout_column = system.injection_columns([(-1, out_node)])[:, 0]
+        columns = np.concatenate(
+            [
+                np.stack(
+                    [
+                        system.rhs({**silence, **diff_drive}),
+                        system.rhs({**silence, **cm_drive}),
+                        system.rhs(supply_drive),
+                        zout_column,
+                    ],
+                    axis=1,
+                ),
+                noise_analysis.rhs_columns,
+            ],
+            axis=1,
+        )
+        solved = system.solve_batch(frequencies, columns)
+        transfers = solved[:, out_node, :]
+        dm = TransferFunction(frequencies.copy(), transfers[:, 0].copy())
+        cm = TransferFunction(frequencies.copy(), transfers[:, 1].copy())
+        ps = TransferFunction(frequencies.copy(), transfers[:, 2].copy())
+        output_resistance = float(abs(transfers[0, 3]))
+        noise = noise_analysis.result_from_output_transfers(
+            frequencies, transfers[:, 4:]
+        )
+    else:
+        dm = ac_sweep(
+            tb.circuit, dc, frequencies, {**silence, **diff_drive},
+            engine=engine_name,
+        ).transfer(tb.output_net)
+        cm = ac_sweep(
+            tb.circuit, dc, frequencies, {**silence, **cm_drive},
+            engine=engine_name,
+        ).transfer(tb.output_net)
+        ps = ac_sweep(
+            tb.circuit, dc, frequencies, supply_drive, engine=engine_name
+        ).transfer(tb.output_net)
+        zout = output_impedance(
+            tb.circuit, dc, tb.output_net, [f_start], engine=engine_name
+        )
+        output_resistance = float(zout.magnitude[0])
+        noise = NoiseAnalysis(
+            tb.circuit, dc, tb.output_net, {**silence, **diff_drive},
+            engine=engine_name,
+        ).run(frequencies)
 
     gbw = dm.unity_gain_frequency()
     if gbw is None:
@@ -154,13 +225,7 @@ def measure_ota(
     cmrr = dm.magnitude[0] / max(cm.magnitude[0], 1e-30)
     psrr = dm.magnitude[0] / max(ps.magnitude[0], 1e-30)
 
-    zout = output_impedance(tb.circuit, dc, tb.output_net, [f_start])
-    output_resistance = float(zout.magnitude[0])
-
     # Noise ------------------------------------------------------------------
-    noise = NoiseAnalysis(
-        tb.circuit, dc, tb.output_net, {**silence, **diff_drive}
-    ).run(frequencies)
     input_noise_rms = noise.integrated_input_noise(f_low=1.0, f_high=gbw)
     thermal_density = noise.input_density(max(gbw / 3.0, 1e5))
     flicker_density = noise.input_density(1.0e3)

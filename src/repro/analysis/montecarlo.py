@@ -6,18 +6,28 @@ Pelgrom mismatch model: each device draws an independent threshold shift
 with ``sigma_VT = A_VT / sqrt(W L)`` and a relative current-factor error
 with ``sigma_beta = A_beta / sqrt(W L)``, then the requested measurement is
 re-run per sample.
+
+The compiled engine draws **all** samples up front (one vectorized RNG
+call whose stream matches the legacy per-device draw order), compiles the
+feedback circuit into one :class:`~repro.analysis.stamps.StampProgram`
+and re-biases it per sample instead of re-cloning and re-stamping; with
+``workers=N`` the pre-drawn sample rows are partitioned over a process
+pool.  Because the draws are fixed before any work is scheduled, results
+are identical for any worker count.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.metrics import OtaTestbench, feedback_dc_solution
 from repro.circuit.netlist import Circuit
+from repro.errors import AnalysisError
 
 
 @dataclass
@@ -59,38 +69,192 @@ def apply_mismatch(circuit: Circuit, rng: np.random.Generator) -> Circuit:
     return clone
 
 
+def draw_mismatch_samples(
+    circuit: Circuit, runs: int, seed: int
+) -> Tuple[List[str], np.ndarray, np.ndarray]:
+    """All Pelgrom samples for ``runs`` trials in one vectorized draw.
+
+    Returns ``(names, vth, beta)`` with the matrices shaped
+    ``(runs, n_devices)`` in circuit device order.  The flattened draw
+    order (run-major, then device, then vth-before-beta) reproduces the
+    stream :func:`apply_mismatch` consumes from the same seed, so the
+    pre-drawn path is sample-for-sample identical to the legacy loop.
+    """
+    devices = circuit.mos_devices
+    sigma_vt = np.empty(len(devices))
+    sigma_beta = np.empty(len(devices))
+    for i, mos in enumerate(devices):
+        assert mos.params is not None
+        root_area = math.sqrt(mos.w * mos.l)
+        sigma_vt[i] = mos.params.avt / root_area
+        sigma_beta[i] = mos.params.abeta / root_area
+    rng = np.random.default_rng(seed)
+    sigma = np.stack([sigma_vt, sigma_beta], axis=1)
+    draws = rng.normal(0.0, np.broadcast_to(sigma, (runs,) + sigma.shape))
+    return (
+        [mos.name for mos in devices],
+        draws[:, :, 0],
+        draws[:, :, 1],
+    )
+
+
+def _testbench_with_mismatch(
+    tb: OtaTestbench,
+    names: Sequence[str],
+    vth_row: np.ndarray,
+    beta_row: np.ndarray,
+) -> OtaTestbench:
+    """A cloned testbench with one pre-drawn sample row applied."""
+    clone = tb.circuit.clone(tb.circuit.name + "_mc")
+    for name, d_vth, d_beta in zip(names, vth_row, beta_row):
+        mos = clone.mos(name)
+        mos.mismatch_vth = float(d_vth)
+        mos.mismatch_beta = float(d_beta)
+    return OtaTestbench(
+        circuit=clone,
+        source_pos=tb.source_pos,
+        source_neg=tb.source_neg,
+        input_neg_net=tb.input_neg_net,
+        output_net=tb.output_net,
+        supply_sources=tb.supply_sources,
+        slew_devices=tb.slew_devices,
+    )
+
+
+def _offset_chunk(
+    tb: OtaTestbench,
+    names: Sequence[str],
+    vth_rows: np.ndarray,
+    beta_rows: np.ndarray,
+) -> List[Dict[str, float]]:
+    """Default measurement (input offset) for a chunk of sample rows.
+
+    One compiled feedback program is re-biased per row — no re-cloning,
+    no re-stamping.  Module-level so process-pool workers can pickle it.
+    """
+    from repro.analysis.stamps import StampProgram
+
+    feedback = tb.circuit.clone(tb.circuit.name + "_fb")
+    feedback.remove(tb.source_neg)
+    feedback.add_vsource("_fb", tb.input_neg_net, tb.output_net, dc=0.0)
+    program = StampProgram(feedback)
+    out_node = program.index.node(tb.output_net)
+    vcm = tb.common_mode_voltage()
+    order = {name: i for i, name in enumerate(names)}
+    permutation = np.array(
+        [order[name] for name in program.mos_names], dtype=np.intp
+    )
+    stats: List[Dict[str, float]] = []
+    for vth_row, beta_row in zip(vth_rows, beta_rows):
+        program.set_mismatch(vth_row[permutation], beta_row[permutation])
+        voltages, _iterations, _gmin = program.solve_voltages()
+        stats.append(
+            {"offset_voltage": float(voltages[out_node]) - vcm}
+        )
+    return stats
+
+
+def _measure_chunk(
+    tb: OtaTestbench,
+    names: Sequence[str],
+    vth_rows: np.ndarray,
+    beta_rows: np.ndarray,
+    measure: Callable[[OtaTestbench], Dict[str, float]],
+) -> List[Dict[str, float]]:
+    """Custom measurement for a chunk of pre-drawn sample rows."""
+    return [
+        dict(measure(_testbench_with_mismatch(tb, names, vth_row, beta_row)))
+        for vth_row, beta_row in zip(vth_rows, beta_rows)
+    ]
+
+
 def run_monte_carlo(
     tb: OtaTestbench,
     runs: int = 50,
     seed: int = 1234,
     measure: Optional[Callable[[OtaTestbench], Dict[str, float]]] = None,
+    engine: Optional[str] = None,
+    workers: int = 1,
 ) -> MonteCarloResult:
     """Sample mismatch and collect statistics.
 
     By default only the input-referred offset is measured per sample (one
     DC solve); pass ``measure`` for a custom (more expensive) extraction
-    returning a dict of named statistics.
+    returning a dict of named statistics.  ``workers > 1`` partitions the
+    pre-drawn samples over a process pool (compiled engine only; a custom
+    ``measure`` must then be picklable, i.e. a module-level function).
+    Results are independent of ``workers`` because every sample is drawn
+    before any work is scheduled.
     """
-    rng = np.random.default_rng(seed)
+    if workers < 1:
+        raise AnalysisError("workers must be >= 1")
+    engine_name = resolve_engine(engine)
     result = MonteCarloResult()
 
-    for _ in range(runs):
-        perturbed = apply_mismatch(tb.circuit, rng)
-        sample_tb = OtaTestbench(
-            circuit=perturbed,
-            source_pos=tb.source_pos,
-            source_neg=tb.source_neg,
-            input_neg_net=tb.input_neg_net,
-            output_net=tb.output_net,
-            supply_sources=tb.supply_sources,
-            slew_devices=tb.slew_devices,
-        )
-        if measure is None:
-            _dc, offset = feedback_dc_solution(sample_tb)
-            stats = {"offset_voltage": offset}
-        else:
-            stats = measure(sample_tb)
-        for key, value in stats.items():
-            result.samples.setdefault(key, []).append(float(value))
+    if engine_name != COMPILED:
+        if workers != 1:
+            raise AnalysisError(
+                "workers > 1 requires the compiled engine"
+            )
+        rng = np.random.default_rng(seed)
+        for _ in range(runs):
+            perturbed = apply_mismatch(tb.circuit, rng)
+            sample_tb = OtaTestbench(
+                circuit=perturbed,
+                source_pos=tb.source_pos,
+                source_neg=tb.source_neg,
+                input_neg_net=tb.input_neg_net,
+                output_net=tb.output_net,
+                supply_sources=tb.supply_sources,
+                slew_devices=tb.slew_devices,
+            )
+            if measure is None:
+                _dc, offset = feedback_dc_solution(
+                    sample_tb, engine=engine_name
+                )
+                stats = {"offset_voltage": offset}
+            else:
+                stats = measure(sample_tb)
+            for key, value in stats.items():
+                result.samples.setdefault(key, []).append(float(value))
+        return result
 
+    names, vth, beta = draw_mismatch_samples(tb.circuit, runs, seed)
+
+    if workers == 1:
+        if measure is None:
+            chunks = [_offset_chunk(tb, names, vth, beta)]
+        else:
+            chunks = [_measure_chunk(tb, names, vth, beta, measure)]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        bounds = np.linspace(0, runs, workers + 1).astype(int)
+        spans = [
+            (int(bounds[i]), int(bounds[i + 1]))
+            for i in range(workers)
+            if bounds[i + 1] > bounds[i]
+        ]
+        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+            if measure is None:
+                futures = [
+                    pool.submit(
+                        _offset_chunk, tb, names, vth[lo:hi], beta[lo:hi]
+                    )
+                    for lo, hi in spans
+                ]
+            else:
+                futures = [
+                    pool.submit(
+                        _measure_chunk,
+                        tb, names, vth[lo:hi], beta[lo:hi], measure,
+                    )
+                    for lo, hi in spans
+                ]
+            chunks = [future.result() for future in futures]
+
+    for chunk in chunks:
+        for stats in chunk:
+            for key, value in stats.items():
+                result.samples.setdefault(key, []).append(float(value))
     return result

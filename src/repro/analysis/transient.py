@@ -27,6 +27,7 @@ from repro.analysis.dcop import (
     model_for,
     solve_dc,
 )
+from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.mna import NodeIndex, solve_linear
 from repro.circuit.elements import VoltageSource
 from repro.circuit.netlist import Circuit
@@ -146,14 +147,19 @@ def run_transient(
     waveforms: Optional[Mapping[str, Callable[[float], float]]] = None,
     initial: Optional[DcSolution] = None,
     max_newton: int = 60,
+    engine: Optional[str] = None,
 ) -> TransientResult:
     """Integrate the circuit from its DC state to ``t_stop``.
 
     ``waveforms`` maps voltage-source names to ``v(t)`` callables; other
     sources hold their DC values.  Backward Euler with per-step Newton.
+    The compiled engine assembles each Newton system from one shared
+    :class:`~repro.analysis.stamps.StampProgram` (companion capacitors
+    enter as scatter-add index arrays) instead of re-stamping per element.
     """
     if dt <= 0.0 or t_stop <= dt:
         raise AnalysisError("need 0 < dt < t_stop")
+    engine_name = resolve_engine(engine)
     waveforms = dict(waveforms or {})
     for name in waveforms:
         element = circuit.element(name)
@@ -191,6 +197,12 @@ def run_transient(
         if c.value > 0.0
     ]
 
+    program = None
+    if engine_name == COMPILED:
+        from repro.analysis.stamps import StampProgram
+
+        program = StampProgram(work, index)
+
     total_newton = 0
     previous = state.copy()
     for step in range(1, steps + 1):
@@ -206,29 +218,52 @@ def run_transient(
 
         voltages = previous.copy()
         converged = False
-        for iteration in range(1, max_newton + 1):
-            residual, jacobian = _build_system(
-                work, index, voltages, gmin=1e-12, source_scale=1.0
+        if program is not None:
+            program.refresh_sources()
+            # Companion models as index arrays; ground maps to the padded
+            # trash slot whose voltage is pinned at zero.
+            node_a = np.array(
+                [a if a >= 0 else size for a, _b, _v in all_caps],
+                dtype=np.intp,
             )
-            # Companion models: i = C (v - v_prev)/dt out of node a.
-            for node_a, node_b, value in all_caps:
-                conductance = value / dt
-                dv = 0.0
-                if node_a >= 0:
-                    dv += voltages[node_a] - previous[node_a]
-                if node_b >= 0:
-                    dv -= voltages[node_b] - previous[node_b]
-                current = conductance * dv
-                if node_a >= 0:
-                    residual[node_a] += current
-                    jacobian[node_a, node_a] += conductance
-                    if node_b >= 0:
-                        jacobian[node_a, node_b] -= conductance
-                if node_b >= 0:
-                    residual[node_b] -= current
-                    jacobian[node_b, node_b] += conductance
-                    if node_a >= 0:
-                        jacobian[node_b, node_a] -= conductance
+            node_b = np.array(
+                [b if b >= 0 else size for _a, b, _v in all_caps],
+                dtype=np.intp,
+            )
+            c_over_dt = np.array([v / dt for _a, _b, v in all_caps])
+            previous_pad = np.zeros(size + 1)
+            previous_pad[:size] = previous
+            companion = (node_a, node_b, c_over_dt, previous_pad)
+
+        for iteration in range(1, max_newton + 1):
+            if program is not None:
+                residual, jacobian = program.residual_and_jacobian(
+                    voltages, gmin=1e-12, source_scale=1.0,
+                    companion=companion,
+                )
+            else:
+                residual, jacobian = _build_system(
+                    work, index, voltages, gmin=1e-12, source_scale=1.0
+                )
+                # Companion models: i = C (v - v_prev)/dt out of node a.
+                for cap_a, cap_b, value in all_caps:
+                    conductance = value / dt
+                    dv = 0.0
+                    if cap_a >= 0:
+                        dv += voltages[cap_a] - previous[cap_a]
+                    if cap_b >= 0:
+                        dv -= voltages[cap_b] - previous[cap_b]
+                    current = conductance * dv
+                    if cap_a >= 0:
+                        residual[cap_a] += current
+                        jacobian[cap_a, cap_a] += conductance
+                        if cap_b >= 0:
+                            jacobian[cap_a, cap_b] -= conductance
+                    if cap_b >= 0:
+                        residual[cap_b] -= current
+                        jacobian[cap_b, cap_b] += conductance
+                        if cap_a >= 0:
+                            jacobian[cap_b, cap_a] -= conductance
 
             norm = float(np.max(np.abs(residual)))
             delta = solve_linear(jacobian, -residual)

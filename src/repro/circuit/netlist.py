@@ -170,10 +170,19 @@ class Circuit:
     # -- Whole-circuit operations ------------------------------------------------
 
     def clone(self, name: Optional[str] = None) -> "Circuit":
-        """Deep copy; sizing iterations mutate clones."""
-        duplicate = copy.deepcopy(self)
-        if name is not None:
-            duplicate.name = name
+        """Independent copy; sizing iterations mutate clones.
+
+        Every element type is a flat dataclass of immutable field values
+        (strings, numbers, frozen parameter records), so copying each
+        element object is enough to fully decouple the clone — far cheaper
+        than a recursive deepcopy, which matters to the synthesis loop
+        cloning a testbench per measurement.
+        """
+        duplicate = Circuit(self.name if name is None else name)
+        duplicate._elements = {
+            key: copy.copy(element)
+            for key, element in self._elements.items()
+        }
         return duplicate
 
     def validate(self) -> None:

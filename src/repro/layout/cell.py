@@ -48,6 +48,8 @@ class Cell:
         self.shapes: List[Shape] = []
         self.pins: Dict[str, List[Shape]] = {}
         self.instances: List[Instance] = []
+        self._version = 0
+        self._bbox_cache: Optional[Tuple[object, Rect]] = None
 
     # -- Construction -----------------------------------------------------------
 
@@ -56,6 +58,7 @@ class Cell:
     ) -> Shape:
         shape = Shape(layer=layer, rect=rect, net=net)
         self.shapes.append(shape)
+        self._version += 1
         return shape
 
     def add_pin(self, net: str, layer: Layer, rect: Rect) -> Shape:
@@ -82,12 +85,28 @@ class Cell:
             net_map=net_map or {},
         )
         self.instances.append(instance)
+        self._version += 1
         return instance
 
     # -- Queries ------------------------------------------------------------------
 
+    def _stamp(self) -> Tuple[int, Tuple[object, ...]]:
+        """Version stamp of this cell's subtree (for bbox memoization)."""
+        return (
+            self._version,
+            tuple(i.cell._stamp() for i in self.instances),
+        )
+
     def bbox(self) -> Rect:
-        """Bounding box over shapes and (transformed) instances."""
+        """Bounding box over shapes and (transformed) instances.
+
+        Memoized: shapes and instances are append-only (all additions go
+        through :meth:`add_shape` / :meth:`add_instance`), so a version
+        stamp over this cell's whole subtree detects every change.
+        """
+        stamp = self._stamp()
+        if self._bbox_cache is not None and self._bbox_cache[0] == stamp:
+            return self._bbox_cache[1]
         rects = [shape.rect for shape in self.shapes]
         for instance in self.instances:
             child = instance.cell.bbox()
@@ -96,7 +115,9 @@ class Cell:
                     instance.dx, instance.dy
                 )
             )
-        return bounding_box(rects)
+        box = bounding_box(rects)
+        self._bbox_cache = (stamp, box)
+        return box
 
     @property
     def width(self) -> float:

@@ -314,12 +314,31 @@ class ChannelRouter:
         roam_right = x_right
 
         def is_clear(layer: Layer, rect: Rect, net: str) -> bool:
-            window = rect.expanded(spacing - 1e-12)
+            # Inlined window-overlap test: this runs over every planned
+            # shape for every stub candidate, so avoiding the per-pair
+            # Rect construction and method dispatch matters.
+            margin = spacing - 1e-12
+            wx0 = rect.x0 - margin
+            wy0 = rect.y0 - margin
+            wx1 = rect.x1 + margin
+            wy1 = rect.y1 + margin
             for other_net, other in planned[layer]:
-                if other_net != net and window.intersects(other):
+                if (
+                    other_net != net
+                    and wx0 < other.x1
+                    and other.x0 < wx1
+                    and wy0 < other.y1
+                    and other.y0 < wy1
+                ):
                     return False
             for other_net, other in module_obstacles[layer]:
-                if other_net != net and window.intersects(other):
+                if (
+                    other_net != net
+                    and wx0 < other.x1
+                    and other.x0 < wx1
+                    and wy0 < other.y1
+                    and other.y0 < wy1
+                ):
                     return False
             return True
 
@@ -369,13 +388,22 @@ class ChannelRouter:
                         )
                     extension: Optional[Rect] = None
                     # The extension must reach past the pin-end via pad.
+                    # Metal-2 pins carry a via pad wider than the stub, so
+                    # the pad (not the stub) leaving the pin is what
+                    # demands the extension — otherwise the pad overhangs
+                    # the pin with no metal-2 enclosure for the cut.
                     reach = max(stub_w, via_pad) / 2.0
-                    if x_center < pin.x0 + stub_w / 2.0 - 1e-12:
+                    pin_half = (
+                        via_pad / 2.0
+                        if pin_layer is Layer.METAL2
+                        else stub_w / 2.0
+                    )
+                    if x_center < pin.x0 + pin_half - 1e-12:
                         extension = Rect(
                             x_center - reach, pin.y0,
                             pin.x0 + spacing, pin.y1,
                         )
-                    elif x_center > pin.x1 - stub_w / 2.0 + 1e-12:
+                    elif x_center > pin.x1 - pin_half + 1e-12:
                         extension = Rect(
                             pin.x1 - spacing, pin.y0,
                             x_center + reach, pin.y1,

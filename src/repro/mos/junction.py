@@ -28,6 +28,10 @@ class DiffusionGeometry:
     as_: float
     ps: float
 
+    def __deepcopy__(self, memo: object) -> "DiffusionGeometry":
+        # Frozen (immutable): cloned circuits share one instance.
+        return self
+
     def scaled(self, factor: float) -> "DiffusionGeometry":
         """Uniformly scale all areas and perimeters (e.g. for mismatch)."""
         return DiffusionGeometry(

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ModelError
 from repro.mos.junction import DiffusionGeometry, junction_capacitance
 from repro.technology.process import MosParams
@@ -208,6 +210,91 @@ class MosModel(ABC):
             )
 
         gmb = gm * self._body_transconductance_ratio(vsb)
+        return current, gm, gds, gmb, region
+
+    def evaluate_batch(self, width, length, vgs, vds, vsb):
+        """Vectorized :meth:`evaluate` over numpy arrays of devices.
+
+        Mirrors the scalar implementation branch-for-branch (weak
+        inversion, saturation, triode selected per element with masks) so
+        the compiled-stamp engine reproduces the legacy per-device path to
+        floating-point round-off.  Returns ``(id, gm, gds, gmb, region)``
+        arrays where ``region`` holds :class:`Region` codes
+        (0 = cutoff, 1 = triode, 2 = saturation).
+
+        ``vds`` must be element-wise >= 0 (callers swap terminals first).
+        The subclass hooks (``_saturation_current_factor`` and friends) are
+        pure arithmetic in both provided models, so they broadcast as-is.
+        """
+        width = np.asarray(width, dtype=float)
+        length = np.asarray(length, dtype=float)
+        vgs = np.asarray(vgs, dtype=float)
+        vds = np.asarray(vds, dtype=float)
+        vsb = np.asarray(vsb, dtype=float)
+        if np.any(width <= 0.0) or np.any(length <= 0.0):
+            raise ModelError(
+                f"{self.params.name}: device geometry must be positive"
+            )
+        if np.any(vds < 0.0):
+            raise ModelError("evaluate_batch() requires vds >= 0")
+        params = self.params
+
+        arg = np.maximum(params.phi + vsb, 0.01)
+        sqrt_arg = np.sqrt(arg)
+        vth = params.sign * params.vto + params.gamma * (
+            sqrt_arg - np.sqrt(params.phi)
+        )
+        n = 1.0 + params.gamma / (2.0 * sqrt_arg)
+        veff = vgs - vth
+        veff_t = 2.0 * n * self.vt
+        beta = params.kp * width / length
+        lam = params.lambda_l / length
+
+        weak = veff < veff_t
+        saturated = ~weak & (vds >= veff)
+        triode = ~weak & ~saturated
+
+        # Weak inversion ------------------------------------------------------
+        f_t = self._saturation_current_factor(veff_t, length)
+        i_t = 0.5 * beta * f_t
+        exp_arg = np.where(weak, (veff - veff_t) / (n * self.vt), -np.inf)
+        exp_term = np.where(exp_arg < -80.0, 0.0, np.exp(exp_arg))
+        shaped = vds < 5.0 * self.vt
+        decay = np.exp(np.where(shaped, -vds / self.vt, 0.0))
+        sat_shape = np.where(shaped, 1.0 - decay, 1.0)
+        id_core_w = i_t * exp_term * sat_shape
+        clm = 1.0 + lam * vds
+        current_w = id_core_w * clm
+        gm_w = np.where(exp_term > 0.0, current_w / (n * self.vt), 0.0)
+        gds_w = id_core_w * lam + np.where(
+            shaped, (i_t * exp_term * decay / self.vt) * clm, 0.0
+        )
+
+        # Saturation ----------------------------------------------------------
+        f = self._saturation_current_factor(veff, length)
+        df = self._saturation_current_factor_derivative(veff, length)
+        current_s = 0.5 * beta * f * clm
+        gm_s = 0.5 * beta * df * clm
+        gds_s = 0.5 * beta * f * lam
+
+        # Triode --------------------------------------------------------------
+        # Scalars (level 1 returns plain 1.0 / 0.0) broadcast in the
+        # arithmetic below without materialising full arrays.
+        degradation = self._triode_degradation(veff, length)
+        d_degradation = self._triode_degradation_derivative(veff, length)
+        id_core_t = beta * (veff - 0.5 * vds) * vds / degradation
+        current_t = id_core_t * clm
+        gm_t = (
+            beta * vds * clm / degradation
+            - id_core_t * clm * d_degradation / degradation
+        )
+        gds_t = beta * (veff - vds) / degradation * clm + id_core_t * lam
+
+        current = np.where(weak, current_w, np.where(saturated, current_s, current_t))
+        gm = np.where(weak, gm_w, np.where(saturated, gm_s, gm_t))
+        gds = np.where(weak, gds_w, np.where(saturated, gds_s, gds_t))
+        gmb = gm * (params.gamma / (2.0 * sqrt_arg))
+        region = np.where(weak, 0, np.where(triode, 1, 2))
         return current, gm, gds, gmb, region
 
     def _triode_degradation(self, veff: float, length: float) -> float:

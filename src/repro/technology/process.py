@@ -81,6 +81,12 @@ class MosParams:
     abeta: float = 0.02e-6
     """Current-factor mismatch coefficient A_beta, m."""
 
+    def __deepcopy__(self, memo: object) -> "MosParams":
+        # Frozen (immutable), so cloned circuits can share one instance;
+        # this keeps Circuit.clone() cheap and lets the model cache hit
+        # across clones (it keys by parameter value).
+        return self
+
     @property
     def cox(self) -> float:
         """Gate capacitance per area, F/m^2."""
