@@ -18,9 +18,37 @@ import argparse
 import sys
 from typing import Optional
 
+from repro.errors import BudgetExceededError, ConvergenceError, ReproError
 from repro.sizing.specs import OtaSpecs, ParasiticMode
 from repro.technology import generic_035, generic_060, generic_080
 from repro.units import UM
+
+
+def dump_failure(error: ReproError) -> None:
+    """Structured stderr dump of a typed failure (diagnostics included)."""
+    print(f"error: {type(error).__name__}: {error}", file=sys.stderr)
+    if isinstance(error, BudgetExceededError):
+        if error.site is not None:
+            print(f"  budget tripped at: {error.site}", file=sys.stderr)
+        if error.elapsed is not None:
+            print(f"  elapsed: {error.elapsed:.3f} s", file=sys.stderr)
+        records = error.partial or []
+        if records:
+            print(f"  completed rounds before expiry: {len(records)}",
+                  file=sys.stderr)
+            for record in records:
+                distance = (
+                    "inf" if record.distance == float("inf")
+                    else f"{record.distance:.3e} F"
+                )
+                print(f"    round {record.round_index}: parasitic distance "
+                      f"{distance}", file=sys.stderr)
+    report = getattr(error, "report", None)
+    if report is None and isinstance(error.__cause__, ConvergenceError):
+        report = error.__cause__.report
+    if report is not None:
+        for line in report.summary().splitlines():
+            print(f"  {line}", file=sys.stderr)
 
 _TECHNOLOGIES = {
     "0.35um": generic_035,
@@ -77,35 +105,49 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     from repro.core.synthesis import LayoutOrientedSynthesizer
     from repro.layout.gds import write_gds
     from repro.layout.svg import write_svg
+    from repro.resilience.budget import Budget
 
     technology = _TECHNOLOGIES[args.technology]()
     specs = _specs_from_args(args)
+    budget = (
+        Budget.from_seconds(args.deadline) if args.deadline else None
+    )
     synthesizer = LayoutOrientedSynthesizer(technology, aspect=args.aspect)
-    outcome = synthesizer.run(specs, mode=ParasiticMode.FULL, generate=True)
+    try:
+        outcome = synthesizer.run(
+            specs, mode=ParasiticMode.FULL, generate=True, budget=budget
+        )
+    except ReproError as error:
+        dump_failure(error)
+        return 1
 
     metrics = outcome.sizing.predicted
-    print(f"converged in {outcome.layout_calls} layout calls "
+    status = "converged" if outcome.converged else "DEGRADED"
+    print(f"{status} in {outcome.layout_calls} layout calls "
           f"({outcome.elapsed:.1f} s)")
+    if outcome.diagnostics:
+        print(f"diagnostics: {outcome.diagnostics}", file=sys.stderr)
     print(f"  DC gain       {metrics.dc_gain_db:7.1f} dB")
     print(f"  GBW           {metrics.gbw / 1e6:7.1f} MHz")
     print(f"  phase margin  {metrics.phase_margin_deg:7.1f} deg")
     print(f"  slew rate     {metrics.slew_rate / 1e6:7.1f} V/us")
     print(f"  power         {metrics.power * 1e3:7.2f} mW")
-    assert outcome.layout is not None and outcome.layout.cell is not None
-    report = outcome.layout.report
-    print(f"  layout        {report.width / UM:.1f} x "
-          f"{report.height / UM:.1f} um")
+    if outcome.layout is not None and outcome.layout.cell is not None:
+        report = outcome.layout.report
+        print(f"  layout        {report.width / UM:.1f} x "
+              f"{report.height / UM:.1f} um")
     for name in sorted(outcome.sizing.sizes):
         width, length = outcome.sizing.sizes[name]
         info = outcome.feedback.devices[name]
         print(f"    {name:<5} W/L {width / UM:7.1f}/{length / UM:4.2f} um  "
               f"nf={info.nf}")
-    if args.svg:
-        write_svg(outcome.layout.cell, args.svg, scale=8)
-        print(f"layout written to {args.svg}")
-    if args.gds:
-        write_gds(outcome.layout.cell, args.gds)
-        print(f"GDSII written to {args.gds}")
+    if outcome.layout is not None and outcome.layout.cell is not None:
+        if args.svg:
+            write_svg(outcome.layout.cell, args.svg, scale=8)
+            print(f"layout written to {args.svg}")
+        if args.gds:
+            write_gds(outcome.layout.cell, args.gds)
+            print(f"GDSII written to {args.gds}")
     return 0
 
 
@@ -246,6 +288,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_spec_arguments(synthesize)
     synthesize.add_argument("--aspect", type=float, default=1.0,
                             help="layout aspect ratio H/W (default 1.0)")
+    synthesize.add_argument("--deadline", type=float, default=None,
+                            help="wall-clock budget in seconds; expiry "
+                                 "aborts at a round boundary with a "
+                                 "diagnostics dump")
     synthesize.add_argument("--svg", help="write the layout as SVG")
     synthesize.add_argument("--gds", help="write the layout as GDSII")
     synthesize.set_defaults(func=cmd_synthesize)

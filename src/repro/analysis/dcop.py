@@ -32,10 +32,17 @@ from repro.circuit.elements import (
     VoltageSource,
 )
 from repro.circuit.netlist import Circuit
-from repro.errors import AnalysisError, ConvergenceError
+from repro.errors import AnalysisError, ConvergenceError, ReproError
 from repro.mos import make_model
 from repro.mos.junction import DiffusionGeometry
 from repro.mos.model import MosModel, OperatingPoint
+from repro.resilience import faults
+from repro.resilience.policy import (
+    DEFAULT_GMIN_SEQUENCE,
+    LEGACY_POLICY,
+    ConvergenceReport,
+    ramp_policy,
+)
 from repro.technology.process import MosParams
 
 # Keyed on the (frozen, hashable) params value rather than ``id(params)``:
@@ -93,6 +100,10 @@ class DcSolution:
     iterations: int
     gmin: float
     """Residual gmin at convergence (0.0 for a fully relaxed solve)."""
+
+    convergence: Optional[ConvergenceReport] = None
+    """Structured escalation-ladder record of the solve (which strategy
+    won, per-rung residual norms, any compiled-to-legacy fallback)."""
 
     def voltage(self, net: str) -> float:
         if net.lower() in ("0", "gnd", "vss", "ground"):
@@ -251,28 +262,36 @@ def _newton(
     max_iterations: int = 200,
     abs_tolerance: float = 1e-10,
     step_limit: float = 0.6,
-) -> Tuple[np.ndarray, bool, int]:
-    """Damped Newton from ``start``; returns (solution, converged, iters)."""
+) -> Tuple[np.ndarray, bool, int, float]:
+    """Damped Newton from ``start``.
+
+    Returns ``(solution, converged, iterations, residual_norm)`` where the
+    norm is the last max-abs KCL residual evaluated (escalation rungs
+    record it in their :class:`~repro.resilience.policy.ConvergenceReport`).
+    """
     voltages = start.copy()
+    residual_norm = float("inf")
     for iteration in range(1, max_iterations + 1):
         residual, jacobian = _build_system(
             circuit, index, voltages, gmin, source_scale
         )
         residual_norm = float(np.max(np.abs(residual)))
         try:
+            if faults.active():
+                faults.maybe_raise("solve.linear")
             delta = solve_linear(jacobian, -residual)
         except Exception:
-            return voltages, False, iteration
+            return voltages, False, iteration, residual_norm
         max_step = float(np.max(np.abs(delta))) if delta.size else 0.0
         if max_step > step_limit:
             delta *= step_limit / max_step
         voltages += delta
         if residual_norm < abs_tolerance and max_step < 1e-9:
-            return voltages, True, iteration
+            return voltages, True, iteration, residual_norm
         if max_step < 1e-12 and residual_norm < 1e-6:
             # Stalled but electrically negligible residual.
-            return voltages, True, iteration
-    return voltages, False, max_iterations
+            return voltages, True, iteration, residual_norm
+    return voltages, False, max_iterations, residual_norm
 
 
 def _initial_guess(circuit: Circuit, index: NodeIndex) -> np.ndarray:
@@ -294,7 +313,63 @@ def _initial_guess(circuit: Circuit, index: NodeIndex) -> np.ndarray:
     return guess
 
 
-GMIN_SEQUENCE = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12, 0.0)
+#: Kept as a module-level alias: callers historically pinned this ladder.
+GMIN_SEQUENCE = DEFAULT_GMIN_SEQUENCE
+
+
+class _LegacyBackend:
+    """Escalation-policy backend over the legacy per-element stamping."""
+
+    def __init__(self, circuit: Circuit, index: NodeIndex):
+        self.circuit = circuit
+        self.index = index
+
+    @property
+    def circuit_name(self) -> str:
+        return self.circuit.name
+
+    def initial_guess(self) -> np.ndarray:
+        return _initial_guess(self.circuit, self.index)
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.index.size)
+
+    def newton(
+        self,
+        start: np.ndarray,
+        gmin: float,
+        source_scale: float = 1.0,
+        max_iterations: int = 200,
+    ) -> Tuple[np.ndarray, bool, int, float]:
+        return _newton(
+            self.circuit,
+            self.index,
+            start,
+            gmin,
+            source_scale=source_scale,
+            max_iterations=max_iterations,
+        )
+
+    def worst_residual_nodes(
+        self, voltages: np.ndarray, count: int = 5
+    ) -> list:
+        residual, _jacobian = _build_system(
+            self.circuit, self.index, voltages, gmin=0.0, source_scale=1.0
+        )
+        return worst_nodes_from_residual(self.index, residual, count)
+
+
+def worst_nodes_from_residual(
+    index: NodeIndex, residual: np.ndarray, count: int = 5
+) -> list:
+    """The ``count`` nets with the largest KCL residual, worst first."""
+    node_residuals = np.abs(residual[: index.node_count])
+    if not np.all(np.isfinite(node_residuals)):
+        node_residuals = np.where(
+            np.isfinite(node_residuals), node_residuals, np.inf
+        )
+    order = np.argsort(node_residuals)[::-1][:count]
+    return [(index.nets[i], float(node_residuals[i])) for i in order]
 
 
 def solve_dc(
@@ -306,62 +381,57 @@ def solve_dc(
     """Find the DC operating point of ``circuit``.
 
     ``engine`` selects the compiled-stamp or legacy implementation (see
-    :mod:`repro.analysis.engine`); ``None`` uses the process default.
-    Raises :class:`ConvergenceError` when neither gmin stepping nor source
-    stepping converges.
+    :mod:`repro.analysis.engine`); ``None`` uses the process default.  The
+    solve runs an escalation ladder (:mod:`repro.resilience.policy`) and
+    attaches its :class:`~repro.resilience.policy.ConvergenceReport` to the
+    returned solution; when every strategy fails a
+    :class:`ConvergenceError` carrying the same report is raised.  If the
+    *compiled* engine fails structurally (anything but non-convergence) the
+    solve falls back to the legacy engine and records the hand-over in the
+    report.
     """
     if resolve_engine(engine) == COMPILED:
         from repro.analysis.stamps import StampProgram
 
-        return StampProgram(circuit).solve_dc(gmin_sequence, max_iterations)
+        try:
+            if faults.active():
+                faults.maybe_raise("engine.compiled")
+            return StampProgram(circuit).solve_dc(gmin_sequence, max_iterations)
+        except ConvergenceError:
+            # Real non-convergence: the legacy engine runs the same
+            # models and would only double the cost of failing again.
+            raise
+        except (ReproError, NotImplementedError, np.linalg.LinAlgError) as error:
+            solution = _solve_dc_legacy(circuit, gmin_sequence, max_iterations)
+            if solution.convergence is not None:
+                solution.convergence.engine_fallback = repr(error)
+            return solution
 
+    return _solve_dc_legacy(circuit, gmin_sequence, max_iterations)
+
+
+def _solve_dc_legacy(
+    circuit: Circuit,
+    gmin_sequence: Tuple[float, ...] = GMIN_SEQUENCE,
+    max_iterations: int = 200,
+) -> DcSolution:
+    """Legacy-engine DC solve via the escalation policy."""
     circuit.validate()
     index = NodeIndex(circuit)
-    voltages = _initial_guess(circuit, index)
-    total_iterations = 0
-    converged = False
-    achieved_gmin = gmin_sequence[0] if gmin_sequence else 0.0
-
-    for gmin in gmin_sequence:
-        voltages, converged, iterations = _newton(
-            circuit, index, voltages, gmin, max_iterations=max_iterations
-        )
-        total_iterations += iterations
-        if not converged:
-            break
-        achieved_gmin = gmin
-
-    if not converged or achieved_gmin != 0.0:
-        # Source stepping from a cold start.
-        voltages = np.zeros(index.size)
-        converged = True
-        for scale in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0):
-            voltages, step_ok, iterations = _newton(
-                circuit,
-                index,
-                voltages,
-                gmin=1e-12,
-                source_scale=scale,
-                max_iterations=max_iterations,
-            )
-            total_iterations += iterations
-            if not step_ok:
-                converged = False
-                break
-        if converged:
-            voltages, converged, iterations = _newton(
-                circuit, index, voltages, gmin=0.0, max_iterations=max_iterations
-            )
-            total_iterations += iterations
-            achieved_gmin = 0.0
-
-    if not converged:
-        raise ConvergenceError(
-            f"DC analysis of {circuit.name!r} failed after "
-            f"{total_iterations} Newton iterations"
-        )
-
-    return _package_solution(circuit, index, voltages, total_iterations, achieved_gmin)
+    backend = _LegacyBackend(circuit, index)
+    if gmin_sequence is GMIN_SEQUENCE:
+        policy = LEGACY_POLICY
+    else:
+        policy = ramp_policy(tuple(gmin_sequence))
+    voltages, report = policy.run(backend, max_iterations=max_iterations)
+    return _package_solution(
+        circuit,
+        index,
+        voltages,
+        report.iterations,
+        report.achieved_gmin,
+        report=report,
+    )
 
 
 def _package_solution(
@@ -370,6 +440,7 @@ def _package_solution(
     voltages: np.ndarray,
     iterations: int,
     gmin: float,
+    report: Optional[ConvergenceReport] = None,
 ) -> DcSolution:
     devices: Dict[str, MosSolution] = {}
     for mos in circuit.mos_devices:
@@ -413,6 +484,7 @@ def _package_solution(
         source_currents=source_currents,
         iterations=iterations,
         gmin=gmin,
+        convergence=report,
     )
     solution._source_dc = {source.name: source.dc for source in index.sources}
     return solution

@@ -19,6 +19,8 @@ are identical for any worker count.
 from __future__ import annotations
 
 import math
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +30,22 @@ from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.metrics import OtaTestbench, feedback_dc_solution
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
+from repro.resilience import faults
+from repro.resilience.budget import Budget
+
+
+@dataclass
+class ShardStatus:
+    """Fate of one worker-pool shard of pre-drawn samples."""
+
+    index: int
+    span: Tuple[int, int]
+    """Half-open sample range ``[lo, hi)`` this shard covers."""
+    attempts: int = 0
+    status: str = "pending"
+    """``ok`` | ``resubmitted`` | ``in-process`` | ``failed``."""
+    error: Optional[str] = None
+    """Last failure seen (worker death, timeout), even when recovered."""
 
 
 @dataclass
@@ -35,6 +53,10 @@ class MonteCarloResult:
     """Sampled statistic collection."""
 
     samples: Dict[str, List[float]] = field(default_factory=dict)
+    n_failed: int = 0
+    """Samples lost to unrecoverable shard failures (0 on a clean run)."""
+    shards: List[ShardStatus] = field(default_factory=list)
+    """Per-shard dispatch record when a process pool was used."""
 
     def mean(self, key: str) -> float:
         return float(np.mean(self.samples[key]))
@@ -126,12 +148,18 @@ def _offset_chunk(
     names: Sequence[str],
     vth_rows: np.ndarray,
     beta_rows: np.ndarray,
+    crash: bool = False,
 ) -> List[Dict[str, float]]:
     """Default measurement (input offset) for a chunk of sample rows.
 
     One compiled feedback program is re-biased per row — no re-cloning,
     no re-stamping.  Module-level so process-pool workers can pickle it.
+    ``crash`` is the fault-injection hook: the parent's registry decides a
+    shard should die and the worker obliges with an unclean exit, so the
+    recovery path sees a genuine broken pool.
     """
+    if crash:
+        os._exit(1)
     from repro.analysis.stamps import StampProgram
 
     feedback = tb.circuit.clone(tb.circuit.name + "_fb")
@@ -160,12 +188,128 @@ def _measure_chunk(
     vth_rows: np.ndarray,
     beta_rows: np.ndarray,
     measure: Callable[[OtaTestbench], Dict[str, float]],
+    crash: bool = False,
 ) -> List[Dict[str, float]]:
     """Custom measurement for a chunk of pre-drawn sample rows."""
+    if crash:
+        os._exit(1)
     return [
         dict(measure(_testbench_with_mismatch(tb, names, vth_row, beta_row)))
         for vth_row, beta_row in zip(vth_rows, beta_rows)
     ]
+
+
+def _run_chunk(
+    tb: OtaTestbench,
+    names: Sequence[str],
+    vth_rows: np.ndarray,
+    beta_rows: np.ndarray,
+    measure: Optional[Callable[[OtaTestbench], Dict[str, float]]],
+    crash: bool = False,
+) -> List[Dict[str, float]]:
+    """Dispatch one chunk to the right measurement implementation."""
+    if measure is None:
+        return _offset_chunk(tb, names, vth_rows, beta_rows, crash)
+    return _measure_chunk(tb, names, vth_rows, beta_rows, measure, crash)
+
+
+def _run_shards(
+    tb: OtaTestbench,
+    names: Sequence[str],
+    vth: np.ndarray,
+    beta: np.ndarray,
+    measure: Optional[Callable[[OtaTestbench], Dict[str, float]]],
+    spans: Sequence[Tuple[int, int]],
+    max_workers: int,
+    shard_timeout: Optional[float],
+    max_shard_retries: int,
+    budget: Optional[Budget],
+) -> Tuple[List[Optional[List[Dict[str, float]]]], List[ShardStatus]]:
+    """Run every shard on a process pool with bounded recovery.
+
+    A shard whose worker dies (or times out) is resubmitted on a fresh
+    pool up to ``max_shard_retries`` times, then run in-process; only a
+    shard that *also* fails in-process is reported as lost.  Because every
+    sample row was drawn before any work was scheduled, a recovered shard
+    reproduces exactly the values the dead worker would have produced.
+    """
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+    chunks: List[Optional[List[Dict[str, float]]]] = [None] * len(spans)
+    statuses = [
+        ShardStatus(index=i, span=span) for i, span in enumerate(spans)
+    ]
+    pending = list(range(len(spans)))
+
+    for _round in range(1 + max_shard_retries):
+        if not pending:
+            break
+        if budget is not None:
+            budget.check("montecarlo.shards", pending=len(pending))
+        retry: List[int] = []
+        pool = ProcessPoolExecutor(
+            max_workers=min(max_workers, len(pending))
+        )
+        had_timeout = False
+        futures = {}
+        for i in pending:
+            lo, hi = spans[i]
+            crash = faults.fire("mc.worker", index=i) is not None
+            statuses[i].attempts += 1
+            futures[i] = pool.submit(
+                _run_chunk, tb, names, vth[lo:hi], beta[lo:hi], measure, crash
+            )
+        for i, future in futures.items():
+            try:
+                chunks[i] = future.result(timeout=shard_timeout)
+                statuses[i].status = (
+                    "ok" if statuses[i].attempts == 1 else "resubmitted"
+                )
+            except (pickle.PicklingError, AttributeError, TypeError) as error:
+                # A result that cannot cross back (worker-side pickling)
+                # can never succeed on a retry: fail fast with context.
+                # (Parent-side pickling is pre-validated before dispatch,
+                # because a feeder-thread PicklingError wedges the pool
+                # beyond recovery on CPython < 3.12.)
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise AnalysisError(
+                    f"Monte-Carlo shard {i} of {len(spans)} "
+                    f"(workers={max_workers}) could not cross the process "
+                    f"boundary: {error!r}; a custom measure function must "
+                    f"be module-level (picklable)"
+                ) from error
+            except FuturesTimeoutError:
+                had_timeout = True
+                statuses[i].error = (
+                    f"shard timed out after {shard_timeout:g} s"
+                )
+                retry.append(i)
+            except (BrokenExecutor, OSError, EOFError) as error:
+                statuses[i].error = (
+                    f"worker died: {error!r} (shard {i} of {len(spans)}, "
+                    f"workers={max_workers})"
+                )
+                retry.append(i)
+        # A timed-out worker may still be running; don't block on it.
+        pool.shutdown(wait=not had_timeout, cancel_futures=True)
+        pending = retry
+
+    # Bounded retries exhausted: bring the stragglers home in-process.
+    for i in pending:
+        lo, hi = spans[i]
+        if budget is not None:
+            budget.check("montecarlo.shard-fallback", shard=i)
+        statuses[i].attempts += 1
+        try:
+            chunks[i] = _run_chunk(
+                tb, names, vth[lo:hi], beta[lo:hi], measure
+            )
+            statuses[i].status = "in-process"
+        except Exception as error:  # noqa: BLE001 - recorded, not masked
+            statuses[i].status = "failed"
+            statuses[i].error = repr(error)
+    return chunks, statuses
 
 
 def run_monte_carlo(
@@ -175,6 +319,9 @@ def run_monte_carlo(
     measure: Optional[Callable[[OtaTestbench], Dict[str, float]]] = None,
     engine: Optional[str] = None,
     workers: int = 1,
+    budget: Optional[Budget] = None,
+    shard_timeout: Optional[float] = None,
+    max_shard_retries: int = 1,
 ) -> MonteCarloResult:
     """Sample mismatch and collect statistics.
 
@@ -184,7 +331,15 @@ def run_monte_carlo(
     pre-drawn samples over a process pool (compiled engine only; a custom
     ``measure`` must then be picklable, i.e. a module-level function).
     Results are independent of ``workers`` because every sample is drawn
-    before any work is scheduled.
+    before any work is scheduled — and this holds through shard recovery:
+    a shard whose worker dies (or exceeds ``shard_timeout`` seconds) is
+    resubmitted up to ``max_shard_retries`` times, then run in-process,
+    reproducing exactly the rows the dead worker would have produced.  A
+    shard that fails even in-process is reported, not raised: the result
+    carries the surviving samples plus ``n_failed`` and per-shard
+    :class:`ShardStatus` records.  ``budget`` bounds wall-clock time at
+    sample/shard boundaries via
+    :class:`~repro.errors.BudgetExceededError`.
     """
     if workers < 1:
         raise AnalysisError("workers must be >= 1")
@@ -197,7 +352,9 @@ def run_monte_carlo(
                 "workers > 1 requires the compiled engine"
             )
         rng = np.random.default_rng(seed)
-        for _ in range(runs):
+        for sample_index in range(runs):
+            if budget is not None:
+                budget.check("montecarlo.sample", sample=sample_index)
             perturbed = apply_mismatch(tb.circuit, rng)
             sample_tb = OtaTestbench(
                 circuit=perturbed,
@@ -222,38 +379,46 @@ def run_monte_carlo(
     names, vth, beta = draw_mismatch_samples(tb.circuit, runs, seed)
 
     if workers == 1:
-        if measure is None:
-            chunks = [_offset_chunk(tb, names, vth, beta)]
-        else:
-            chunks = [_measure_chunk(tb, names, vth, beta, measure)]
+        if budget is not None:
+            budget.check("montecarlo.start", runs=runs)
+        chunks: List[Optional[List[Dict[str, float]]]] = [
+            _run_chunk(tb, names, vth, beta, measure)
+        ]
     else:
-        from concurrent.futures import ProcessPoolExecutor
-
+        try:
+            pickle.dumps((tb, measure))
+        except Exception as error:
+            # Submitting an unpicklable payload would wedge the pool's
+            # queue feeder (unrecoverable on CPython < 3.12), so refuse
+            # before any worker is spawned.
+            raise AnalysisError(
+                f"Monte-Carlo payload cannot cross the process boundary "
+                f"(workers={workers}): {error!r}; a custom measure "
+                f"function must be module-level (picklable)"
+            ) from error
         bounds = np.linspace(0, runs, workers + 1).astype(int)
         spans = [
             (int(bounds[i]), int(bounds[i + 1]))
             for i in range(workers)
             if bounds[i + 1] > bounds[i]
         ]
-        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-            if measure is None:
-                futures = [
-                    pool.submit(
-                        _offset_chunk, tb, names, vth[lo:hi], beta[lo:hi]
-                    )
-                    for lo, hi in spans
-                ]
-            else:
-                futures = [
-                    pool.submit(
-                        _measure_chunk,
-                        tb, names, vth[lo:hi], beta[lo:hi], measure,
-                    )
-                    for lo, hi in spans
-                ]
-            chunks = [future.result() for future in futures]
+        chunks, statuses = _run_shards(
+            tb, names, vth, beta, measure, spans,
+            max_workers=len(spans),
+            shard_timeout=shard_timeout,
+            max_shard_retries=max_shard_retries,
+            budget=budget,
+        )
+        result.shards = statuses
+        result.n_failed = sum(
+            status.span[1] - status.span[0]
+            for status, chunk in zip(statuses, chunks)
+            if chunk is None
+        )
 
     for chunk in chunks:
+        if chunk is None:
+            continue  # lost shard; accounted in n_failed
         for stats in chunk:
             for key, value in stats.items():
                 result.samples.setdefault(key, []).append(float(value))

@@ -42,6 +42,12 @@ from repro.circuit.elements import (
 )
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError, ConvergenceError
+from repro.resilience import faults
+from repro.resilience.policy import (
+    COMPILED_POLICY,
+    ConvergenceReport,
+    ramp_policy,
+)
 
 
 def _padded(index: NodeIndex, net: str) -> int:
@@ -194,6 +200,30 @@ class StampProgram:
         )
         self._n_mos = n
         self._swap_cache: Optional[Tuple[np.ndarray, ...]] = None
+        #: Escalation record of the most recent :meth:`solve_voltages`.
+        self.last_convergence: Optional[ConvergenceReport] = None
+
+    # -- Escalation-policy backend surface -------------------------------------
+
+    @property
+    def circuit_name(self) -> str:
+        return self.circuit.name
+
+    def initial_guess(self) -> np.ndarray:
+        from repro.analysis.dcop import _initial_guess
+
+        return _initial_guess(self.circuit, self.index)
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.size)
+
+    def worst_residual_nodes(
+        self, voltages: np.ndarray, count: int = 5
+    ) -> List[Tuple[str, float]]:
+        from repro.analysis.dcop import worst_nodes_from_residual
+
+        residual, _jacobian = self.residual_and_jacobian(voltages, gmin=0.0)
+        return worst_nodes_from_residual(self.index, residual, count)
 
     # -- Program state ---------------------------------------------------------
 
@@ -276,6 +306,13 @@ class StampProgram:
                 gm[members] = gms
                 gds[members] = gdss
                 gmb[members] = gmbs
+            if faults.active():
+                fault = faults.fire("model.eval")
+                if fault is not None:
+                    if fault.action == "nan":
+                        current.fill(np.nan)
+                    else:
+                        raise fault.exception()
             beta_scale = 1.0 + self._mos_mbeta
             current *= beta_scale
             gm *= beta_scale
@@ -342,31 +379,36 @@ class StampProgram:
         companion: Optional[
             Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = None,
-    ) -> Tuple[np.ndarray, bool, int]:
-        """Damped Newton from ``start``; returns (solution, converged, iters).
+    ) -> Tuple[np.ndarray, bool, int, float]:
+        """Damped Newton from ``start``.
 
-        Control flow mirrors the legacy ``dcop._newton`` exactly.
+        Returns ``(solution, converged, iterations, residual_norm)``; the
+        norm is the last max-abs KCL residual evaluated, recorded by the
+        escalation policy.  Control flow mirrors ``dcop._newton`` exactly.
         """
         voltages = start.copy()
+        residual_norm = float("inf")
         for iteration in range(1, max_iterations + 1):
             residual, jacobian = self.residual_and_jacobian(
                 voltages, gmin, source_scale, companion
             )
             residual_norm = float(np.max(np.abs(residual)))
             try:
+                if faults.active():
+                    faults.maybe_raise("solve.linear")
                 delta = np.linalg.solve(jacobian, -residual)
             except Exception:
-                return voltages, False, iteration
+                return voltages, False, iteration, residual_norm
             max_step = float(np.max(np.abs(delta))) if delta.size else 0.0
             if max_step > step_limit:
                 delta *= step_limit / max_step
             voltages += delta
             if residual_norm < abs_tolerance and max_step < 1e-9:
-                return voltages, True, iteration
+                return voltages, True, iteration, residual_norm
             if max_step < 1e-12 and residual_norm < 1e-6:
                 # Stalled but electrically negligible residual.
-                return voltages, True, iteration
-        return voltages, False, max_iterations
+                return voltages, True, iteration, residual_norm
+        return voltages, False, max_iterations, residual_norm
 
     def solve_voltages(
         self,
@@ -375,78 +417,28 @@ class StampProgram:
     ) -> Tuple[np.ndarray, int, float]:
         """Find the DC operating point; returns (voltages, iterations, gmin).
 
-        With the default ladder a direct two-stage Newton is attempted
-        first; on failure (or when a caller pins ``gmin_sequence``) the
-        legacy gmin-stepping / source-stepping continuation of
-        ``dcop.solve_dc`` runs on the compiled program.  Raises
-        :class:`ConvergenceError` when no strategy converges.
+        The solve runs a declarative escalation ladder
+        (:data:`~repro.resilience.policy.COMPILED_POLICY`: direct two-stage
+        Newton, then the gmin continuation, then source stepping); callers
+        that pin ``gmin_sequence`` get a ladder without the direct fast
+        path.  The structured per-rung record is left on
+        :attr:`last_convergence` and raised inside
+        :class:`~repro.errors.ConvergenceError` when every rung fails.
         """
-        from repro.analysis.dcop import GMIN_SEQUENCE, _initial_guess
+        from repro.analysis.dcop import GMIN_SEQUENCE
 
         default_ladder = gmin_sequence is None or gmin_sequence is GMIN_SEQUENCE
-        if gmin_sequence is None:
-            gmin_sequence = GMIN_SEQUENCE
-        total_iterations = 0
-
         if default_ladder:
-            # Fast path: most well-posed circuits converge straight from the
-            # initial guess, making the 11-stage gmin continuation pure
-            # overhead.  Both paths solve the same final gmin = 0 system to
-            # |f| < 1e-10, so the fixed point is identical; the ladder below
-            # remains the fallback for circuits that need the continuation.
-            voltages = _initial_guess(self.circuit, self.index)
-            fast_ok = True
-            for gmin in (1e-12, 0.0):
-                voltages, fast_ok, iterations = self.newton(
-                    voltages, gmin, max_iterations=min(max_iterations, 50)
-                )
-                total_iterations += iterations
-                if not fast_ok:
-                    break
-            if fast_ok:
-                return voltages, total_iterations, 0.0
-
-        voltages = _initial_guess(self.circuit, self.index)
-        converged = False
-        achieved_gmin = gmin_sequence[0] if gmin_sequence else 0.0
-
-        for gmin in gmin_sequence:
-            voltages, converged, iterations = self.newton(
-                voltages, gmin, max_iterations=max_iterations
-            )
-            total_iterations += iterations
-            if not converged:
-                break
-            achieved_gmin = gmin
-
-        if not converged or achieved_gmin != 0.0:
-            # Source stepping from a cold start.
-            voltages = np.zeros(self.size)
-            converged = True
-            for scale in (0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0):
-                voltages, step_ok, iterations = self.newton(
-                    voltages,
-                    gmin=1e-12,
-                    source_scale=scale,
-                    max_iterations=max_iterations,
-                )
-                total_iterations += iterations
-                if not step_ok:
-                    converged = False
-                    break
-            if converged:
-                voltages, converged, iterations = self.newton(
-                    voltages, gmin=0.0, max_iterations=max_iterations
-                )
-                total_iterations += iterations
-                achieved_gmin = 0.0
-
-        if not converged:
-            raise ConvergenceError(
-                f"DC analysis of {self.circuit.name!r} failed after "
-                f"{total_iterations} Newton iterations"
-            )
-        return voltages, total_iterations, achieved_gmin
+            policy = COMPILED_POLICY
+        else:
+            policy = ramp_policy(tuple(gmin_sequence))
+        try:
+            voltages, report = policy.run(self, max_iterations=max_iterations)
+        except ConvergenceError as error:
+            self.last_convergence = error.report
+            raise
+        self.last_convergence = report
+        return voltages, report.iterations, report.achieved_gmin
 
     def solve_dc(
         self,
@@ -461,7 +453,8 @@ class StampProgram:
             gmin_sequence, max_iterations
         )
         return _package_solution(
-            self.circuit, self.index, voltages, iterations, gmin
+            self.circuit, self.index, voltages, iterations, gmin,
+            report=self.last_convergence,
         )
 
 

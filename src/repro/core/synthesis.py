@@ -17,12 +17,15 @@ parasitics converge:
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from repro.errors import SynthesisError
+from repro.errors import BudgetExceededError, ReproError, SynthesisError
 from repro.layout.ota import OtaLayoutRequest, OtaLayoutResult, generate_ota_layout
 from repro.layout.parasitics import ParasiticReport
+from repro.resilience import faults
+from repro.resilience.budget import Budget
 from repro.sizing.plans.folded_cascode import FoldedCascodePlan
 from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
 from repro.technology.process import Technology
@@ -51,6 +54,11 @@ class SynthesisOutcome:
     layout: Optional[OtaLayoutResult] = None
     elapsed: float = 0.0
     converged: bool = True
+    diagnostics: Dict[str, object] = field(default_factory=dict)
+    """Degradation record: ``soft_accept`` when the 10x-tolerance fallback
+    fired, ``degraded``/``failed_round``/``failed_stage``/``failure`` when a
+    mid-loop failure fell back to the last good round, ``generate_failure``
+    when only the final generation pass failed."""
 
 
 class LayoutOrientedSynthesizer:
@@ -70,6 +78,16 @@ class LayoutOrientedSynthesizer:
         """``plan`` defaults to the folded-cascode plan; ``layout_tool``
         is a callable ``(sizing, mode) -> result-with-.report`` letting
         other topologies (e.g. the two-stage OTA) reuse the same loop."""
+        if max_layout_calls < 1:
+            raise SynthesisError(
+                f"max_layout_calls must be >= 1 (the loop needs at least "
+                f"one sizing/estimation round), got {max_layout_calls!r}"
+            )
+        if not convergence_tolerance > 0.0:
+            raise SynthesisError(
+                f"convergence_tolerance must be positive, "
+                f"got {convergence_tolerance!r}"
+            )
         technology.validate()
         self.technology = technology
         self.model_level = model_level
@@ -97,11 +115,23 @@ class LayoutOrientedSynthesizer:
         specs: OtaSpecs,
         mode: ParasiticMode = ParasiticMode.FULL,
         generate: bool = True,
+        budget: Optional[Budget] = None,
     ) -> SynthesisOutcome:
         """Run the coupled loop.
 
         ``mode`` must be one of the layout-aware modes (cases 3/4); the
         non-layout cases have nothing to iterate with.
+
+        ``budget`` bounds the loop: its deadline is checked at every round
+        boundary (and inside the sizing plan), and expiry raises
+        :class:`~repro.errors.BudgetExceededError` whose ``partial``
+        attribute carries the completed :class:`SynthesisRecord` list.
+
+        A sizing or layout-tool failure after at least one completed round
+        degrades to the last good round — ``converged=False`` and a
+        populated :attr:`SynthesisOutcome.diagnostics` — instead of losing
+        all progress; a failure on the very first round (nothing to fall
+        back to) raises :class:`SynthesisError`.
         """
         if not mode.uses_layout:
             raise SynthesisError(
@@ -113,36 +143,101 @@ class LayoutOrientedSynthesizer:
         feedback: Optional[ParasiticReport] = None
         sizing: Optional[SizingResult] = None
         converged = False
+        degraded = False
+        diagnostics: Dict[str, object] = {}
 
-        for round_index in range(1, self.max_layout_calls + 1):
-            sizing = self.plan.size(specs, mode, feedback)
-            estimate = self.layout_tool(sizing, "estimate")
-            if feedback is None:
-                distance = float("inf")
-            else:
-                distance = estimate.report.distance(feedback)
-            records.append(
-                SynthesisRecord(
-                    round_index=round_index,
-                    sizing=sizing,
-                    report=estimate.report,
-                    distance=distance,
+        try:
+            for round_index in range(1, self.max_layout_calls + 1):
+                if budget is not None:
+                    budget.check("synthesis.round", round=round_index)
+                stage = "sizing"
+                try:
+                    if faults.active():
+                        faults.maybe_raise("synthesis.sizing", index=round_index)
+                    sizing = self.plan.size(specs, mode, feedback, budget=budget)
+                    stage = "layout"
+                    if faults.active():
+                        faults.maybe_raise("synthesis.layout", index=round_index)
+                    estimate = self.layout_tool(sizing, "estimate")
+                except BudgetExceededError:
+                    raise
+                except ReproError as error:
+                    if not records:
+                        raise SynthesisError(
+                            f"{stage} failed on synthesis round 1 with no "
+                            f"completed round to fall back to: {error}"
+                        ) from error
+                    degraded = True
+                    diagnostics.update(
+                        degraded=True,
+                        failed_round=round_index,
+                        failed_stage=stage,
+                        failure=repr(error),
+                    )
+                    warnings.warn(
+                        f"synthesis {stage} failed on round {round_index} "
+                        f"({error}); degrading to the last good round "
+                        f"{records[-1].round_index}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
+                if feedback is None:
+                    distance = float("inf")
+                else:
+                    distance = estimate.report.distance(feedback)
+                records.append(
+                    SynthesisRecord(
+                        round_index=round_index,
+                        sizing=sizing,
+                        report=estimate.report,
+                        distance=distance,
+                    )
                 )
-            )
-            previous = feedback
-            feedback = estimate.report
-            if previous is not None and distance <= self.convergence_tolerance:
-                converged = True
-                break
+                previous = feedback
+                feedback = estimate.report
+                if previous is not None and distance <= self.convergence_tolerance:
+                    converged = True
+                    break
+        except BudgetExceededError as error:
+            # Hand the partial progress to the caller for diagnosis.
+            if error.partial is None:
+                error.partial = list(records)
+            raise
 
+        if degraded:
+            # Fall back to the last round that produced a report.
+            sizing = records[-1].sizing
+            feedback = records[-1].report
         assert sizing is not None and feedback is not None
-        if not converged and len(records) >= self.max_layout_calls:
-            # Accept the last round but flag non-convergence.
+        if not degraded and not converged and len(records) >= self.max_layout_calls:
+            # Accept the last round but flag how far off it still was.
             converged = records[-1].distance <= 10.0 * self.convergence_tolerance
+            if converged:
+                diagnostics["soft_accept"] = True
+                diagnostics["final_distance"] = records[-1].distance
+                warnings.warn(
+                    f"synthesis of {self.plan.topology!r} stopped at "
+                    f"max_layout_calls={self.max_layout_calls} with the "
+                    f"parasitic distance at {records[-1].distance:.3e} F — "
+                    f"within 10x the tolerance, soft-accepting a "
+                    f"non-fixed-point result",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
         layout = None
         if generate:
-            layout = self.layout_tool(sizing, "generate")
+            try:
+                layout = self.layout_tool(sizing, "generate")
+            except ReproError as error:
+                diagnostics["generate_failure"] = repr(error)
+                warnings.warn(
+                    f"layout generation failed after a converged sizing "
+                    f"({error}); returning the sizing without geometry",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
         return SynthesisOutcome(
             sizing=sizing,
@@ -151,5 +246,6 @@ class LayoutOrientedSynthesizer:
             records=records,
             layout=layout,
             elapsed=time.perf_counter() - start,
-            converged=converged,
+            converged=converged and not degraded,
+            diagnostics=diagnostics,
         )

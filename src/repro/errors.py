@@ -8,6 +8,8 @@ simulation, layout generation and sizing/synthesis.
 
 from __future__ import annotations
 
+from typing import Any, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -30,7 +32,42 @@ class AnalysisError(ReproError):
 
 
 class ConvergenceError(AnalysisError):
-    """An iterative solver exhausted its iteration budget."""
+    """An iterative solver exhausted its escalation ladder.
+
+    ``report`` (when present) is the structured
+    :class:`~repro.resilience.policy.ConvergenceReport` of every strategy
+    the solver tried before giving up: per-rung residual norms, the
+    achieved gmin, and the worst-residual nodes at the final iterate.
+    """
+
+    def __init__(self, message: str, report: Optional[Any] = None):
+        super().__init__(message)
+        self.report = report
+
+
+class BudgetExceededError(ReproError):
+    """A wall-clock deadline or iteration budget ran out.
+
+    Raised at a clean stage boundary so callers can inspect the partial
+    progress: ``site`` names the boundary that tripped, ``elapsed`` is the
+    wall-clock time consumed, and ``partial`` carries whatever structured
+    progress the aborted stage had accumulated (e.g. the synthesis loop's
+    completed :class:`~repro.core.synthesis.SynthesisRecord` list).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: Optional[str] = None,
+        elapsed: Optional[float] = None,
+        budget: Optional[Any] = None,
+        partial: Optional[Any] = None,
+    ):
+        super().__init__(message)
+        self.site = site
+        self.elapsed = elapsed
+        self.budget = budget
+        self.partial = partial
 
 
 class LayoutError(ReproError):

@@ -1,0 +1,102 @@
+"""Wall-clock deadlines and iteration budgets.
+
+A :class:`Deadline` is an absolute wall-clock cut-off; a :class:`Budget`
+bundles it with iteration caps and is threaded through the long-running
+entry points (:meth:`LayoutOrientedSynthesizer.run <repro.core.synthesis.
+LayoutOrientedSynthesizer.run>`, :meth:`DesignPlan.size
+<repro.sizing.plans.base.DesignPlan.size>`, :func:`run_monte_carlo
+<repro.analysis.montecarlo.run_monte_carlo>`).  Each stage calls
+:meth:`Budget.check` at a clean boundary — a synthesis round, a sizing
+iteration, a Monte-Carlo shard — so a runaway case raises a diagnosable
+:class:`~repro.errors.BudgetExceededError` carrying partial progress
+instead of hanging.
+
+``Deadline`` takes an injectable ``clock`` so budget-expiry paths are
+deterministically testable (advance a fake clock instead of sleeping).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import BudgetExceededError
+
+
+class Deadline:
+    """A wall-clock cut-off measured from construction time."""
+
+    __slots__ = ("seconds", "_clock", "_start")
+
+    def __init__(
+        self, seconds: float, clock: Callable[[], float] = time.monotonic
+    ):
+        if not seconds > 0.0:
+            raise ValueError(f"deadline must be positive, got {seconds!r}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds consumed since the deadline was armed."""
+        return self._clock() - self._start
+
+    @property
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.seconds - self.elapsed
+
+    def expired(self) -> bool:
+        return self.elapsed >= self.seconds
+
+    def check(self, site: str, **context: object) -> None:
+        """Raise :class:`BudgetExceededError` at ``site`` if expired."""
+        elapsed = self.elapsed
+        if elapsed >= self.seconds:
+            detail = "".join(
+                f", {key}={value!r}" for key, value in sorted(context.items())
+            )
+            raise BudgetExceededError(
+                f"deadline of {self.seconds:g} s exceeded at {site!r} "
+                f"after {elapsed:.3f} s{detail}",
+                site=site,
+                elapsed=elapsed,
+                budget=self,
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline({self.seconds:g}s, elapsed={self.elapsed:.3f}s)"
+        )
+
+
+@dataclass
+class Budget:
+    """Resource envelope for one synthesis / analysis invocation.
+
+    ``deadline`` bounds wall-clock time; ``max_sizing_iterations`` caps the
+    inner sizing fixed-point loop of a design plan (the plan uses the
+    smaller of its own limit and this one).  All fields are optional — an
+    empty budget checks nothing and costs one attribute test per boundary.
+    """
+
+    deadline: Optional[Deadline] = None
+    max_sizing_iterations: Optional[int] = None
+
+    @classmethod
+    def from_seconds(cls, seconds: float) -> "Budget":
+        """A pure wall-clock budget (the ``--deadline`` CLI flag)."""
+        return cls(deadline=Deadline(seconds))
+
+    def check(self, site: str, **context: object) -> None:
+        """Raise :class:`BudgetExceededError` at ``site`` if exhausted."""
+        if self.deadline is not None:
+            self.deadline.check(site, **context)
+
+    def sizing_iteration_cap(self, plan_limit: int) -> int:
+        """Effective sizing-loop iteration limit for a design plan."""
+        if self.max_sizing_iterations is None:
+            return plan_limit
+        return max(1, min(plan_limit, self.max_sizing_iterations))

@@ -1,0 +1,137 @@
+"""Deterministic fault-injection registry.
+
+Degradation paths (solver escalation, Monte-Carlo shard resubmission,
+synthesis-round fallback, compiled-to-legacy engine hand-over) are hard to
+reach with real inputs: they need a singular matrix on exactly the third
+linear solve, or a worker process that dies on shard 2 but not on its
+resubmission.  This module lets tests *declare* such failures at named
+sites instead of contriving pathological circuits:
+
+    with faults.inject("solve.linear", error=AnalysisError("injected")):
+        solve_dc(circuit)        # first linear solve fails, ladder escalates
+
+Instrumented sites (the ``site`` strings accepted by :func:`inject`):
+
+===================== =========================================================
+``solve.linear``      every Newton linear solve (legacy and compiled); the
+                      injected error is handled like a singular matrix, so
+                      the current escalation rung fails and the ladder moves on
+``model.eval``        the compiled engine's batched MOS model evaluation;
+                      ``action="nan"`` poisons the device currents with NaN,
+                      any other action raises the injected error
+``engine.compiled``   the compiled-engine dispatch in ``solve_dc``; an
+                      injected error exercises the legacy-engine fallback
+``mc.worker``         Monte-Carlo shard submission (``index`` = shard); a
+                      firing makes the worker process die (``os._exit``),
+                      exercising shard resubmission and in-process fallback
+``synthesis.sizing``  the sizing call of a synthesis round (``index`` = round)
+``synthesis.layout``  the layout-tool call of a synthesis round
+                      (``index`` = round)
+===================== =========================================================
+
+Every instrumented site is guarded by :func:`active`, a single module-level
+truthiness test, so the registry costs nothing when no fault is armed.
+Counters live in the :class:`Fault` object itself and are torn down with the
+``with`` block, making every injection deterministic and repeatable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import AnalysisError
+
+#: Armed faults, in arming order.  Instrumented sites consult this list via
+#: :func:`fire`; an empty list short-circuits every check.
+_ACTIVE: List["Fault"] = []
+
+
+@dataclass
+class Fault:
+    """One armed fault.
+
+    ``site`` names the instrumented location; ``index`` (when given)
+    restricts the fault to one shard / round / call index.  The fault fires
+    on the ``at``-th matching hit and on every subsequent hit until it has
+    fired ``times`` times.  ``action`` selects what the site does with a
+    firing: ``"raise"`` (the default) raises :attr:`error`, ``"nan"`` and
+    ``"crash"`` are site-specific degradations (NaN device currents,
+    worker-process death).
+    """
+
+    site: str
+    error: Optional[BaseException] = None
+    at: int = 1
+    times: int = 1
+    index: Optional[int] = None
+    action: str = "raise"
+    hits: int = field(default=0, repr=False)
+    fired: int = field(default=0, repr=False)
+
+    def exception(self) -> BaseException:
+        """The exception a ``raise``-action firing should raise."""
+        if self.error is not None:
+            return self.error
+        return AnalysisError(f"injected fault at {self.site!r}")
+
+
+def active() -> bool:
+    """True when at least one fault is armed (cheap hot-path guard)."""
+    return bool(_ACTIVE)
+
+
+def fire(site: str, index: Optional[int] = None) -> Optional[Fault]:
+    """Consult the registry at an instrumented site.
+
+    Increments the hit counter of every armed fault matching ``site`` (and
+    ``index`` when the fault pins one) and returns the first fault that is
+    due to fire, or ``None``.  The caller decides how to degrade based on
+    :attr:`Fault.action`.
+    """
+    if not _ACTIVE:
+        return None
+    for fault in _ACTIVE:
+        if fault.site != site:
+            continue
+        if fault.index is not None and index is not None and fault.index != index:
+            continue
+        fault.hits += 1
+        if fault.hits >= fault.at and fault.fired < fault.times:
+            fault.fired += 1
+            return fault
+    return None
+
+
+def maybe_raise(site: str, index: Optional[int] = None) -> None:
+    """Raise the armed fault's error if one fires at ``site``.
+
+    Convenience for sites whose only degradation is an exception.
+    """
+    fault = fire(site, index)
+    if fault is not None:
+        raise fault.exception()
+
+
+@contextmanager
+def inject(
+    site: str,
+    error: Optional[BaseException] = None,
+    at: int = 1,
+    times: int = 1,
+    index: Optional[int] = None,
+    action: str = "raise",
+) -> Iterator[Fault]:
+    """Arm a fault for the duration of the ``with`` block.
+
+    Yields the :class:`Fault` so tests can assert on ``fired`` afterwards.
+    """
+    fault = Fault(
+        site=site, error=error, at=at, times=times, index=index, action=action
+    )
+    _ACTIVE.append(fault)
+    try:
+        yield fault
+    finally:
+        _ACTIVE.remove(fault)

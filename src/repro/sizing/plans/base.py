@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.circuit.testbench import OtaTestbench
 from repro.layout.parasitics import ParasiticReport
+from repro.resilience.budget import Budget
 from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
 from repro.technology.process import Technology
 
@@ -33,12 +34,15 @@ class DesignPlan(ABC):
         specs: OtaSpecs,
         mode: ParasiticMode = ParasiticMode.NONE,
         feedback: Optional[ParasiticReport] = None,
+        budget: Optional[Budget] = None,
     ) -> SizingResult:
         """Size the topology for ``specs``.
 
         ``mode`` selects the parasitic knowledge level (Table 1 cases);
         ``feedback`` is the layout tool's parasitic report for the
-        layout-aware modes.
+        layout-aware modes.  ``budget`` (when given) is checked at every
+        iteration of the sizing fixed-point loop and may cap the
+        iteration count (:meth:`Budget.sizing_iteration_cap`).
         """
 
     @abstractmethod

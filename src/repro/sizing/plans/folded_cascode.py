@@ -36,6 +36,7 @@ from repro.circuit.topologies.folded_cascode import (
 from repro.layout.parasitics import ParasiticReport
 from repro.mos import make_model, width_for_current
 from repro.mos.junction import DiffusionGeometry
+from repro.resilience.budget import Budget
 from repro.sizing.blocks import (
     cascode_bias_chain,
     computed_ranges,
@@ -213,6 +214,7 @@ class FoldedCascodePlan(DesignPlan):
         specs: OtaSpecs,
         mode: ParasiticMode = ParasiticMode.NONE,
         feedback: Optional[ParasiticReport] = None,
+        budget: Optional[Budget] = None,
     ) -> SizingResult:
         specs.validate()
         veff = self._overdrives(specs)
@@ -224,8 +226,18 @@ class FoldedCascodePlan(DesignPlan):
         result = None
         iterations = 0
         bias = None
+        max_iterations = (
+            self.max_iterations if budget is None
+            else budget.sizing_iteration_cap(self.max_iterations)
+        )
 
-        for iteration in range(1, self.max_iterations + 1):
+        for iteration in range(1, max_iterations + 1):
+            if budget is not None:
+                budget.check(
+                    "sizing.iteration",
+                    topology=self.topology,
+                    iteration=iteration,
+                )
             iterations = iteration
             gm1 = 2.0 * math.pi * specs.gbw * cl_eff
             id1 = input_pair_current(

@@ -29,6 +29,7 @@ from repro.circuit.topologies.two_stage import (
 from repro.layout.parasitics import ParasiticReport
 from repro.mos import make_model, width_for_current
 from repro.mos.junction import DiffusionGeometry
+from repro.resilience.budget import Budget
 from repro.sizing.blocks import distribute_headroom, input_pair_current
 from repro.sizing.plans.base import DesignPlan
 from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
@@ -74,6 +75,7 @@ class TwoStagePlan(DesignPlan):
         specs: OtaSpecs,
         mode: ParasiticMode = ParasiticMode.NONE,
         feedback: Optional[ParasiticReport] = None,
+        budget: Optional[Budget] = None,
     ) -> SizingResult:
         specs.validate()
         out_lo, out_hi = specs.output_range
@@ -88,8 +90,18 @@ class TwoStagePlan(DesignPlan):
         metrics = None
         result = None
         iterations = 0
+        max_iterations = (
+            self.max_iterations if budget is None
+            else budget.sizing_iteration_cap(self.max_iterations)
+        )
 
-        for iteration in range(1, self.max_iterations + 1):
+        for iteration in range(1, max_iterations + 1):
+            if budget is not None:
+                budget.check(
+                    "sizing.iteration",
+                    topology=self.topology,
+                    iteration=iteration,
+                )
             iterations = iteration
             gm1 = 2.0 * math.pi * specs.gbw * cc_eff
             id1 = input_pair_current(
