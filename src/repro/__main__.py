@@ -9,7 +9,12 @@ Commands mirror the paper's experiments:
 * ``figure3``     — the 1:3:6 current-mirror stack;
 * ``evaluate``    — technology characterisation and ranking;
 * ``bench``       — legacy vs compiled analysis-engine timings
-  (writes ``BENCH_analysis.json``).
+  (writes ``BENCH_analysis.json``);
+* ``trace``       — replay a JSONL telemetry trace written by ``--trace``.
+
+Output discipline: stdout carries the command's report (tables, metrics,
+machine-readable ``key: path`` lines); progress notices and diagnostics go
+to stderr, so stdout stays pipeable.
 """
 
 from __future__ import annotations
@@ -72,6 +77,14 @@ def _specs_from_args(args: argparse.Namespace) -> OtaSpecs:
         cload=args.cload * 1e-12,
         input_cm_range=(0.55 * args.vdd / 3.3, 1.84 * args.vdd / 3.3),
         output_range=(0.51 * args.vdd / 3.3, 2.31 * args.vdd / 3.3),
+    )
+
+
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a JSONL telemetry trace of the run to FILE "
+             "(replay it with 'python -m repro trace FILE')",
     )
 
 
@@ -144,10 +157,12 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     if outcome.layout is not None and outcome.layout.cell is not None:
         if args.svg:
             write_svg(outcome.layout.cell, args.svg, scale=8)
-            print(f"layout written to {args.svg}")
+            print(f"layout written to {args.svg}", file=sys.stderr)
+            print(f"svg: {args.svg}")
         if args.gds:
             write_gds(outcome.layout.cell, args.gds)
-            print(f"GDSII written to {args.gds}")
+            print(f"GDSII written to {args.gds}", file=sys.stderr)
+            print(f"gds: {args.gds}")
     return 0
 
 
@@ -222,7 +237,8 @@ def cmd_figure3(args: argparse.Namespace) -> int:
               f"{mirror.plan.orientation_balance(device):+d}")
     if args.svg:
         write_svg(mirror.cell, args.svg, scale=12)
-        print(f"layout written to {args.svg}")
+        print(f"layout written to {args.svg}", file=sys.stderr)
+        print(f"svg: {args.svg}")
     return 0
 
 
@@ -247,6 +263,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(format_bench_table(results))
     write_bench(results, args.json)
     print(f"benchmark record written to {args.json}", file=sys.stderr)
+    print(f"bench: {args.json}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl, summarize
+
+    try:
+        records = read_jsonl(args.file)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read trace {args.file!r}: {error}",
+              file=sys.stderr)
+        return 2
+    summary = summarize(records)
+    if args.json:
+        print(summary.format_json())
+    else:
+        print(summary.format_tree())
     return 0
 
 
@@ -279,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = subparsers.add_parser("table1", help="reproduce Table 1")
     _add_technology_argument(table1)
     _add_spec_arguments(table1)
+    _add_trace_argument(table1)
     table1.set_defaults(func=cmd_table1)
 
     synthesize = subparsers.add_parser(
@@ -294,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "diagnostics dump")
     synthesize.add_argument("--svg", help="write the layout as SVG")
     synthesize.add_argument("--gds", help="write the layout as GDSII")
+    _add_trace_argument(synthesize)
     synthesize.set_defaults(func=cmd_synthesize)
 
     flows = subparsers.add_parser(
@@ -301,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_technology_argument(flows)
     _add_spec_arguments(flows)
+    _add_trace_argument(flows)
     flows.set_defaults(func=cmd_flows)
 
     figure2 = subparsers.add_parser(
@@ -326,7 +363,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", default="BENCH_analysis.json",
                        help="output record path "
                             "(default BENCH_analysis.json)")
+    _add_trace_argument(bench)
     bench.set_defaults(func=cmd_bench)
+
+    trace = subparsers.add_parser(
+        "trace", help="replay a JSONL telemetry trace"
+    )
+    trace.add_argument("file", help="trace file written by --trace")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the summary as JSON instead of a tree")
+    trace.set_defaults(func=cmd_trace)
 
     evaluate = subparsers.add_parser(
         "evaluate", help="characterise and rank the bundled technologies"
@@ -341,8 +387,32 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+
+    from repro import telemetry
+
+    name = f"cli.{args.command}"
+    tracer = telemetry.Tracer()
+    try:
+        with tracer.activate(), tracer.span(name):
+            code = args.func(args)
+    finally:
+        # Partial traces are still replayable; export them even when the
+        # command dies mid-run.
+        tracer.write_jsonl(trace_path, name=name)
+        print(f"trace written to {trace_path}", file=sys.stderr)
+    print(f"trace: {trace_path}")
+    return code
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

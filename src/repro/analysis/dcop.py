@@ -22,6 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.mna import NodeIndex, solve_linear
 from repro.circuit.elements import (
@@ -58,8 +59,12 @@ def model_for(mos: Mos) -> MosModel:
     key = (mos.params, mos.model_level)
     model = _MODEL_CACHE.get(key)
     if model is None:
+        if telemetry.enabled():
+            telemetry.count("model_cache.misses")
         model = make_model(mos.params, level=mos.model_level)
         _MODEL_CACHE[key] = model
+    elif telemetry.enabled():
+        telemetry.count("model_cache.hits")
     return model
 
 
@@ -402,6 +407,13 @@ def solve_dc(
             # models and would only double the cost of failing again.
             raise
         except (ReproError, NotImplementedError, np.linalg.LinAlgError) as error:
+            if telemetry.enabled():
+                telemetry.count("engine.fallbacks")
+                telemetry.event(
+                    "engine.fallback",
+                    circuit=circuit.name,
+                    error=repr(error),
+                )
             solution = _solve_dc_legacy(circuit, gmin_sequence, max_iterations)
             if solution.convergence is not None:
                 solution.convergence.engine_fallback = repr(error)

@@ -22,6 +22,7 @@ from repro.analysis.ac import (
     logspace_frequencies,
     output_impedance,
 )
+from repro import telemetry
 from repro.analysis.dcop import DcSolution, solve_dc
 from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.noise import NoiseAnalysis
@@ -128,6 +129,19 @@ def measure_ota(
     analysis reuses the same system.
     """
     engine_name = resolve_engine(engine)
+    with telemetry.span(
+        "analysis.measure", circuit=tb.circuit.name, engine=engine_name
+    ):
+        return _measure_ota(tb, f_start, f_stop, points_per_decade, engine_name)
+
+
+def _measure_ota(
+    tb: OtaTestbench,
+    f_start: float,
+    f_stop: float,
+    points_per_decade: int,
+    engine_name: str,
+) -> OtaMetrics:
     dc, offset = feedback_dc_solution(tb, engine=engine_name)
 
     frequencies = logspace_frequencies(f_start, f_stop, points_per_decade)

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.metrics import OtaTestbench, feedback_dc_solution
 from repro.circuit.netlist import Circuit
@@ -213,6 +214,34 @@ def _run_chunk(
     return _measure_chunk(tb, names, vth_rows, beta_rows, measure, crash)
 
 
+def _run_chunk_traced(
+    tb: OtaTestbench,
+    names: Sequence[str],
+    vth_rows: np.ndarray,
+    beta_rows: np.ndarray,
+    measure: Optional[Callable[[OtaTestbench], Dict[str, float]]],
+    crash: bool,
+    shard_index: int,
+    lo: int,
+    hi: int,
+) -> Tuple[List[Dict[str, float]], Dict[str, object]]:
+    """Worker-side traced chunk: runs under a local tracer and ships the
+    picklable trace payload back with the samples.
+
+    The parent grafts the payload under its ``mc.run`` span with
+    :meth:`~repro.telemetry.core.Tracer.absorb`, which is how per-shard
+    spans and worker-side solver counters survive the process boundary.
+    Tracing never touches the pre-drawn sample rows, so results stay
+    bit-identical with tracing on or off.
+    """
+    tracer = telemetry.Tracer()
+    with tracer.activate():
+        with tracer.span("mc.shard", index=shard_index, lo=lo, hi=hi):
+            stats = _run_chunk(tb, names, vth_rows, beta_rows, measure, crash)
+            tracer.count("mc.samples_measured", hi - lo)
+    return stats, tracer.trace_payload()
+
+
 def _run_shards(
     tb: OtaTestbench,
     names: Sequence[str],
@@ -241,6 +270,7 @@ def _run_shards(
         ShardStatus(index=i, span=span) for i, span in enumerate(spans)
     ]
     pending = list(range(len(spans)))
+    tracer = telemetry.current()
 
     for _round in range(1 + max_shard_retries):
         if not pending:
@@ -253,16 +283,30 @@ def _run_shards(
         )
         had_timeout = False
         futures = {}
+        submit_times: Dict[int, float] = {}
         for i in pending:
             lo, hi = spans[i]
             crash = faults.fire("mc.worker", index=i) is not None
             statuses[i].attempts += 1
-            futures[i] = pool.submit(
-                _run_chunk, tb, names, vth[lo:hi], beta[lo:hi], measure, crash
-            )
+            if tracer is not None:
+                submit_times[i] = tracer.now()
+                futures[i] = pool.submit(
+                    _run_chunk_traced, tb, names, vth[lo:hi], beta[lo:hi],
+                    measure, crash, i, lo, hi,
+                )
+            else:
+                futures[i] = pool.submit(
+                    _run_chunk, tb, names, vth[lo:hi], beta[lo:hi],
+                    measure, crash,
+                )
         for i, future in futures.items():
             try:
-                chunks[i] = future.result(timeout=shard_timeout)
+                outcome = future.result(timeout=shard_timeout)
+                if tracer is not None:
+                    chunks[i], payload = outcome
+                    tracer.absorb(payload, t_offset=submit_times[i])
+                else:
+                    chunks[i] = outcome
                 statuses[i].status = (
                     "ok" if statuses[i].attempts == 1 else "resubmitted"
                 )
@@ -284,11 +328,19 @@ def _run_shards(
                 statuses[i].error = (
                     f"shard timed out after {shard_timeout:g} s"
                 )
+                telemetry.count("mc.shard_retries")
+                telemetry.event(
+                    "mc.shard_timeout", shard=i, timeout_s=shard_timeout
+                )
                 retry.append(i)
             except (BrokenExecutor, OSError, EOFError) as error:
                 statuses[i].error = (
                     f"worker died: {error!r} (shard {i} of {len(spans)}, "
                     f"workers={max_workers})"
+                )
+                telemetry.count("mc.shard_retries")
+                telemetry.event(
+                    "mc.worker_death", shard=i, error=repr(error)
                 )
                 retry.append(i)
         # A timed-out worker may still be running; don't block on it.
@@ -302,11 +354,14 @@ def _run_shards(
             budget.check("montecarlo.shard-fallback", shard=i)
         statuses[i].attempts += 1
         try:
-            chunks[i] = _run_chunk(
-                tb, names, vth[lo:hi], beta[lo:hi], measure
-            )
+            with telemetry.span("mc.shard_fallback", index=i, lo=lo, hi=hi):
+                chunks[i] = _run_chunk(
+                    tb, names, vth[lo:hi], beta[lo:hi], measure
+                )
+            telemetry.count("mc.shards_in_process")
             statuses[i].status = "in-process"
         except Exception as error:  # noqa: BLE001 - recorded, not masked
+            telemetry.count("mc.shards_failed")
             statuses[i].status = "failed"
             statuses[i].error = repr(error)
     return chunks, statuses
@@ -346,80 +401,86 @@ def run_monte_carlo(
     engine_name = resolve_engine(engine)
     result = MonteCarloResult()
 
-    if engine_name != COMPILED:
-        if workers != 1:
-            raise AnalysisError(
-                "workers > 1 requires the compiled engine"
-            )
-        rng = np.random.default_rng(seed)
-        for sample_index in range(runs):
-            if budget is not None:
-                budget.check("montecarlo.sample", sample=sample_index)
-            perturbed = apply_mismatch(tb.circuit, rng)
-            sample_tb = OtaTestbench(
-                circuit=perturbed,
-                source_pos=tb.source_pos,
-                source_neg=tb.source_neg,
-                input_neg_net=tb.input_neg_net,
-                output_net=tb.output_net,
-                supply_sources=tb.supply_sources,
-                slew_devices=tb.slew_devices,
-            )
-            if measure is None:
-                _dc, offset = feedback_dc_solution(
-                    sample_tb, engine=engine_name
+    with telemetry.span(
+        "mc.run", runs=runs, workers=workers, engine=engine_name
+    ):
+        telemetry.count("mc.samples", runs)
+
+        if engine_name != COMPILED:
+            if workers != 1:
+                raise AnalysisError(
+                    "workers > 1 requires the compiled engine"
                 )
-                stats = {"offset_voltage": offset}
-            else:
-                stats = measure(sample_tb)
-            for key, value in stats.items():
-                result.samples.setdefault(key, []).append(float(value))
+            rng = np.random.default_rng(seed)
+            for sample_index in range(runs):
+                if budget is not None:
+                    budget.check("montecarlo.sample", sample=sample_index)
+                perturbed = apply_mismatch(tb.circuit, rng)
+                sample_tb = OtaTestbench(
+                    circuit=perturbed,
+                    source_pos=tb.source_pos,
+                    source_neg=tb.source_neg,
+                    input_neg_net=tb.input_neg_net,
+                    output_net=tb.output_net,
+                    supply_sources=tb.supply_sources,
+                    slew_devices=tb.slew_devices,
+                )
+                if measure is None:
+                    _dc, offset = feedback_dc_solution(
+                        sample_tb, engine=engine_name
+                    )
+                    stats = {"offset_voltage": offset}
+                else:
+                    stats = measure(sample_tb)
+                for key, value in stats.items():
+                    result.samples.setdefault(key, []).append(float(value))
+            return result
+
+        names, vth, beta = draw_mismatch_samples(tb.circuit, runs, seed)
+
+        if workers == 1:
+            if budget is not None:
+                budget.check("montecarlo.start", runs=runs)
+            with telemetry.span("mc.shard", index=0, lo=0, hi=runs):
+                chunks: List[Optional[List[Dict[str, float]]]] = [
+                    _run_chunk(tb, names, vth, beta, measure)
+                ]
+        else:
+            try:
+                pickle.dumps((tb, measure))
+            except Exception as error:
+                # Submitting an unpicklable payload would wedge the pool's
+                # queue feeder (unrecoverable on CPython < 3.12), so refuse
+                # before any worker is spawned.
+                raise AnalysisError(
+                    f"Monte-Carlo payload cannot cross the process boundary "
+                    f"(workers={workers}): {error!r}; a custom measure "
+                    f"function must be module-level (picklable)"
+                ) from error
+            bounds = np.linspace(0, runs, workers + 1).astype(int)
+            spans = [
+                (int(bounds[i]), int(bounds[i + 1]))
+                for i in range(workers)
+                if bounds[i + 1] > bounds[i]
+            ]
+            chunks, statuses = _run_shards(
+                tb, names, vth, beta, measure, spans,
+                max_workers=len(spans),
+                shard_timeout=shard_timeout,
+                max_shard_retries=max_shard_retries,
+                budget=budget,
+            )
+            result.shards = statuses
+            result.n_failed = sum(
+                status.span[1] - status.span[0]
+                for status, chunk in zip(statuses, chunks)
+                if chunk is None
+            )
+
+        for chunk in chunks:
+            if chunk is None:
+                continue  # lost shard; accounted in n_failed
+            for stats in chunk:
+                for key, value in stats.items():
+                    result.samples.setdefault(key, []).append(float(value))
         return result
-
-    names, vth, beta = draw_mismatch_samples(tb.circuit, runs, seed)
-
-    if workers == 1:
-        if budget is not None:
-            budget.check("montecarlo.start", runs=runs)
-        chunks: List[Optional[List[Dict[str, float]]]] = [
-            _run_chunk(tb, names, vth, beta, measure)
-        ]
-    else:
-        try:
-            pickle.dumps((tb, measure))
-        except Exception as error:
-            # Submitting an unpicklable payload would wedge the pool's
-            # queue feeder (unrecoverable on CPython < 3.12), so refuse
-            # before any worker is spawned.
-            raise AnalysisError(
-                f"Monte-Carlo payload cannot cross the process boundary "
-                f"(workers={workers}): {error!r}; a custom measure "
-                f"function must be module-level (picklable)"
-            ) from error
-        bounds = np.linspace(0, runs, workers + 1).astype(int)
-        spans = [
-            (int(bounds[i]), int(bounds[i + 1]))
-            for i in range(workers)
-            if bounds[i + 1] > bounds[i]
-        ]
-        chunks, statuses = _run_shards(
-            tb, names, vth, beta, measure, spans,
-            max_workers=len(spans),
-            shard_timeout=shard_timeout,
-            max_shard_retries=max_shard_retries,
-            budget=budget,
-        )
-        result.shards = statuses
-        result.n_failed = sum(
-            status.span[1] - status.span[0]
-            for status, chunk in zip(statuses, chunks)
-            if chunk is None
-        )
-
-    for chunk in chunks:
-        if chunk is None:
-            continue  # lost shard; accounted in n_failed
-        for stats in chunk:
-            for key, value in stats.items():
-                result.samples.setdefault(key, []).append(float(value))
-    return result

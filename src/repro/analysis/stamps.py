@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.analysis.mna import NodeIndex
 from repro.circuit.elements import (
     Capacitor,
@@ -202,6 +203,8 @@ class StampProgram:
         self._swap_cache: Optional[Tuple[np.ndarray, ...]] = None
         #: Escalation record of the most recent :meth:`solve_voltages`.
         self.last_convergence: Optional[ConvergenceReport] = None
+        if telemetry.enabled():
+            telemetry.count("stamps.programs_compiled")
 
     # -- Escalation-policy backend surface -------------------------------------
 

@@ -21,7 +21,15 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import BudgetExceededError, ReproError, SynthesisError
+from repro import telemetry
+from repro.errors import (
+    BudgetExceededError,
+    DegradedRunWarning,
+    LayoutGenerationWarning,
+    ReproError,
+    SoftAcceptWarning,
+    SynthesisError,
+)
 from repro.layout.ota import OtaLayoutRequest, OtaLayoutResult, generate_ota_layout
 from repro.layout.parasitics import ParasiticReport
 from repro.resilience import faults
@@ -29,6 +37,7 @@ from repro.resilience.budget import Budget
 from repro.sizing.plans.folded_cascode import FoldedCascodePlan
 from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
 from repro.technology.process import Technology
+from repro.telemetry.replay import TraceSummary
 from repro.units import FF
 
 
@@ -59,6 +68,8 @@ class SynthesisOutcome:
     fired, ``degraded``/``failed_round``/``failed_stage``/``failure`` when a
     mid-loop failure fell back to the last good round, ``generate_failure``
     when only the final generation pass failed."""
+    trace: Optional[TraceSummary] = None
+    """Telemetry summary of the run when a tracer was active, else None."""
 
 
 class LayoutOrientedSynthesizer:
@@ -132,12 +143,36 @@ class LayoutOrientedSynthesizer:
         populated :attr:`SynthesisOutcome.diagnostics` — instead of losing
         all progress; a failure on the very first round (nothing to fall
         back to) raises :class:`SynthesisError`.
+
+        With a tracer active (:mod:`repro.telemetry`), the loop records a
+        ``synthesis.run`` span with one ``synthesis.round`` child per
+        round, and the returned outcome carries the
+        :class:`~repro.telemetry.replay.TraceSummary` in ``.trace``.
         """
         if not mode.uses_layout:
             raise SynthesisError(
                 "layout-oriented synthesis needs a layout-aware parasitic "
                 "mode (LAYOUT_DIFFUSION or FULL)"
             )
+        with telemetry.span(
+            "synthesis.run",
+            topology=self.plan.topology,
+            mode=mode.name,
+            generate=generate,
+        ):
+            outcome = self._run(specs, mode, generate, budget)
+        tracer = telemetry.current()
+        if tracer is not None:
+            outcome.trace = tracer.summary()
+        return outcome
+
+    def _run(
+        self,
+        specs: OtaSpecs,
+        mode: ParasiticMode,
+        generate: bool,
+        budget: Optional[Budget],
+    ) -> SynthesisOutcome:
         start = time.perf_counter()
         records: List[SynthesisRecord] = []
         feedback: Optional[ParasiticReport] = None
@@ -150,55 +185,81 @@ class LayoutOrientedSynthesizer:
             for round_index in range(1, self.max_layout_calls + 1):
                 if budget is not None:
                     budget.check("synthesis.round", round=round_index)
-                stage = "sizing"
-                try:
-                    if faults.active():
-                        faults.maybe_raise("synthesis.sizing", index=round_index)
-                    sizing = self.plan.size(specs, mode, feedback, budget=budget)
-                    stage = "layout"
-                    if faults.active():
-                        faults.maybe_raise("synthesis.layout", index=round_index)
-                    estimate = self.layout_tool(sizing, "estimate")
-                except BudgetExceededError:
-                    raise
-                except ReproError as error:
-                    if not records:
-                        raise SynthesisError(
-                            f"{stage} failed on synthesis round 1 with no "
-                            f"completed round to fall back to: {error}"
-                        ) from error
-                    degraded = True
-                    diagnostics.update(
-                        degraded=True,
-                        failed_round=round_index,
-                        failed_stage=stage,
-                        failure=repr(error),
+                with telemetry.span("synthesis.round", round=round_index):
+                    telemetry.count("synthesis.rounds")
+                    stage = "sizing"
+                    try:
+                        if faults.active():
+                            faults.maybe_raise(
+                                "synthesis.sizing", index=round_index
+                            )
+                        with telemetry.span("synthesis.sizing"):
+                            sizing = self.plan.size(
+                                specs, mode, feedback, budget=budget
+                            )
+                        stage = "layout"
+                        if faults.active():
+                            faults.maybe_raise(
+                                "synthesis.layout", index=round_index
+                            )
+                        estimate = self.layout_tool(sizing, "estimate")
+                    except BudgetExceededError:
+                        raise
+                    except ReproError as error:
+                        if not records:
+                            raise SynthesisError(
+                                f"{stage} failed on synthesis round 1 with "
+                                f"no completed round to fall back to: {error}"
+                            ) from error
+                        degraded = True
+                        diagnostics.update(
+                            degraded=True,
+                            failed_round=round_index,
+                            failed_stage=stage,
+                            failure=repr(error),
+                        )
+                        telemetry.count("synthesis.degraded_rounds")
+                        telemetry.event(
+                            "synthesis.degraded",
+                            round=round_index,
+                            stage=stage,
+                            error=repr(error),
+                        )
+                        warnings.warn(
+                            f"synthesis {stage} failed on round "
+                            f"{round_index} ({error}); degrading to the "
+                            f"last good round {records[-1].round_index}",
+                            DegradedRunWarning,
+                            stacklevel=2,
+                        )
+                        break
+                    if feedback is None:
+                        distance = float("inf")
+                    else:
+                        distance = estimate.report.distance(feedback)
+                    records.append(
+                        SynthesisRecord(
+                            round_index=round_index,
+                            sizing=sizing,
+                            report=estimate.report,
+                            distance=distance,
+                        )
                     )
-                    warnings.warn(
-                        f"synthesis {stage} failed on round {round_index} "
-                        f"({error}); degrading to the last good round "
-                        f"{records[-1].round_index}",
-                        RuntimeWarning,
-                        stacklevel=2,
-                    )
-                    break
-                if feedback is None:
-                    distance = float("inf")
-                else:
-                    distance = estimate.report.distance(feedback)
-                records.append(
-                    SynthesisRecord(
-                        round_index=round_index,
-                        sizing=sizing,
-                        report=estimate.report,
+                    previous = feedback
+                    feedback = estimate.report
+                    telemetry.event(
+                        "synthesis.round.complete",
+                        round=round_index,
                         distance=distance,
+                        width=getattr(estimate.report, "width", None),
+                        height=getattr(estimate.report, "height", None),
                     )
-                )
-                previous = feedback
-                feedback = estimate.report
-                if previous is not None and distance <= self.convergence_tolerance:
-                    converged = True
-                    break
+                    if (
+                        previous is not None
+                        and distance <= self.convergence_tolerance
+                    ):
+                        converged = True
+                        break
         except BudgetExceededError as error:
             # Hand the partial progress to the caller for diagnosis.
             if error.partial is None:
@@ -216,13 +277,16 @@ class LayoutOrientedSynthesizer:
             if converged:
                 diagnostics["soft_accept"] = True
                 diagnostics["final_distance"] = records[-1].distance
+                telemetry.event(
+                    "synthesis.soft_accept", distance=records[-1].distance
+                )
                 warnings.warn(
                     f"synthesis of {self.plan.topology!r} stopped at "
                     f"max_layout_calls={self.max_layout_calls} with the "
                     f"parasitic distance at {records[-1].distance:.3e} F — "
                     f"within 10x the tolerance, soft-accepting a "
                     f"non-fixed-point result",
-                    RuntimeWarning,
+                    SoftAcceptWarning,
                     stacklevel=2,
                 )
 
@@ -232,10 +296,13 @@ class LayoutOrientedSynthesizer:
                 layout = self.layout_tool(sizing, "generate")
             except ReproError as error:
                 diagnostics["generate_failure"] = repr(error)
+                telemetry.event(
+                    "synthesis.generate_failure", error=repr(error)
+                )
                 warnings.warn(
                     f"layout generation failed after a converged sizing "
                     f"({error}); returning the sizing without geometry",
-                    RuntimeWarning,
+                    LayoutGenerationWarning,
                     stacklevel=2,
                 )
 

@@ -84,3 +84,28 @@ class SizingError(ReproError):
 
 class SynthesisError(ReproError):
     """The layout-oriented synthesis loop failed to converge."""
+
+
+class ReproWarning(RuntimeWarning):
+    """Base class for warnings the library emits on degraded outcomes.
+
+    Derives from :class:`RuntimeWarning` so a generic runtime-warning
+    filter still sees them, while callers can filter programmatically::
+
+        warnings.simplefilter("error", ReproWarning)      # make them fatal
+        warnings.simplefilter("ignore", SoftAcceptWarning)  # or pick one
+    """
+
+
+class DegradedRunWarning(ReproWarning):
+    """A mid-loop synthesis failure fell back to the last good round."""
+
+
+class SoftAcceptWarning(ReproWarning):
+    """Synthesis stopped at ``max_layout_calls`` and accepted a
+    non-fixed-point result within 10x the convergence tolerance."""
+
+
+class LayoutGenerationWarning(ReproWarning):
+    """The final layout generation pass failed after a converged sizing;
+    the sizing result is returned without geometry."""

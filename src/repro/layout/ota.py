@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro import telemetry
 from repro.errors import LayoutError
 from repro.layout.cell import Cell
 from repro.layout.devices import (
@@ -309,6 +310,12 @@ def generate_ota_layout(
     """
     if mode not in ("estimate", "generate"):
         raise LayoutError(f"mode must be 'estimate' or 'generate', got {mode!r}")
+    with telemetry.span("layout.call", mode=mode, aspect=request.aspect):
+        telemetry.count(f"layout.calls.{mode}")
+        return _generate(request, mode)
+
+
+def _generate(request: OtaLayoutRequest, mode: str) -> OtaLayoutResult:
     tech = request.technology
     rules = tech.rules
     missing = [d for d in _all_devices() if d not in request.sizes]

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.errors import LayoutError
 from repro.layout.cell import Cell
 from repro.layout.devices import ModuleLayout
@@ -264,6 +265,9 @@ class ChannelRouter:
         # a stub may slide off its pin rail into a module gap, paying a
         # same-net rail *extension* at the pin's level.
         spacing = rules.metal1_spacing
+        # Accumulated locally and flushed as one counter update at the end
+        # of the call: the candidate scan is the router's hot loop.
+        clearance_rejections = 0
 
         # Track y-centres are fixed by the channel plan (the x extents
         # come later), so stub rectangles are known at placement time.
@@ -433,9 +437,17 @@ class ChannelRouter:
                         if result is not None:
                             chosen = (candidate, result)
                             break
+                        clearance_rejections += 1
                     if chosen is not None:
                         break
                 if chosen is None:
+                    if telemetry.enabled() and clearance_rejections:
+                        telemetry.count(
+                            "router.clearance_rejections", clearance_rejections
+                        )
+                        telemetry.event(
+                            "router.congestion", net=net, channel=channel
+                        )
                     # Drawing an overlap would be a silent short; real
                     # routers fail on congestion and so do we.
                     raise LayoutError(
@@ -555,4 +567,8 @@ class ChannelRouter:
                     track = track_rect[(net, channel)]
                     draw_via(column_x + column_w / 2.0, track.center.y)
 
+        if telemetry.enabled() and clearance_rejections:
+            telemetry.count(
+                "router.clearance_rejections", clearance_rejections
+            )
         return RoutingResult(nets=nets, channel_tracks=channel_tracks)

@@ -10,9 +10,10 @@ The machine-readable output is ``BENCH_analysis.json`` at the repo root:
 .. code-block:: json
 
     {
-      "schema": "repro-bench-v1",
+      "schema": "repro-bench-v2",
       "results": {
-        "dc_solve": {"legacy_s": ..., "compiled_s": ..., "speedup": ...},
+        "dc_solve": {"legacy_s": ..., "compiled_s": ..., "speedup": ...,
+                     "legacy_p50_s": ..., "compiled_p95_s": ...},
         ...
       }
     }
@@ -20,6 +21,8 @@ The machine-readable output is ``BENCH_analysis.json`` at the repo root:
 Every entry times the *same* call with the legacy and compiled engines
 (flipped via :func:`repro.analysis.engine.use_engine`), so a speedup of
 1.0 means "no change" and regressions show up as values < previous runs.
+The v2 schema adds p50/p95 percentiles next to best-of; :func:`load_bench`
+still reads v1 records (which simply lack the percentile keys).
 """
 
 from __future__ import annotations
@@ -28,8 +31,21 @@ import json
 import time
 from typing import Any, Callable, Dict, Optional
 
-BENCH_SCHEMA = "repro-bench-v1"
+BENCH_SCHEMA = "repro-bench-v2"
+#: Older schemas :func:`load_bench` accepts (entries lack p50/p95 keys).
+BENCH_COMPAT_SCHEMAS = ("repro-bench-v1",)
 BENCH_FILENAME = "BENCH_analysis.json"
+
+
+def _percentile(sorted_samples: list, q: float) -> float:
+    """Linear-interpolation percentile of an already sorted sample list."""
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = q * (len(sorted_samples) - 1)
+    lo = int(position)
+    hi = min(lo + 1, len(sorted_samples) - 1)
+    fraction = position - lo
+    return sorted_samples[lo] * (1.0 - fraction) + sorted_samples[hi] * fraction
 
 
 def time_call(
@@ -37,9 +53,10 @@ def time_call(
 ) -> Dict[str, float]:
     """Best-of-``repeat`` wall-clock timing of ``fn()``.
 
-    Returns ``{"best_s": ..., "mean_s": ..., "repeat": ...}``.  Best-of is
-    the robust statistic for latency benchmarks — the minimum is the run
-    least disturbed by the OS.
+    Returns ``{"best_s": ..., "mean_s": ..., "p50_s": ..., "p95_s": ...,
+    "repeat": ...}``.  Best-of is the robust statistic for latency
+    benchmarks — the minimum is the run least disturbed by the OS; the
+    percentiles expose the tail the minimum hides.
     """
     for _ in range(warmup):
         fn()
@@ -48,9 +65,12 @@ def time_call(
         start = time.perf_counter()
         fn()
         samples.append(time.perf_counter() - start)
+    ordered = sorted(samples)
     return {
-        "best_s": min(samples),
+        "best_s": ordered[0],
         "mean_s": sum(samples) / len(samples),
+        "p50_s": _percentile(ordered, 0.50),
+        "p95_s": _percentile(ordered, 0.95),
         "repeat": float(repeat),
     }
 
@@ -68,6 +88,10 @@ def compare_engines(
     return {
         "legacy_s": legacy["best_s"],
         "compiled_s": compiled["best_s"],
+        "legacy_p50_s": legacy["p50_s"],
+        "legacy_p95_s": legacy["p95_s"],
+        "compiled_p50_s": compiled["p50_s"],
+        "compiled_p95_s": compiled["p95_s"],
         "speedup": legacy["best_s"] / compiled["best_s"]
         if compiled["best_s"] > 0
         else float("inf"),
@@ -83,10 +107,16 @@ def write_bench(results: Dict[str, Dict[str, float]], path: str) -> None:
 
 
 def load_bench(path: str) -> Dict[str, Dict[str, float]]:
-    """Read a benchmark record written by :func:`write_bench`."""
+    """Read a benchmark record written by :func:`write_bench`.
+
+    Accepts the current schema and every entry of
+    :data:`BENCH_COMPAT_SCHEMAS` — a v1 record loads fine, its entries
+    just lack the percentile keys v2 added.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    if payload.get("schema") != BENCH_SCHEMA:
+    schema = payload.get("schema")
+    if schema != BENCH_SCHEMA and schema not in BENCH_COMPAT_SCHEMAS:
         raise ValueError(f"unrecognized bench schema in {path!r}")
     return payload["results"]
 

@@ -34,6 +34,7 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ConvergenceError
 
 #: The classic gmin relaxation ladder (large shunt -> fully removed).
@@ -233,7 +234,7 @@ class SolverPolicy:
         deadline: Optional[Any] = None,
     ) -> Tuple[np.ndarray, ConvergenceReport]:
         report = ConvergenceReport(circuit=backend.circuit_name)
-        for rung in self.rungs:
+        for rung_index, rung in enumerate(self.rungs):
             if deadline is not None:
                 deadline.check(f"solver.{rung.name}", circuit=backend.circuit_name)
             outcome = rung.attempt(backend, max_iterations, report)
@@ -243,7 +244,11 @@ class SolverPolicy:
                 report.strategy = rung.name
                 report.achieved_gmin = gmin
                 report.final_voltages = None
+                if telemetry.enabled():
+                    _record_telemetry(report, rung_index)
                 return voltages, report
+        if telemetry.enabled():
+            _record_telemetry(report, len(self.rungs) - 1, failed=True)
         if report.final_voltages is not None:
             report.worst_nodes = backend.worst_residual_nodes(
                 report.final_voltages
@@ -255,6 +260,25 @@ class SolverPolicy:
             f"({len(self.rungs)} strategies exhausted)",
             report=report,
         )
+
+
+def _record_telemetry(
+    report: ConvergenceReport, rung_index: int, failed: bool = False
+) -> None:
+    """Fold one escalation-ladder run into the active tracer."""
+    telemetry.count("solver.solves")
+    telemetry.count("solver.newton_iterations", report.iterations)
+    attempts: dict = {}
+    for record in report.rungs:
+        attempts[record.strategy] = attempts.get(record.strategy, 0) + 1
+    for strategy, n in attempts.items():
+        telemetry.count(f"solver.rung.{strategy}", n)
+    if rung_index > 0:
+        telemetry.count("solver.escalations")
+    if failed:
+        telemetry.count("solver.failures")
+    if report.rungs:
+        telemetry.gauge("solver.last_residual", report.rungs[-1].residual_norm)
 
 
 #: The compiled engine's default ladder (fast direct attempt first).

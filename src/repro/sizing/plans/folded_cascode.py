@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.analysis.metrics import measure_ota
 from repro.circuit.testbench import OtaTestbench
 from repro.circuit.topologies.folded_cascode import (
@@ -332,6 +333,8 @@ class FoldedCascodePlan(DesignPlan):
         assert result is not None and metrics is not None
         result.predicted = metrics
         result.iterations = iterations
+        if telemetry.enabled():
+            telemetry.count("sizing.iterations", iterations)
         icmr, out_range = computed_ranges(
             self.model_n, self.model_p, specs.vdd, veff, bias
         )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.analysis.metrics import measure_ota
 from repro.circuit.testbench import OtaTestbench
 from repro.circuit.topologies.folded_cascode import DeviceSize
@@ -178,6 +179,8 @@ class TwoStagePlan(DesignPlan):
         assert result is not None and metrics is not None
         result.predicted = metrics
         result.iterations = iterations
+        if telemetry.enabled():
+            telemetry.count("sizing.iterations", iterations)
         vth_n = self.model_n.threshold(0.0)
         result.computed_icmr = (
             vth_n + self.veff_input + veff_tail + 0.05,

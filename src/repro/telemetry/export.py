@@ -1,0 +1,68 @@
+"""JSONL trace container: one JSON object per line.
+
+Line 1 is a header ``{"type": "header", "schema": "repro-trace-v1",
+"name": ...}``; every following line is one record as produced by
+:class:`~repro.telemetry.core.Tracer` (``span`` / ``event`` / ``count`` /
+``gauge``).  The format is append-friendly and greppable; the reader
+tolerates (skips) blank lines so concatenated traces replay too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.telemetry.core import TRACE_SCHEMA
+
+
+def write_jsonl(
+    records: List[Dict[str, Any]], path: str, name: str = "trace"
+) -> None:
+    """Write ``records`` (with a schema header) to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {"type": "header", "schema": TRACE_SCHEMA, "name": name},
+                sort_keys=True,
+            )
+        )
+        handle.write("\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a trace file back into its record list.
+
+    Raises :class:`ValueError` on a missing or mismatched schema header
+    or a malformed line (the line number is included for forensics).
+    """
+    records: List[Dict[str, Any]] = []
+    header_seen = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line: {error}"
+                ) from error
+            if not header_seen:
+                if (
+                    record.get("type") != "header"
+                    or record.get("schema") != TRACE_SCHEMA
+                ):
+                    raise ValueError(
+                        f"{path}: not a {TRACE_SCHEMA} trace file "
+                        f"(first line: {record!r})"
+                    )
+                header_seen = True
+                continue
+            records.append(record)
+    if not header_seen:
+        raise ValueError(f"{path}: empty trace file (no header line)")
+    return records

@@ -1,0 +1,280 @@
+"""Trace replay: rebuild the span tree and aggregate its signals.
+
+:func:`summarize` turns a flat record list (live from a
+:class:`~repro.telemetry.core.Tracer` or read back from JSONL) into a
+:class:`TraceSummary`: the span tree with per-subtree counter
+aggregates, global counter/gauge totals, and per-name span statistics.
+``TraceSummary.format_tree`` renders the human-readable per-phase
+timing/counter tree the ``python -m repro trace`` subcommand prints;
+``TraceSummary.to_json`` is the machine-readable form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Schema tag of the machine-readable summary (``repro trace --json``).
+SUMMARY_SCHEMA = "repro-trace-summary-v1"
+
+
+@dataclass
+class SpanNode:
+    """One span in the rebuilt tree."""
+
+    id: int
+    name: str
+    t0: float
+    dur: float
+    status: str
+    error: Optional[str]
+    attrs: Dict[str, Any]
+    children: List["SpanNode"] = field(default_factory=list)
+    counts: Dict[str, float] = field(default_factory=dict)
+    """Counter increments recorded directly under this span."""
+    events: List[Dict[str, Any]] = field(default_factory=list)
+
+    def subtree_counts(self) -> Dict[str, float]:
+        """Counter totals over this span and all its descendants."""
+        totals = dict(self.counts)
+        for child in self.children:
+            for name, value in child.subtree_counts().items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def walk(self) -> Iterator["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one trace."""
+
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    span_stats: Dict[str, Tuple[int, float]]
+    """Span name -> (occurrences, total seconds)."""
+    roots: List[SpanNode]
+    orphan_counts: Dict[str, float] = field(default_factory=dict)
+    """Counter increments recorded outside any span."""
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return self.counters.get(name, default)
+
+    def span_count(self, name: str) -> int:
+        return self.span_stats.get(name, (0, 0.0))[0]
+
+    def span_seconds(self, name: str) -> float:
+        return self.span_stats.get(name, (0, 0.0))[1]
+
+    def spans(self, name: str) -> List[SpanNode]:
+        """Every span named ``name``, in tree order."""
+        found: List[SpanNode] = []
+        for root in self.roots:
+            for node in root.walk():
+                if node.name == name:
+                    found.append(node)
+        return found
+
+    # -- Rendering ---------------------------------------------------------
+
+    def format_tree(self, counters_per_span: bool = True) -> str:
+        """Human-readable per-phase timing/counter tree."""
+        lines: List[str] = []
+        for root in self.roots:
+            self._format_node(root, "", "", lines, counters_per_span)
+        if self.counters:
+            lines.append("counters:")
+            width = max(len(name) for name in self.counters)
+            for name in sorted(self.counters):
+                lines.append(
+                    f"  {name:<{width}}  {_format_number(self.counters[name])}"
+                )
+        if self.gauges:
+            lines.append("gauges:")
+            width = max(len(name) for name in self.gauges)
+            for name in sorted(self.gauges):
+                lines.append(
+                    f"  {name:<{width}}  {self.gauges[name]:g}"
+                )
+        return "\n".join(lines)
+
+    def _format_node(
+        self,
+        node: SpanNode,
+        prefix: str,
+        child_prefix: str,
+        lines: List[str],
+        counters_per_span: bool,
+    ) -> None:
+        label = node.name
+        if node.attrs:
+            inner = ", ".join(
+                f"{key}={node.attrs[key]}" for key in sorted(node.attrs)
+            )
+            label += f" ({inner})"
+        label += f"  {node.dur:.3f} s"
+        if node.status != "ok":
+            label += f"  [ERROR: {node.error}]"
+        if counters_per_span:
+            totals = node.subtree_counts()
+            if totals:
+                inner = ", ".join(
+                    f"{name}={_format_number(totals[name])}"
+                    for name in sorted(totals)
+                )
+                label += f"  [{inner}]"
+        lines.append(prefix + label)
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            branch = "└─ " if last else "├─ "
+            extend = "   " if last else "│  "
+            self._format_node(
+                child,
+                child_prefix + branch,
+                child_prefix + extend,
+                lines,
+                counters_per_span,
+            )
+
+    def to_json(self) -> Dict[str, Any]:
+        """Machine-readable summary (stable keys, JSON-serialisable)."""
+
+        def node_json(node: SpanNode) -> Dict[str, Any]:
+            return {
+                "name": node.name,
+                "t0": node.t0,
+                "dur": node.dur,
+                "status": node.status,
+                "error": node.error,
+                "attrs": node.attrs,
+                "counts": node.subtree_counts(),
+                "events": node.events,
+                "children": [node_json(child) for child in node.children],
+            }
+
+        return {
+            "schema": SUMMARY_SCHEMA,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "spans": {
+                name: {"count": count, "total_s": total}
+                for name, (count, total) in self.span_stats.items()
+            },
+            "tree": [node_json(root) for root in self.roots],
+        }
+
+    def format_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+
+def _format_number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+def summarize(records: List[Dict[str, Any]]) -> TraceSummary:
+    """Rebuild the span tree and aggregates from a flat record list.
+
+    Tolerant of partial traces: counters/events whose parent span never
+    closed (crash mid-span) are kept as orphans rather than dropped.
+    """
+    nodes: Dict[int, SpanNode] = {}
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    span_stats: Dict[str, Tuple[int, float]] = {}
+    # parent id -> deferred children/counters/events (children close
+    # before their parent exists as a node).
+    pending_children: Dict[int, List[SpanNode]] = {}
+    pending_counts: Dict[int, Dict[str, float]] = {}
+    pending_events: Dict[int, List[Dict[str, Any]]] = {}
+    orphan_counts: Dict[str, float] = {}
+    roots: List[SpanNode] = []
+
+    def attach_count(parent: Optional[int], name: str, n: float) -> None:
+        if parent is None:
+            orphan_counts[name] = orphan_counts.get(name, 0.0) + n
+            return
+        node = nodes.get(parent)
+        bucket = node.counts if node is not None else pending_counts.setdefault(
+            parent, {}
+        )
+        bucket[name] = bucket.get(name, 0.0) + n
+
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            node = SpanNode(
+                id=record["id"],
+                name=record["name"],
+                t0=record.get("t0", 0.0),
+                dur=record.get("dur", 0.0),
+                status=record.get("status", "ok"),
+                error=record.get("error"),
+                attrs=record.get("attrs", {}) or {},
+            )
+            nodes[node.id] = node
+            count, total = span_stats.get(node.name, (0, 0.0))
+            span_stats[node.name] = (count + 1, total + node.dur)
+            # Adopt anything recorded under this span before it closed.
+            node.children.extend(pending_children.pop(node.id, []))
+            node.counts.update(pending_counts.pop(node.id, {}))
+            node.events.extend(pending_events.pop(node.id, []))
+            parent = record.get("parent")
+            if parent is None:
+                roots.append(node)
+            elif parent in nodes:
+                nodes[parent].children.append(node)
+            else:
+                pending_children.setdefault(parent, []).append(node)
+        elif kind == "count":
+            name = record["name"]
+            n = record.get("n", 1)
+            counters[name] = counters.get(name, 0.0) + n
+            attach_count(record.get("parent"), name, n)
+        elif kind == "gauge":
+            gauges[record["name"]] = record.get("value", 0.0)
+        elif kind == "event":
+            parent = record.get("parent")
+            payload = {
+                "name": record.get("name"),
+                "t": record.get("t"),
+                "attrs": record.get("attrs", {}) or {},
+            }
+            if parent is not None:
+                node = nodes.get(parent)
+                if node is not None:
+                    node.events.append(payload)
+                else:
+                    pending_events.setdefault(parent, []).append(payload)
+        # Unknown record types are skipped (forward compatibility).
+
+    # Spans that never closed: surface their orphaned children as roots.
+    for children in pending_children.values():
+        roots.extend(children)
+    for bucket in pending_counts.values():
+        for name, n in bucket.items():
+            orphan_counts[name] = orphan_counts.get(name, 0.0) + n
+
+    # Children close before parents, so adopted child lists are in
+    # completion order; re-sort every sibling list by start time.
+    def sort_tree(node: SpanNode) -> None:
+        node.children.sort(key=lambda child: child.t0)
+        for child in node.children:
+            sort_tree(child)
+
+    roots.sort(key=lambda node: node.t0)
+    for root in roots:
+        sort_tree(root)
+
+    return TraceSummary(
+        counters=counters,
+        gauges=gauges,
+        span_stats=span_stats,
+        roots=roots,
+        orphan_counts=orphan_counts,
+    )

@@ -55,7 +55,58 @@ class TestCommands:
             "--svg", str(svg),
         ])
         assert code == 0
-        out = capsys.readouterr().out
-        assert "converged in" in out
-        assert "GBW" in out
+        captured = capsys.readouterr()
+        assert "converged in" in captured.out
+        assert "GBW" in captured.out
+        # Prose notices go to stderr; stdout carries the machine line.
+        assert "layout written to" in captured.err
+        assert f"svg: {svg}" in captured.out
         assert svg.stat().st_size > 10_000
+
+    def test_synthesize_with_trace_writes_replayable_jsonl(
+        self, capsys, tmp_path
+    ):
+        trace = tmp_path / "run.jsonl"
+        code = main([
+            "synthesize", "--gbw", "30", "--cload", "2",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert f"trace: {trace}" in captured.out
+        assert "trace written to" in captured.err
+        assert trace.stat().st_size > 0
+
+        from repro.telemetry import read_jsonl, summarize
+
+        summary = summarize(read_jsonl(str(trace)))
+        # The acceptance shape: per-round solver activity and layout
+        # call modes are all recoverable from the exported trace.
+        assert summary.span_count("synthesis.round") >= 3
+        assert summary.counter("solver.solves") > 0
+        assert summary.counter("solver.rung.direct-newton") > 0
+        assert summary.counter("layout.calls.estimate") >= 3
+        assert summary.counter("layout.calls.generate") == 1
+        for round_span in summary.spans("synthesis.round"):
+            counts = round_span.subtree_counts()
+            assert counts.get("solver.solves", 0) > 0
+            assert counts.get("layout.calls.estimate", 0) == 1
+
+        # And the trace subcommand replays it.
+        assert main(["trace", str(trace)]) == 0
+        replay = capsys.readouterr()
+        assert "cli.synthesize" in replay.out
+        assert "synthesis.round" in replay.out
+
+        assert main(["trace", str(trace), "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-trace-summary-v1"
+        assert payload["counters"]["synthesis.rounds"] >= 3
+
+    def test_trace_missing_file_is_an_error(self, capsys):
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
