@@ -100,17 +100,45 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    from repro.core.cases import run_case
+    from repro.core.batch import BatchTask, run_batch
     from repro.core.report import format_table1
+    from repro.technology.corners import CORNERS
 
-    technology = _TECHNOLOGIES[args.technology]()
     specs = _specs_from_args(args)
-    results = []
-    for mode in ParasiticMode:
-        print(f"running case {mode.value} ({mode.name.lower()}) ...",
+    if args.corners:
+        corners = [name.strip() for name in args.corners.split(",")
+                   if name.strip()]
+        unknown = sorted(set(corners) - set(CORNERS))
+        if unknown:
+            print(f"error: unknown corners {unknown} "
+                  f"(choose from {list(CORNERS)})", file=sys.stderr)
+            return 2
+    else:
+        corners = [None]
+    modes = list(ParasiticMode)
+    tasks = [
+        BatchTask(kind="case", technology=args.technology, specs=specs,
+                  mode=mode.name, corner=corner)
+        for corner in corners
+        for mode in modes
+    ]
+    for task in tasks:
+        print(f"running {task.label} ...", file=sys.stderr)
+    batch = run_batch(tasks, jobs=args.jobs)
+    if batch.jobs > 1:
+        print(f"ran {len(tasks)} cases on {batch.jobs} workers",
               file=sys.stderr)
-        results.append(run_case(technology, specs, mode))
-    print(format_table1(results))
+    for block, corner in enumerate(corners):
+        results = batch.results[block * len(modes):(block + 1) * len(modes)]
+        title = "Table 1" if corner is None else f"Table 1 [{corner}]"
+        if block:
+            print()
+        print(format_table1(results, title=title))
+        if args.fingerprint:
+            for result in results:
+                suffix = "" if corner is None else f" [{corner}]"
+                print(f"fingerprint {result.label}{suffix}: "
+                      f"{result.fingerprint()}")
     return 0
 
 
@@ -167,16 +195,16 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
 
 
 def cmd_flows(args: argparse.Namespace) -> int:
-    from repro.core.synthesis import LayoutOrientedSynthesizer
-    from repro.core.traditional import TraditionalFlow
+    from repro.core.batch import BatchTask, run_batch
 
-    technology = _TECHNOLOGIES[args.technology]()
     specs = _specs_from_args(args)
-
-    traditional = TraditionalFlow(technology).run(specs)
-    oriented = LayoutOrientedSynthesizer(technology).run(
-        specs, ParasiticMode.FULL, generate=False
-    )
+    tasks = [
+        BatchTask(kind="flow", technology=args.technology, specs=specs,
+                  variant=variant)
+        for variant in ("traditional", "oriented")
+    ]
+    batch = run_batch(tasks, jobs=args.jobs)
+    traditional, oriented = batch.results
     print(f"{'flow':<18}{'rounds':>8}{'time (s)':>10}"
           f"{'GBW (MHz)':>11}{'PM (deg)':>10}")
     print(f"{'traditional':<18}{traditional.full_layout_rounds:>8}"
@@ -245,7 +273,12 @@ def cmd_figure3(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     import os
 
-    from repro.perf import format_bench_table, run_benchmarks, write_bench
+    from repro.perf import (
+        format_bench_table,
+        run_benchmarks,
+        run_layout_benchmarks,
+        write_bench,
+    )
 
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
@@ -260,6 +293,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeat=args.repeat,
         include_synthesis=not args.no_synthesis,
     )
+    if not args.no_layout:
+        print("timing scalar vs vectorized layout path ...", file=sys.stderr)
+        results.update(
+            run_layout_benchmarks(
+                repeat=args.repeat, batch_jobs=args.table1_jobs
+            )
+        )
     print(format_bench_table(results))
     write_bench(results, args.json)
     print(f"benchmark record written to {args.json}", file=sys.stderr)
@@ -313,6 +353,15 @@ def build_parser() -> argparse.ArgumentParser:
     table1 = subparsers.add_parser("table1", help="reproduce Table 1")
     _add_technology_argument(table1)
     _add_spec_arguments(table1)
+    table1.add_argument("--jobs", type=int, default=1,
+                        help="run cases concurrently on N worker processes "
+                             "(results are bit-identical to --jobs 1)")
+    table1.add_argument("--corners", default=None, metavar="NAMES",
+                        help="comma-separated process corners "
+                             "(tt,ss,ff,sf,fs); one table per corner")
+    table1.add_argument("--fingerprint", action="store_true",
+                        help="print a deterministic content hash per case "
+                             "(excludes timings; for determinism checks)")
     _add_trace_argument(table1)
     table1.set_defaults(func=cmd_table1)
 
@@ -337,6 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_technology_argument(flows)
     _add_spec_arguments(flows)
+    flows.add_argument("--jobs", type=int, default=1,
+                       help="run the two flows concurrently on N worker "
+                            "processes")
     _add_trace_argument(flows)
     flows.set_defaults(func=cmd_flows)
 
@@ -360,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="best-of repetitions per workload (default 3)")
     bench.add_argument("--no-synthesis", action="store_true",
                        help="skip the end-to-end synthesis benchmark")
+    bench.add_argument("--no-layout", action="store_true",
+                       help="skip the layout-path benchmarks (extraction, "
+                            "DRC)")
+    bench.add_argument("--table1-jobs", type=int, default=0, metavar="N",
+                       help="also time a serial vs --jobs N Table-1 batch "
+                            "(needs a multi-core host; default: skip)")
     bench.add_argument("--json", default="BENCH_analysis.json",
                        help="output record path "
                             "(default BENCH_analysis.json)")

@@ -1,0 +1,331 @@
+"""Parallel batch driver for multi-case experiments.
+
+Runs Table-1 cases, process-corner replicas and flow variants
+concurrently on a process pool behind ``python -m repro table1 --jobs N``.
+The dispatch discipline reuses the Monte-Carlo shard-recovery machinery
+(:mod:`repro.analysis.montecarlo`): task payloads are pickle-validated
+before any worker spawns, a task whose worker dies (or times out) is
+resubmitted on a fresh pool a bounded number of times and then run
+in-process, and worker-side telemetry crosses the process boundary as a
+picklable trace payload the parent absorbs.
+
+Determinism: every :class:`BatchTask` is a self-contained value — the
+worker rebuilds its technology from the preset registry, so no solver or
+layout cache state is shared between tasks — and results are returned in
+task order, never completion order.  A parallel run is therefore
+bit-identical to the serial one; :meth:`CaseResult.fingerprint` is the
+comparison handle (it excludes wall-clock timings by construction).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import telemetry
+from repro.errors import SynthesisError
+from repro.resilience import faults
+from repro.resilience.budget import Budget
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.technology import generic_035, generic_060, generic_080
+from repro.technology.corners import corner as technology_corner
+from repro.technology.process import Technology
+
+#: Preset registry keyed the way the CLI names technologies.  Tasks carry
+#: the key, not the object: workers rebuild the technology in-process,
+#: which keeps payloads small and every per-technology cache task-local.
+TECHNOLOGY_PRESETS: Dict[str, Callable[[], Technology]] = {
+    "0.35um": generic_035,
+    "0.6um": generic_060,
+    "0.8um": generic_080,
+}
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """One self-contained unit of batch work (picklable by construction)."""
+
+    kind: str
+    """``case`` (one Table-1 column) or ``flow`` (one flow variant)."""
+    technology: str
+    """Preset key in :data:`TECHNOLOGY_PRESETS`."""
+    specs: OtaSpecs
+    mode: str = ParasiticMode.FULL.name
+    """ParasiticMode *name* for ``case`` tasks."""
+    variant: str = "oriented"
+    """``traditional`` or ``oriented`` for ``flow`` tasks."""
+    corner: Optional[str] = None
+    """Optional process-corner name (``tt``/``ss``/``ff``/``sf``/``fs``)."""
+    model_level: int = 1
+    aspect: Optional[float] = 1.0
+
+    @property
+    def label(self) -> str:
+        suffix = f"@{self.corner}" if self.corner else ""
+        if self.kind == "case":
+            return f"case.{self.mode.lower()}{suffix}"
+        return f"flow.{self.variant}{suffix}"
+
+
+@dataclass
+class TaskStatus:
+    """Fate of one batch task (mirrors the Monte-Carlo ``ShardStatus``)."""
+
+    index: int
+    label: str
+    attempts: int = 0
+    status: str = "pending"
+    """``ok`` | ``resubmitted`` | ``in-process`` | ``serial``."""
+    error: Optional[str] = None
+    """Last failure seen (worker death, timeout), even when recovered."""
+
+
+@dataclass
+class BatchResult:
+    """Results in task order plus the per-task dispatch record."""
+
+    results: List[object]
+    statuses: List[TaskStatus]
+    jobs: int
+
+
+def _build_technology(task: BatchTask) -> Technology:
+    try:
+        factory = TECHNOLOGY_PRESETS[task.technology]
+    except KeyError:
+        raise SynthesisError(
+            f"unknown technology preset {task.technology!r} "
+            f"(expected one of {sorted(TECHNOLOGY_PRESETS)})"
+        ) from None
+    technology = factory()
+    if task.corner is not None:
+        technology = technology_corner(technology, task.corner)
+    return technology
+
+
+def run_task(task: BatchTask) -> object:
+    """Execute one task; the single entry point serial and pooled paths share.
+
+    ``case`` tasks return a :class:`~repro.core.cases.CaseResult`;
+    ``flow`` tasks return a
+    :class:`~repro.core.traditional.TraditionalOutcome` or a
+    :class:`~repro.core.synthesis.SynthesisOutcome` depending on the
+    variant.
+    """
+    technology = _build_technology(task)
+    if task.kind == "case":
+        from repro.core.cases import run_case
+
+        return run_case(
+            technology,
+            task.specs,
+            ParasiticMode[task.mode],
+            model_level=task.model_level,
+            aspect=task.aspect,
+        )
+    if task.kind == "flow":
+        if task.variant == "traditional":
+            from repro.core.traditional import TraditionalFlow
+
+            return TraditionalFlow(
+                technology, model_level=task.model_level, aspect=task.aspect
+            ).run(task.specs)
+        if task.variant == "oriented":
+            from repro.core.synthesis import LayoutOrientedSynthesizer
+
+            return LayoutOrientedSynthesizer(
+                technology, model_level=task.model_level, aspect=task.aspect
+            ).run(task.specs, ParasiticMode.FULL, generate=False)
+        raise SynthesisError(f"unknown flow variant {task.variant!r}")
+    raise SynthesisError(f"unknown batch task kind {task.kind!r}")
+
+
+def _run_task_worker(task: BatchTask, crash: bool = False) -> object:
+    """Pool-side task entry; ``crash`` is the fault-injection hook (the
+    parent's registry decides a worker should die and it obliges with an
+    unclean exit, so the recovery path sees a genuine broken pool)."""
+    if crash:
+        os._exit(1)
+    return run_task(task)
+
+
+def _run_task_traced(
+    task: BatchTask, index: int, crash: bool = False
+) -> Tuple[object, Dict[str, object]]:
+    """Worker-side traced task: runs under a local tracer and ships the
+    picklable trace payload back with the result (the parent grafts it
+    under its ``batch.run`` span, exactly like Monte-Carlo shards)."""
+    if crash:
+        os._exit(1)
+    tracer = telemetry.Tracer()
+    with tracer.activate():
+        with tracer.span("batch.task", index=index, label=task.label):
+            result = run_task(task)
+    return result, tracer.trace_payload()
+
+
+def _run_serial(
+    tasks: Sequence[BatchTask],
+    statuses: List[TaskStatus],
+    budget: Optional[Budget],
+) -> List[object]:
+    results: List[object] = [None] * len(tasks)
+    for i, task in enumerate(tasks):
+        if budget is not None:
+            budget.check("batch.task", index=i)
+        statuses[i].attempts += 1
+        with telemetry.span("batch.task", index=i, label=task.label):
+            results[i] = run_task(task)
+        statuses[i].status = "serial"
+    return results
+
+
+def _run_pooled(
+    tasks: Sequence[BatchTask],
+    statuses: List[TaskStatus],
+    jobs: int,
+    task_timeout: Optional[float],
+    max_retries: int,
+    budget: Optional[Budget],
+) -> List[object]:
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+    try:
+        pickle.dumps(list(tasks))
+    except Exception as error:
+        # Submitting an unpicklable payload would wedge the pool's queue
+        # feeder (unrecoverable on CPython < 3.12): refuse before any
+        # worker is spawned.
+        raise SynthesisError(
+            f"batch payload cannot cross the process boundary "
+            f"(jobs={jobs}): {error!r}"
+        ) from error
+
+    results: List[object] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    tracer = telemetry.current()
+
+    for _round in range(1 + max_retries):
+        if not pending:
+            break
+        if budget is not None:
+            budget.check("batch.round", pending=len(pending))
+        retry: List[int] = []
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        had_timeout = False
+        futures = {}
+        submit_times: Dict[int, float] = {}
+        for i in pending:
+            crash = faults.fire("batch.worker", index=i) is not None
+            statuses[i].attempts += 1
+            if tracer is not None:
+                submit_times[i] = tracer.now()
+                futures[i] = pool.submit(
+                    _run_task_traced, tasks[i], i, crash
+                )
+            else:
+                futures[i] = pool.submit(_run_task_worker, tasks[i], crash)
+        try:
+            for i, future in futures.items():
+                try:
+                    outcome = future.result(timeout=task_timeout)
+                    if tracer is not None:
+                        results[i], payload = outcome
+                        tracer.absorb(payload, t_offset=submit_times[i])
+                    else:
+                        results[i] = outcome
+                    statuses[i].status = (
+                        "ok" if statuses[i].attempts == 1 else "resubmitted"
+                    )
+                except pickle.PicklingError as error:
+                    # A result that cannot cross back can never succeed
+                    # on a retry: fail fast with context.
+                    raise SynthesisError(
+                        f"batch task {i} ({tasks[i].label}) result could "
+                        f"not cross the process boundary: {error!r}"
+                    ) from error
+                except FuturesTimeoutError:
+                    had_timeout = True
+                    statuses[i].error = (
+                        f"task timed out after {task_timeout:g} s"
+                    )
+                    telemetry.count("batch.retries")
+                    telemetry.event(
+                        "batch.task_timeout", task=i, timeout_s=task_timeout
+                    )
+                    retry.append(i)
+                except (BrokenExecutor, OSError, EOFError) as error:
+                    statuses[i].error = (
+                        f"worker died: {error!r} (task {i} of {len(tasks)}, "
+                        f"jobs={jobs})"
+                    )
+                    telemetry.count("batch.retries")
+                    telemetry.event(
+                        "batch.worker_death", task=i, error=repr(error)
+                    )
+                    retry.append(i)
+        except BaseException:
+            # A task-level ReproError (or the pickling failure above)
+            # propagates to the caller like a serial run's would; don't
+            # leave the pool's workers running behind it.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        # A timed-out worker may still be running; don't block on it.
+        pool.shutdown(wait=not had_timeout, cancel_futures=True)
+        pending = retry
+
+    # Bounded retries exhausted: bring the stragglers home in-process.
+    # Task exceptions propagate here too — parity with the serial path.
+    for i in pending:
+        if budget is not None:
+            budget.check("batch.task-fallback", task=i)
+        statuses[i].attempts += 1
+        with telemetry.span(
+            "batch.task_fallback", index=i, label=tasks[i].label
+        ):
+            results[i] = run_task(tasks[i])
+        telemetry.count("batch.in_process")
+        statuses[i].status = "in-process"
+    return results
+
+
+def run_batch(
+    tasks: Sequence[BatchTask],
+    jobs: int = 1,
+    task_timeout: Optional[float] = None,
+    max_retries: int = 1,
+    budget: Optional[Budget] = None,
+) -> BatchResult:
+    """Run every task, serially (``jobs=1``) or on a process pool.
+
+    Results come back in task order regardless of completion order, and
+    are bit-identical for any ``jobs`` value: tasks share no state, so
+    parallelism only changes wall-clock time.  A task whose worker dies
+    or exceeds ``task_timeout`` seconds is resubmitted up to
+    ``max_retries`` times and then run in-process; a task that fails
+    deterministically (raises inside the work itself) propagates its
+    error exactly as a serial run would.  ``budget`` bounds wall-clock
+    time at task/round boundaries via
+    :class:`~repro.errors.BudgetExceededError`.
+    """
+    if jobs < 1:
+        raise SynthesisError(f"jobs must be >= 1, got {jobs!r}")
+    tasks = list(tasks)
+    statuses = [
+        TaskStatus(index=i, label=task.label)
+        for i, task in enumerate(tasks)
+    ]
+    effective_jobs = min(jobs, len(tasks)) if tasks else 1
+    with telemetry.span("batch.run", tasks=len(tasks), jobs=effective_jobs):
+        telemetry.count("batch.tasks", len(tasks))
+        if effective_jobs <= 1:
+            results = _run_serial(tasks, statuses, budget)
+        else:
+            results = _run_pooled(
+                tasks, statuses, effective_jobs,
+                task_timeout, max_retries, budget,
+            )
+    return BatchResult(results=results, statuses=statuses, jobs=effective_jobs)

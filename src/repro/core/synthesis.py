@@ -108,6 +108,10 @@ class LayoutOrientedSynthesizer:
         self.prefer_even_folds = prefer_even_folds
         self.plan = plan or FoldedCascodePlan(technology, model_level)
         self.layout_tool = layout_tool or self._default_layout_tool
+        #: Parasitic-estimate results keyed on canonicalized sizing content
+        #: plus the technology fingerprint — a converged round that
+        #: re-requests identical geometry skips the layout rebuild.
+        self._estimate_cache: Dict[tuple, object] = {}
 
     def _layout_request(self, sizing: SizingResult) -> OtaLayoutRequest:
         return OtaLayoutRequest(
@@ -120,6 +124,54 @@ class LayoutOrientedSynthesizer:
 
     def _default_layout_tool(self, sizing: SizingResult, mode: str):
         return generate_ota_layout(self._layout_request(sizing), mode=mode)
+
+    def _estimate_key(self, sizing) -> Optional[tuple]:
+        """Memoization key for a parasitic-estimate call, or None.
+
+        The key canonicalizes everything the layout tool may read from
+        the sizing — device W/L tuples, branch currents and bias
+        voltages, all order-independent — plus the technology content
+        hash and the synthesizer's geometry knobs.  Sizings that do not
+        carry a real ``sizes`` mapping (scripted stand-ins in tests,
+        degraded stubs) return None: their layout tools may be stateful,
+        so every call must reach the tool.
+        """
+        sizes = getattr(sizing, "sizes", None)
+        if not isinstance(sizes, dict):
+            return None
+
+        def canon(name: str):
+            mapping = getattr(sizing, name, None)
+            if not isinstance(mapping, dict):
+                return None
+            return tuple(sorted(mapping.items()))
+
+        return (
+            canon("sizes"),
+            canon("currents"),
+            canon("biases"),
+            self.technology.fingerprint(),
+            self.aspect,
+            self.prefer_even_folds,
+        )
+
+    def _estimate(self, sizing):
+        """The layout tool in estimate mode, memoized where safe."""
+        key = self._estimate_key(sizing)
+        if key is None:
+            return self.layout_tool(sizing, "estimate")
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            # Still a logical layout call — only the rebuild is skipped —
+            # so traces keep one layout.call span per synthesis round.
+            with telemetry.span("layout.call", mode="estimate", cached=True):
+                telemetry.count("layout.calls.estimate")
+                telemetry.count("layout.cache.hit")
+            return cached
+        telemetry.count("layout.cache.miss")
+        result = self.layout_tool(sizing, "estimate")
+        self._estimate_cache[key] = result
+        return result
 
     def run(
         self,
@@ -202,7 +254,7 @@ class LayoutOrientedSynthesizer:
                             faults.maybe_raise(
                                 "synthesis.layout", index=round_index
                             )
-                        estimate = self.layout_tool(sizing, "estimate")
+                        estimate = self._estimate(sizing)
                     except BudgetExceededError:
                         raise
                     except ReproError as error:

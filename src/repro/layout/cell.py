@@ -16,7 +16,7 @@ from repro.layout.geometry import Orientation, Rect, bounding_box
 from repro.layout.layers import Layer
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Shape:
     """One rectangle on one layer, optionally bound to a net."""
 
@@ -50,6 +50,7 @@ class Cell:
         self.instances: List[Instance] = []
         self._version = 0
         self._bbox_cache: Optional[Tuple[object, Rect]] = None
+        self._flat_cache: Optional[Tuple[object, List[Shape]]] = None
 
     # -- Construction -----------------------------------------------------------
 
@@ -150,24 +151,41 @@ class Cell:
     # -- Flattening --------------------------------------------------------------------
 
     def flattened(self) -> Iterator[Shape]:
-        """Yield every shape with transforms applied and nets remapped."""
-        for shape in self.shapes:
-            yield shape
+        """Yield every shape with transforms applied and nets remapped.
+
+        Memoized per subtree with the same version stamp that guards
+        :meth:`bbox` — extraction and DRC both re-flatten the same cell
+        several times per layout call, and shapes are immutable, so the
+        resolved list can be shared.
+        """
+        return iter(self._flattened_list())
+
+    def _flattened_list(self) -> List[Shape]:
+        stamp = self._stamp()
+        if self._flat_cache is not None and self._flat_cache[0] == stamp:
+            return self._flat_cache[1]
+        out: List[Shape] = list(self.shapes)
         for instance in self.instances:
-            for shape in instance.cell.flattened():
-                rect = shape.rect.transformed(instance.orientation).translated(
-                    instance.dx, instance.dy
-                )
+            net_map = instance.net_map
+            orientation = instance.orientation
+            dx, dy = instance.dx, instance.dy
+            for shape in instance.cell._flattened_list():
+                rect = shape.rect.transformed(orientation).translated(dx, dy)
                 net = shape.net
                 if net is not None:
-                    net = instance.net_map.get(net, net)
-                yield Shape(layer=shape.layer, rect=rect, net=net)
+                    net = net_map.get(net, net)
+                out.append(Shape(layer=shape.layer, rect=rect, net=net))
+        self._flat_cache = (stamp, out)
+        return out
 
     def flatten_into(self) -> "Cell":
         """A new single-level cell with all hierarchy resolved."""
         flat = Cell(self.name + "_flat")
         for shape in self.flattened():
             flat.shapes.append(shape)
+        # Keep the version stamp in step with the direct appends so the
+        # bbox/flatten memoization sees a fresh state.
+        flat._version = len(flat.shapes)
         for net, shapes in self.pins.items():
             flat.pins[net] = [s for s in shapes]
         return flat

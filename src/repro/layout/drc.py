@@ -23,8 +23,12 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro import telemetry
 from repro.layout.cell import Cell, Shape
-from repro.layout.geometry import Rect
+from repro.layout.engine import GRID, drc_engine
+from repro.layout.geometry import GridIndex, Rect, interval_pairs
 from repro.layout.layers import Layer
 from repro.technology.process import Technology
 
@@ -113,14 +117,29 @@ class DrcChecker:
 
     # -- Entry point --------------------------------------------------------
 
-    def check(self, cell: Cell) -> List[DrcViolation]:
-        """Run all checks; returns the (possibly empty) violation list."""
+    def check(
+        self, cell: Cell, engine: Optional[str] = None
+    ) -> List[DrcViolation]:
+        """Run all checks; returns the (possibly empty) violation list.
+
+        ``engine`` selects ``"grid"`` (default; pair candidates through
+        a :class:`GridIndex`) or ``"allpairs"`` (the reference sorted
+        sweep); ``None`` resolves through
+        :data:`repro.layout.engine.drc_engine`.  Both produce the
+        identical violation list in the identical order — the grid only
+        narrows which pairs are examined.
+        """
+        engine = drc_engine.resolve(engine)
         shapes = list(cell.flattened())
-        violations: List[DrcViolation] = []
-        violations.extend(self._check_widths(shapes))
-        violations.extend(self._check_cuts(shapes))
-        violations.extend(self._check_spacing_and_shorts(shapes))
-        return violations
+        with telemetry.span(
+            "layout.drc", cell=cell.name, engine=engine, shapes=len(shapes)
+        ):
+            telemetry.count("layout.drc")
+            violations: List[DrcViolation] = []
+            violations.extend(self._check_widths(shapes))
+            violations.extend(self._check_cuts(shapes, engine))
+            violations.extend(self._check_spacing_and_shorts(shapes, engine))
+            return violations
 
     def assert_clean(self, cell: Cell, limit: int = 5) -> None:
         """Raise ``AssertionError`` listing violations, if any."""
@@ -157,7 +176,10 @@ class DrcChecker:
 
     # -- Cuts ------------------------------------------------------------------------
 
-    def _check_cuts(self, shapes: List[Shape]) -> List[DrcViolation]:
+    def _check_cuts(
+        self, shapes: List[Shape], engine: Optional[str] = None
+    ) -> List[DrcViolation]:
+        engine = drc_engine.resolve(engine)
         violations = []
         landing = {
             Layer.CONTACT: (Layer.METAL1,),
@@ -170,6 +192,34 @@ class DrcChecker:
         by_layer: Dict[Layer, List[Shape]] = defaultdict(list)
         for shape in shapes:
             by_layer[shape.layer].append(shape)
+
+        # One lazily built index per landing layer; query results come
+        # back in insertion (list) order, so the candidate list seen by
+        # the order-sensitive ``_union_covers`` is unchanged.
+        metal_index: Dict[Layer, GridIndex] = {}
+        grid_queries = 0
+
+        def landing_candidates(cut: Shape, metal_layer: Layer, needed: Rect):
+            nonlocal grid_queries
+            members = by_layer.get(metal_layer, [])
+            if engine != GRID:
+                return [
+                    shape.rect
+                    for shape in members
+                    if (cut.net is None or shape.net == cut.net)
+                    and shape.rect.intersects(needed)
+                ]
+            index = metal_index.get(metal_layer)
+            if index is None:
+                index = GridIndex.for_rects([s.rect for s in members])
+                metal_index[metal_layer] = index
+            grid_queries += 1
+            candidates = []
+            for i in index.query(needed):
+                shape = members[i]
+                if cut.net is None or shape.net == cut.net:
+                    candidates.append(shape.rect)
+            return candidates
 
         for cut_layer, size in self.cut_size.items():
             for cut in by_layer.get(cut_layer, []):
@@ -194,12 +244,7 @@ class DrcChecker:
                 # float arithmetic (enclosure == margin) passes.
                 needed = cut.rect.expanded(margin - _EPSILON)
                 for metal_layer in landing[cut_layer]:
-                    candidates = [
-                        shape.rect
-                        for shape in by_layer.get(metal_layer, [])
-                        if (cut.net is None or shape.net == cut.net)
-                        and shape.rect.intersects(needed)
-                    ]
+                    candidates = landing_candidates(cut, metal_layer, needed)
                     covered = _union_covers(needed, candidates)
                     if not covered:
                         violations.append(
@@ -214,71 +259,117 @@ class DrcChecker:
                                 ),
                             )
                         )
+        if grid_queries:
+            telemetry.count("grid.queries", grid_queries)
         return violations
 
     # -- Spacing / shorts --------------------------------------------------------------
 
+    def _pair_violation(
+        self, layer: Layer, spacing: float, conducting: bool,
+        a: Shape, b: Shape,
+    ) -> Optional[DrcViolation]:
+        """The exact spacing/short predicate for one candidate pair."""
+        same_net = (
+            a.net is not None and b.net is not None
+            and a.net == b.net
+        )
+        if same_net:
+            return None
+        if conducting and (a.net is None or b.net is None):
+            # Un-netted conducting shapes are device-internal
+            # bodies (resistor serpentines, dummy fill): they
+            # deliberately bridge or abut terminals.
+            return None
+        if a.net is None and b.net is None and not conducting:
+            # Merged drawing layers (active, implant): only a
+            # genuine gap below spacing is reportable; abutting
+            # or overlapping shapes merge.
+            if a.rect.intersects(b.rect):
+                return None
+            if a.rect.distance_to(b.rect) < _EPSILON:
+                return None
+        if conducting and a.rect.intersects(b.rect):
+            return DrcViolation(
+                kind="short",
+                layer=layer,
+                rect=a.rect,
+                other=b.rect,
+                message=f"nets {a.net!r} and {b.net!r} overlap",
+            )
+        distance = a.rect.distance_to(b.rect)
+        if distance < spacing - _EPSILON:
+            return DrcViolation(
+                kind="spacing",
+                layer=layer,
+                rect=a.rect,
+                other=b.rect,
+                message=(
+                    f"nets {a.net!r}/{b.net!r} spaced "
+                    f"{distance:.3e} m < {spacing:.3e} m"
+                ),
+            )
+        return None
+
     def _check_spacing_and_shorts(
-        self, shapes: List[Shape]
+        self, shapes: List[Shape], engine: Optional[str] = None
     ) -> List[DrcViolation]:
-        violations = []
+        engine = drc_engine.resolve(engine)
+        violations: List[DrcViolation] = []
         by_layer: Dict[Layer, List[Shape]] = defaultdict(list)
         for shape in shapes:
             if shape.layer in self.min_spacing:
                 by_layer[shape.layer].append(shape)
 
+        grid_queries = 0
         for layer, members in by_layer.items():
             spacing = self.min_spacing[layer]
             conducting = layer in self.CONDUCTING
             members = sorted(members, key=lambda s: s.rect.x0)
-            for i, a in enumerate(members):
-                for b in members[i + 1:]:
-                    if b.rect.x0 > a.rect.x1 + spacing + _EPSILON:
-                        break
-                    same_net = (
-                        a.net is not None and b.net is not None
-                        and a.net == b.net
+            if engine == GRID:
+                # Vectorized candidate generation through the shared
+                # interval sweep: the x-window matches the reference
+                # sweep's break bound, then a y-window cut drops pairs
+                # that cannot violate (any reportable pair sits within
+                # ``spacing`` on both axes).  Pairs come out in the
+                # sweep's (i, j) order, so violations match the
+                # reference list exactly.
+                if len(members) < 2:
+                    continue
+                coords = np.array(
+                    [
+                        (s.rect.x0, s.rect.y0, s.rect.x1, s.rect.y1)
+                        for s in members
+                    ]
+                )
+                ii, jj = interval_pairs(
+                    coords[:, 0], coords[:, 2], spacing + _EPSILON
+                )
+                if ii.size:
+                    gap_y = (
+                        np.maximum(coords[ii, 1], coords[jj, 1])
+                        - np.minimum(coords[ii, 3], coords[jj, 3])
                     )
-                    if same_net:
-                        continue
-                    if conducting and (a.net is None or b.net is None):
-                        # Un-netted conducting shapes are device-internal
-                        # bodies (resistor serpentines, dummy fill): they
-                        # deliberately bridge or abut terminals.
-                        continue
-                    if a.net is None and b.net is None and not conducting:
-                        # Merged drawing layers (active, implant): only a
-                        # genuine gap below spacing is reportable; abutting
-                        # or overlapping shapes merge.
-                        if a.rect.intersects(b.rect):
-                            continue
-                        if a.rect.distance_to(b.rect) < _EPSILON:
-                            continue
-                    if conducting and a.rect.intersects(b.rect):
-                        violations.append(
-                            DrcViolation(
-                                kind="short",
-                                layer=layer,
-                                rect=a.rect,
-                                other=b.rect,
-                                message=(
-                                    f"nets {a.net!r} and {b.net!r} overlap"
-                                ),
-                            )
+                    near = gap_y < spacing - _EPSILON
+                    ii = ii[near]
+                    jj = jj[near]
+                grid_queries += int(ii.size)
+                for i, j in zip(ii.tolist(), jj.tolist()):
+                    found = self._pair_violation(
+                        layer, spacing, conducting, members[i], members[j]
+                    )
+                    if found is not None:
+                        violations.append(found)
+            else:
+                for i, a in enumerate(members):
+                    for b in members[i + 1:]:
+                        if b.rect.x0 > a.rect.x1 + spacing + _EPSILON:
+                            break
+                        found = self._pair_violation(
+                            layer, spacing, conducting, a, b
                         )
-                        continue
-                    distance = a.rect.distance_to(b.rect)
-                    if distance < spacing - _EPSILON:
-                        violations.append(
-                            DrcViolation(
-                                kind="spacing",
-                                layer=layer,
-                                rect=a.rect,
-                                other=b.rect,
-                                message=(
-                                    f"nets {a.net!r}/{b.net!r} spaced "
-                                    f"{distance:.3e} m < {spacing:.3e} m"
-                                ),
-                            )
-                        )
+                        if found is not None:
+                            violations.append(found)
+        if grid_queries:
+            telemetry.count("grid.queries", grid_queries)
         return violations

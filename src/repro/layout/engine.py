@@ -1,0 +1,73 @@
+"""Layout fast-path engine selection.
+
+Mirror of :mod:`repro.analysis.engine` for the geometric side of the
+flow.  The layout path has two independently selectable accelerators:
+
+* **extraction** — ``"vector"`` runs the array-based extractor
+  (flat numpy coordinate arrays per layer, net ids as int codes);
+  ``"scalar"`` runs the original per-shape reference implementation,
+  kept as the golden oracle for equivalence tests and benchmarks.
+* **drc** — ``"grid"`` resolves pair checks through the shared
+  :class:`~repro.layout.geometry.GridIndex`; ``"allpairs"`` keeps the
+  original sorted-sweep scan as the reference.
+
+``None`` (the default everywhere) resolves to the process-wide default,
+so a single ``use(...)`` context flips a whole flow — this is how
+``python -m repro bench`` measures before/after on identical code paths.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+VECTOR = "vector"
+SCALAR = "scalar"
+GRID = "grid"
+ALLPAIRS = "allpairs"
+
+
+class EngineSwitch:
+    """One process-wide engine knob with scoped override support."""
+
+    __slots__ = ("label", "options", "_current")
+
+    def __init__(self, label: str, default: str, options: Tuple[str, ...]):
+        self.label = label
+        self.options = options
+        self._current = self._validated(default)
+
+    def _validated(self, name: str) -> str:
+        if name not in self.options:
+            raise ValueError(
+                f"unknown {self.label} engine {name!r}; "
+                f"expected one of {self.options}"
+            )
+        return name
+
+    def default(self) -> str:
+        """The engine used when callers pass ``engine=None``."""
+        return self._current
+
+    def set_default(self, name: str) -> None:
+        self._current = self._validated(name)
+
+    def resolve(self, engine: Optional[str]) -> str:
+        """Resolve an ``engine`` argument to a concrete engine name."""
+        if engine is None:
+            return self._current
+        return self._validated(engine)
+
+    @contextmanager
+    def use(self, name: str) -> Iterator[str]:
+        """Temporarily switch the default (benchmarks, golden tests)."""
+        previous = self._current
+        self._current = self._validated(name)
+        try:
+            yield self._current
+        finally:
+            self._current = previous
+
+
+extraction_engine = EngineSwitch("extraction", VECTOR, (VECTOR, SCALAR))
+drc_engine = EngineSwitch("drc", GRID, (GRID, ALLPAIRS))

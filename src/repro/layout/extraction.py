@@ -17,6 +17,16 @@ bookkeeping — everything is recomputed from the flattened shapes:
 
 The resulting annotated circuit is what the simulator measures for the
 bracketed columns.
+
+Two engines implement the geometric passes (see
+:mod:`repro.layout.engine`): the default ``"vector"`` engine flattens
+each layer into one ``(N, 4)`` coordinate array with nets encoded as int
+codes and runs the wire-cap, poly-over-active, coupling-window and
+junction-strip passes as array arithmetic; the original per-shape
+``"scalar"`` code is kept verbatim below as the golden reference.  Both
+produce canonically ordered reports (coupling keyed by sorted net pairs,
+all dicts in sorted key order) so downstream annotation is deterministic
+regardless of shape iteration order.
 """
 
 from __future__ import annotations
@@ -25,11 +35,15 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro import telemetry
 from repro.circuit.elements import Mos
 from repro.circuit.net import canonical
 from repro.circuit.netlist import Circuit
 from repro.layout.cell import Cell, Shape
-from repro.layout.geometry import Rect
+from repro.layout.engine import SCALAR, extraction_engine
+from repro.layout.geometry import Rect, interval_pairs
 from repro.layout.layers import Layer, metal_name
 from repro.mos.junction import DiffusionGeometry
 from repro.technology.process import Technology
@@ -181,8 +195,251 @@ def _wells(shapes: List[Shape]) -> Dict[str, Tuple[float, float]]:
     return dict(result)
 
 
-def extract_cell(cell: Cell, tech: Technology) -> ExtractedParasitics:
-    """Full geometric extraction of a (hierarchical) cell."""
+# -- Vectorized engine --------------------------------------------------------
+#
+# Same passes as the scalar reference above, restated as array arithmetic:
+# one (N, 4) float array of (x0, y0, x1, y1) rows per layer, nets encoded
+# as int codes in sorted-name order (so min/max of a code pair *is* the
+# sorted net-name pair).  Candidate coupling pairs come from the shared
+# sorted-sweep in :func:`repro.layout.geometry.interval_pairs`; every
+# candidate is re-tested with the exact scalar predicate, so the two
+# engines agree on the pair/strip *sets* exactly and on the accumulated
+# float totals to within summation-order noise (rtol 1e-12 in the golden
+# tests).
+
+
+def _net_codes(shapes: List[Shape]) -> Tuple[List[str], Dict[str, int]]:
+    """Net names in sorted order plus the name -> int code table."""
+    names = sorted({s.net for s in shapes})
+    return names, {net: index for index, net in enumerate(names)}
+
+
+def _group_by_layer(shapes: List[Shape]) -> Dict[Layer, List[Shape]]:
+    by_layer: Dict[Layer, List[Shape]] = defaultdict(list)
+    for shape in shapes:
+        by_layer[shape.layer].append(shape)
+    return by_layer
+
+
+def _layer_arrays(
+    members: List[Shape], codes: Dict[str, int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flatten one layer's shapes into coordinate rows + net codes."""
+    coords = np.empty((len(members), 4))
+    net_codes = np.empty(len(members), dtype=np.intp)
+    for i, shape in enumerate(members):
+        rect = shape.rect
+        coords[i, 0] = rect.x0
+        coords[i, 1] = rect.y0
+        coords[i, 2] = rect.x1
+        coords[i, 3] = rect.y1
+        net_codes[i] = codes[shape.net]
+    return coords, net_codes
+
+
+def _rect_array(rects: List[Rect]) -> Optional[np.ndarray]:
+    if not rects:
+        return None
+    return np.array([(r.x0, r.y0, r.x1, r.y1) for r in rects])
+
+
+def _wire_capacitance_vec(
+    tech: Technology, shapes: List[Shape], actives: List[Rect]
+) -> Dict[str, float]:
+    """Array form of :func:`_wire_capacitance` (inputs pre-filtered to
+    netted interconnect shapes)."""
+    if not shapes:
+        return {}
+    names, codes = _net_codes(shapes)
+    totals = np.zeros(len(names))
+    touched = np.zeros(len(names), dtype=bool)
+    active_arr = _rect_array(actives)
+    for layer, members in _group_by_layer(shapes).items():
+        metal = tech.metal(metal_name(layer))
+        coords, net_codes = _layer_arrays(members, codes)
+        width = coords[:, 2] - coords[:, 0]
+        height = coords[:, 3] - coords[:, 1]
+        area = width * height
+        if layer is Layer.POLY and active_arr is not None:
+            # Gate poly over active is channel, not wire: subtract every
+            # strict overlap, and drop shapes left with no wire area
+            # (their fringe term goes with them, as in the scalar code).
+            ox = np.minimum(coords[:, 2, None], active_arr[None, :, 2]) - np.maximum(
+                coords[:, 0, None], active_arr[None, :, 0]
+            )
+            oy = np.minimum(coords[:, 3, None], active_arr[None, :, 3]) - np.maximum(
+                coords[:, 1, None], active_arr[None, :, 1]
+            )
+            covered = np.where((ox > 0.0) & (oy > 0.0), ox * oy, 0.0)
+            area = area - covered.sum(axis=1)
+            keep = area > 0.0
+            if not keep.all():
+                area = area[keep]
+                width = width[keep]
+                height = height[keep]
+                net_codes = net_codes[keep]
+        values = metal.area_cap * area + metal.fringe_cap * (
+            2.0 * (width + height)
+        )
+        np.add.at(totals, net_codes, values)
+        touched[net_codes] = True
+    return {names[i]: float(totals[i]) for i in np.flatnonzero(touched)}
+
+
+def _coupling_vec(
+    tech: Technology, shapes: List[Shape], window_factor: float = 3.0
+) -> Dict[Tuple[str, str], float]:
+    """Array form of :func:`_coupling` via the shared interval sweep."""
+    result: Dict[Tuple[str, str], float] = {}
+    if not shapes:
+        return result
+    names, codes = _net_codes(shapes)
+    n_names = len(names)
+    for layer, members in _group_by_layer(shapes).items():
+        metal = tech.metal(metal_name(layer))
+        window = window_factor * metal.min_spacing
+        coords, net_codes = _layer_arrays(members, codes)
+        order = np.argsort(coords[:, 0], kind="stable")
+        coords = coords[order]
+        net_codes = net_codes[order]
+        ii, jj = interval_pairs(coords[:, 0], coords[:, 2], window)
+        if ii.size == 0:
+            continue
+        a = coords[ii]
+        b = coords[jj]
+        run_x = np.minimum(a[:, 2], b[:, 2]) - np.maximum(a[:, 0], b[:, 0])
+        run_y = np.minimum(a[:, 3], b[:, 3]) - np.maximum(a[:, 1], b[:, 1])
+        # Lateral only: overlapping different nets (both runs positive)
+        # are excluded, exactly as in the scalar predicate.
+        lateral_x = (run_x > 0.0) & ~(run_y > 0.0)
+        lateral_y = (run_y > 0.0) & ~(run_x > 0.0)
+        spacing = np.where(
+            lateral_x,
+            np.maximum(b[:, 1] - a[:, 3], a[:, 1] - b[:, 3]),
+            np.maximum(b[:, 0] - a[:, 2], a[:, 0] - b[:, 2]),
+        )
+        run = np.where(lateral_x, run_x, run_y)
+        ca = net_codes[ii]
+        cb = net_codes[jj]
+        mask = (
+            (ca != cb)
+            & (lateral_x | lateral_y)
+            & (spacing > 0.0)
+            & (spacing <= window)
+        )
+        if not mask.any():
+            continue
+        values = metal.coupling_cap * run[mask] * (
+            metal.min_spacing / spacing[mask]
+        )
+        lo = np.minimum(ca[mask], cb[mask])
+        hi = np.maximum(ca[mask], cb[mask])
+        pair_ids = lo * n_names + hi
+        unique_ids, inverse = np.unique(pair_ids, return_inverse=True)
+        sums = np.bincount(inverse, weights=values)
+        for pair_id, value in zip(unique_ids.tolist(), sums.tolist()):
+            # Codes are in sorted-name order, so (lo, hi) is the sorted pair.
+            key = (names[pair_id // n_names], names[pair_id % n_names])
+            result[key] = result.get(key, 0.0) + value
+    return result
+
+
+def _diffusion_strips_vec(
+    tech: Technology, shapes: List[Shape]
+) -> Dict[Tuple[str, str], Tuple[float, float]]:
+    """Array form of :func:`_diffusion_strips`.
+
+    The per-active strip walk stays a Python loop (actives are few); the
+    hot inner scans — gate finding over all polys and net resolution over
+    all contacts — run as array tests.
+    """
+    actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
+    polys = [s.rect for s in shapes if s.layer is Layer.POLY]
+    contacts = [s for s in shapes if s.layer is Layer.CONTACT and s.net]
+    nimplants = [s.rect for s in shapes if s.layer is Layer.NIMPLANT]
+
+    poly_arr = _rect_array(polys)
+    contact_arr = _rect_array([s.rect for s in contacts])
+    contact_nets = [s.net for s in contacts]
+    nimp_arr = _rect_array(nimplants)
+
+    result: Dict[Tuple[str, str], Tuple[float, float]] = defaultdict(
+        lambda: (0.0, 0.0)
+    )
+    for active in actives:
+        if nimp_arr is not None and bool(
+            np.any(
+                (nimp_arr[:, 0] <= active.x0)
+                & (nimp_arr[:, 1] <= active.y0)
+                & (nimp_arr[:, 2] >= active.x1)
+                & (nimp_arr[:, 3] >= active.y1)
+            )
+        ):
+            polarity = "n"
+        else:
+            polarity = "p"
+        gates: List[Tuple[float, float]] = []
+        if poly_arr is not None:
+            gx0 = np.maximum(poly_arr[:, 0], active.x0)
+            gx1 = np.minimum(poly_arr[:, 2], active.x1)
+            crossing = (
+                (gx1 > gx0)
+                & (np.minimum(poly_arr[:, 3], active.y1)
+                   > np.maximum(poly_arr[:, 1], active.y0))
+                & (poly_arr[:, 1] <= active.y0)
+                & (poly_arr[:, 3] >= active.y1)
+            )
+            for index in np.flatnonzero(crossing):
+                gates.append((float(gx0[index]), float(gx1[index])))
+        gates.sort()
+        boundaries = [active.x0]
+        for x0, x1 in gates:
+            boundaries.extend((x0, x1))
+        boundaries.append(active.x1)
+        for i in range(0, len(boundaries), 2):
+            x0, x1 = boundaries[i], boundaries[i + 1]
+            if x1 - x0 <= 0.0:
+                continue
+            net = None
+            if contact_arr is not None:
+                hits = (
+                    (contact_arr[:, 0] < x1)
+                    & (x0 < contact_arr[:, 2])
+                    & (contact_arr[:, 1] < active.y1)
+                    & (active.y0 < contact_arr[:, 3])
+                )
+                first = int(np.argmax(hits))
+                if hits[first]:
+                    net = contact_nets[first]
+            if net is None:
+                continue
+            width = x1 - x0
+            height = active.y1 - active.y0
+            area = width * height
+            perimeter = 2.0 * width
+            if abs(x0 - active.x0) < 1e-12:
+                perimeter += height
+            if abs(x1 - active.x1) < 1e-12:
+                perimeter += height
+            key = (net, polarity)
+            total_area, total_perimeter = result[key]
+            result[key] = (total_area + area, total_perimeter + perimeter)
+    return dict(result)
+
+
+def extract_cell(
+    cell: Cell, tech: Technology, engine: Optional[str] = None
+) -> ExtractedParasitics:
+    """Full geometric extraction of a (hierarchical) cell.
+
+    ``engine`` selects ``"vector"`` (default) or ``"scalar"``; ``None``
+    resolves through :data:`repro.layout.engine.extraction_engine`.  Both
+    engines return canonically ordered reports: coupling keys are sorted
+    net tuples and every result dict is in sorted key order, so the
+    annotation (and everything solved from it) is independent of shape
+    iteration order.
+    """
+    engine = extraction_engine.resolve(engine)
     shapes = list(cell.flattened())
     actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
     interconnect = [
@@ -190,12 +447,24 @@ def extract_cell(cell: Cell, tech: Technology) -> ExtractedParasitics:
         for s in shapes
         if s.layer in (Layer.POLY, Layer.METAL1, Layer.METAL2) and s.net
     ]
-    return ExtractedParasitics(
-        net_wire_cap=_wire_capacitance(tech, interconnect, actives),
-        coupling=_coupling(tech, interconnect),
-        diffusion=_diffusion_strips(tech, shapes),
-        well=_wells(shapes),
-    )
+    with telemetry.span(
+        "layout.extract", cell=cell.name, engine=engine, shapes=len(shapes)
+    ):
+        telemetry.count("layout.extract")
+        if engine == SCALAR:
+            wire = _wire_capacitance(tech, interconnect, actives)
+            coupling = _coupling(tech, interconnect)
+            diffusion = _diffusion_strips(tech, shapes)
+        else:
+            wire = _wire_capacitance_vec(tech, interconnect, actives)
+            coupling = _coupling_vec(tech, interconnect)
+            diffusion = _diffusion_strips_vec(tech, shapes)
+        return ExtractedParasitics(
+            net_wire_cap=dict(sorted(wire.items())),
+            coupling=dict(sorted(coupling.items())),
+            diffusion=dict(sorted(diffusion.items())),
+            well=dict(sorted(_wells(shapes).items())),
+        )
 
 
 def annotate_circuit(

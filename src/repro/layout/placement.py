@@ -14,13 +14,12 @@ as the paper describes.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import LayoutError
 from repro.layout.devices import ModuleLayout
-from repro.layout.shape import ShapeFunction, ShapePoint
+from repro.layout.shape import ShapeFunction, ShapePoint, compose_frontier
 
 
 @dataclass
@@ -86,10 +85,24 @@ class SliceNode:
         self.align = align
 
     def shape_function(self) -> ShapeFunction:
+        """Stockmeyer composition via the memoized frontier.
+
+        :func:`compose_frontier` resolves which child-point index combos
+        survive pruning (cached across rebuilds of identical subtrees);
+        the ShapePoints and their realization tags are reconstructed
+        here from this tree's live child points, so a cache hit carries
+        the exact floats and variant handles of a direct enumeration.
+        """
         child_functions = [child.shape_function() for child in self.children]
         total_spacing = sum(self.spacings)
+        frontier = compose_frontier(
+            self.kind, [f.points for f in child_functions], total_spacing
+        )
         points = []
-        for combo in itertools.product(*(f.points for f in child_functions)):
+        for indices in frontier:
+            combo = tuple(
+                child_functions[c].points[i] for c, i in enumerate(indices)
+            )
             if self.kind == "h":
                 width = sum(p.width for p in combo) + total_spacing
                 height = max(p.height for p in combo)

@@ -25,7 +25,7 @@ from repro import telemetry
 from repro.errors import LayoutError
 from repro.layout.cell import Cell
 from repro.layout.devices import ModuleLayout
-from repro.layout.geometry import Rect
+from repro.layout.geometry import GridIndex, Rect
 from repro.layout.layers import Layer
 from repro.layout.reliability import wire_width_for_current
 from repro.technology.process import Technology
@@ -290,10 +290,28 @@ class ChannelRouter:
                         (shape.net,
                          shape.rect.translated(module.dx, module.dy))
                     )
-        planned: Dict[Layer, List[Tuple[str, Rect]]] = {
-            Layer.METAL1: [],
-            Layer.METAL2: [],
-        }
+
+        # Clearance queries resolve through per-layer grid indexes: a
+        # static one over the module metal (built once) and an
+        # incremental one that grows as routing shapes are planned.  The
+        # index pre-filters candidates with the same window-overlap test
+        # the old linear scan applied, so clearance answers are
+        # unchanged — only the number of shapes examined shrinks.
+        obstacle_index: Dict[Layer, GridIndex] = {}
+        obstacle_nets: Dict[Layer, List[Optional[str]]] = {}
+        planned_index: Dict[Layer, GridIndex] = {}
+        planned_nets: Dict[Layer, List[str]] = {}
+        for layer, entries in module_obstacles.items():
+            obstacle_index[layer] = GridIndex.for_rects(
+                [rect for _net, rect in entries], margin=spacing
+            )
+            obstacle_nets[layer] = [net for net, _rect in entries]
+            planned_index[layer] = GridIndex(obstacle_index[layer].cell_size)
+            planned_nets[layer] = []
+
+        def plan_shape(layer: Layer, net: str, rect: Rect) -> None:
+            planned_index[layer].insert(rect)
+            planned_nets[layer].append(net)
 
         # Side columns are known obstacles from the start.
         if channel_y:
@@ -301,12 +319,11 @@ class ChannelRouter:
             column_y_hi = max(channel_y) + 10.0 * via_pad
             for column_net, column_x in side_column_x.items():
                 width = self.stub_width(column_net)
-                planned[Layer.METAL1].append(
-                    (
-                        column_net,
-                        Rect(column_x, column_y_lo,
-                             column_x + width, column_y_hi),
-                    )
+                plan_shape(
+                    Layer.METAL1,
+                    column_net,
+                    Rect(column_x, column_y_lo,
+                         column_x + width, column_y_hi),
                 )
 
         # Stubs may roam past the nominal module span (gate pads and
@@ -317,32 +334,16 @@ class ChannelRouter:
         ) - 10.0 * rules.metal1_spacing
         roam_right = x_right
 
+        clearance_margin = spacing - 1e-12
+
         def is_clear(layer: Layer, rect: Rect, net: str) -> bool:
-            # Inlined window-overlap test: this runs over every planned
-            # shape for every stub candidate, so avoiding the per-pair
-            # Rect construction and method dispatch matters.
-            margin = spacing - 1e-12
-            wx0 = rect.x0 - margin
-            wy0 = rect.y0 - margin
-            wx1 = rect.x1 + margin
-            wy1 = rect.y1 + margin
-            for other_net, other in planned[layer]:
-                if (
-                    other_net != net
-                    and wx0 < other.x1
-                    and other.x0 < wx1
-                    and wy0 < other.y1
-                    and other.y0 < wy1
-                ):
+            nets_list = planned_nets[layer]
+            for i in planned_index[layer].query(rect, clearance_margin):
+                if nets_list[i] != net:
                     return False
-            for other_net, other in module_obstacles[layer]:
-                if (
-                    other_net != net
-                    and wx0 < other.x1
-                    and other.x0 < wx1
-                    and wy0 < other.y1
-                    and other.y0 < wy1
-                ):
+            nets_list = obstacle_nets[layer]
+            for i in obstacle_index[layer].query(rect, clearance_margin):
+                if nets_list[i] != net:
                     return False
             return True
 
@@ -457,9 +458,9 @@ class ChannelRouter:
                     )
                 x_center, (pieces, extension) = chosen
                 for piece in pieces:
-                    planned[Layer.METAL1].append((net, piece))
+                    plan_shape(Layer.METAL1, net, piece)
                 if extension is not None:
-                    planned[pin_layer].append((net, extension))
+                    plan_shape(pin_layer, net, extension)
                 stub_plan.setdefault(net, []).append(
                     (pin, pin_layer, channel, x_center, extension)
                 )
@@ -567,8 +568,14 @@ class ChannelRouter:
                     track = track_rect[(net, channel)]
                     draw_via(column_x + column_w / 2.0, track.center.y)
 
-        if telemetry.enabled() and clearance_rejections:
-            telemetry.count(
-                "router.clearance_rejections", clearance_rejections
-            )
+        if telemetry.enabled():
+            if clearance_rejections:
+                telemetry.count(
+                    "router.clearance_rejections", clearance_rejections
+                )
+            probes = sum(
+                index.queries for index in planned_index.values()
+            ) + sum(index.queries for index in obstacle_index.values())
+            if probes:
+                telemetry.count("grid.queries", probes)
         return RoutingResult(nets=nets, channel_tracks=channel_tracks)

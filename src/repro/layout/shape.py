@@ -10,9 +10,11 @@ fixed height) picks one point per module on the way back down the tree.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Any, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
+from repro import telemetry
 from repro.errors import LayoutError
 
 
@@ -129,3 +131,75 @@ class ShapeFunction:
 
     def minimum_area(self) -> ShapePoint:
         return min(self.points, key=lambda p: p.area)
+
+
+# -- Composition memoization ---------------------------------------------------
+#
+# The synthesis loop rebuilds the slicing tree every layout call, and the
+# module variants (hence the children's frontiers) repeat across rounds
+# and parasitic modes.  The expensive part of an n-ary composition is the
+# cross product over child frontier points; which combinations survive
+# pruning depends only on the children's (width, height) frontiers, the
+# slice kind and the summed spacing — not on tags or node identity.  So
+# the *index combos* of the surviving frontier are cached content-keyed,
+# and a hit rebuilds exact ShapePoints from the live child points (same
+# arithmetic, same floats) without enumerating the product.
+
+_COMPOSE_CACHE: Dict[tuple, Tuple[Tuple[int, ...], ...]] = {}
+_COMPOSE_CACHE_MAX = 4096
+
+
+def clear_compose_cache() -> None:
+    """Drop all memoized compositions (tests, memory pressure)."""
+    _COMPOSE_CACHE.clear()
+
+
+def compose_frontier(
+    kind: str,
+    child_points: Sequence[Sequence[ShapePoint]],
+    total_spacing: float,
+) -> Tuple[Tuple[int, ...], ...]:
+    """Index combos (one index per child) forming the composed frontier.
+
+    Replicates :class:`ShapeFunction`'s sort-and-prune exactly (stable
+    sort by (width, height), 1e-15 height threshold) over the full cross
+    product, so rebuilding points from the returned combos yields the
+    identical frontier the direct enumeration produces.
+    """
+    key = (
+        kind,
+        total_spacing,
+        tuple(
+            tuple((p.width, p.height) for p in points)
+            for points in child_points
+        ),
+    )
+    cached = _COMPOSE_CACHE.get(key)
+    if cached is not None:
+        telemetry.count("layout.shape_cache.hit")
+        return cached
+    telemetry.count("layout.shape_cache.miss")
+    candidates: List[Tuple[float, float, Tuple[int, ...]]] = []
+    for indices in itertools.product(
+        *(range(len(points)) for points in child_points)
+    ):
+        combo = [child_points[c][i] for c, i in enumerate(indices)]
+        if kind == "h":
+            width = sum(p.width for p in combo) + total_spacing
+            height = max(p.height for p in combo)
+        else:
+            width = max(p.width for p in combo)
+            height = sum(p.height for p in combo) + total_spacing
+        candidates.append((width, height, indices))
+    candidates.sort(key=lambda entry: (entry[0], entry[1]))
+    frontier: List[Tuple[int, ...]] = []
+    best_height = float("inf")
+    for width, height, indices in candidates:
+        if height < best_height - 1e-15:
+            frontier.append(indices)
+            best_height = height
+    result = tuple(frontier)
+    if len(_COMPOSE_CACHE) >= _COMPOSE_CACHE_MAX:
+        _COMPOSE_CACHE.clear()
+    _COMPOSE_CACHE[key] = result
+    return result

@@ -75,16 +75,16 @@ def time_call(
     }
 
 
-def compare_engines(
-    fn: Callable[[], Any], repeat: int = 3, warmup: int = 1
+def _engine_entry(
+    legacy: Dict[str, float], compiled: Dict[str, float]
 ) -> Dict[str, float]:
-    """Time ``fn()`` under both engines and report the speedup."""
-    from repro.analysis.engine import COMPILED, LEGACY, use_engine
+    """A v2 record entry from two :func:`time_call` results.
 
-    with use_engine(LEGACY):
-        legacy = time_call(fn, repeat=repeat, warmup=warmup)
-    with use_engine(COMPILED):
-        compiled = time_call(fn, repeat=repeat, warmup=warmup)
+    ``legacy``/``compiled`` generalize to any before/after pair (scalar
+    vs vectorized extraction, all-pairs vs grid DRC, serial vs parallel
+    batch) — the keys stay the same so every entry renders through
+    :func:`format_bench_table`.
+    """
     return {
         "legacy_s": legacy["best_s"],
         "compiled_s": compiled["best_s"],
@@ -96,6 +96,19 @@ def compare_engines(
         if compiled["best_s"] > 0
         else float("inf"),
     }
+
+
+def compare_engines(
+    fn: Callable[[], Any], repeat: int = 3, warmup: int = 1
+) -> Dict[str, float]:
+    """Time ``fn()`` under both analysis engines and report the speedup."""
+    from repro.analysis.engine import COMPILED, LEGACY, use_engine
+
+    with use_engine(LEGACY):
+        legacy = time_call(fn, repeat=repeat, warmup=warmup)
+    with use_engine(COMPILED):
+        compiled = time_call(fn, repeat=repeat, warmup=warmup)
+    return _engine_entry(legacy, compiled)
 
 
 def write_bench(results: Dict[str, Dict[str, float]], path: str) -> None:
@@ -223,6 +236,54 @@ def default_testbench(technology=None):
     return build_folded_cascode(design)
 
 
+def hand_ota_layout(technology=None):
+    """A generated (case-4 style) OTA layout for the layout benchmarks.
+
+    Mirrors the ``ota_layout`` fixture in ``tests/conftest.py``: the same
+    hand-sized folded-cascode design as :func:`default_testbench`, run
+    through the layout generator in generate mode, so the layout
+    benchmarks time exactly the cell the tier-1 suite extracts.
+    """
+    from repro.layout.ota import OtaLayoutRequest, generate_ota_layout
+    from repro.mos import make_model, width_for_current
+    from repro.technology import generic_060
+    from repro.units import UM
+
+    tech = technology if technology is not None else generic_060()
+    mn = make_model(tech.nmos, 1)
+    mp = make_model(tech.pmos, 1)
+    length = 1.0 * UM
+    i_tail, i_sink = 200e-6, 200e-6
+    i_casc = i_sink - i_tail / 2.0
+
+    def w(model, current, veff):
+        return width_for_current(model, current, length, veff)
+
+    sizes = {
+        "mp1": (w(mp, i_tail / 2, 0.2), length),
+        "mp2": (w(mp, i_tail / 2, 0.2), length),
+        "mp5": (w(mp, i_tail, 0.25), length),
+        "mn5": (w(mn, i_sink, 0.25), length),
+        "mn6": (w(mn, i_sink, 0.25), length),
+        "mn1c": (w(mn, i_casc, 0.2), length),
+        "mn2c": (w(mn, i_casc, 0.2), length),
+        "mp3": (w(mp, i_casc, 0.25), length),
+        "mp4": (w(mp, i_casc, 0.25), length),
+        "mp3c": (w(mp, i_casc, 0.2), length),
+        "mp4c": (w(mp, i_casc, 0.2), length),
+    }
+    currents = {
+        "mp1": i_tail / 2, "mp2": i_tail / 2, "mp5": i_tail,
+        "mn5": i_sink, "mn6": i_sink,
+        "mn1c": i_casc, "mn2c": i_casc,
+        "mp3": i_casc, "mp4": i_casc, "mp3c": i_casc, "mp4c": i_casc,
+    }
+    request = OtaLayoutRequest(
+        technology=tech, sizes=sizes, currents=currents, aspect=1.0
+    )
+    return generate_ota_layout(request, mode="generate")
+
+
 def two_stage_testbench(technology=None):
     """A hand-sized Miller two-stage OTA testbench.
 
@@ -322,5 +383,69 @@ def run_benchmarks(
 
         results["synthesize_case4"] = compare_engines(
             synthesize, repeat=max(1, repeat - 1)
+        )
+    return results
+
+
+def run_layout_benchmarks(
+    repeat: int = 3, batch_jobs: int = 0
+) -> Dict[str, Dict[str, float]]:
+    """Time the layout-path workloads under both geometry engines.
+
+    ``layout_extract`` compares scalar vs vectorized extraction and
+    ``layout_drc`` all-pairs vs grid-indexed DRC, both on the generated
+    case-4 OTA cell (``legacy``/``compiled`` columns read as
+    before/after).  With ``batch_jobs >= 2``, ``table1_batch_jobs{N}``
+    additionally compares a serial four-case Table-1 batch against the
+    ``--jobs N`` process pool — only meaningful on a multi-core host
+    (one core makes the pool pure overhead).
+    """
+    from repro.layout.drc import DrcChecker
+    from repro.layout.engine import (
+        ALLPAIRS,
+        GRID,
+        SCALAR,
+        VECTOR,
+        drc_engine,
+        extraction_engine,
+    )
+    from repro.layout.extraction import extract_cell
+    from repro.technology import generic_060
+
+    tech = generic_060()
+    cell = hand_ota_layout(tech).cell
+    checker = DrcChecker(tech)
+
+    results: Dict[str, Dict[str, float]] = {}
+    with extraction_engine.use(SCALAR):
+        scalar = time_call(lambda: extract_cell(cell, tech), repeat=repeat)
+    with extraction_engine.use(VECTOR):
+        vector = time_call(lambda: extract_cell(cell, tech), repeat=repeat)
+    results["layout_extract"] = _engine_entry(scalar, vector)
+
+    with drc_engine.use(ALLPAIRS):
+        allpairs = time_call(lambda: checker.check(cell), repeat=repeat)
+    with drc_engine.use(GRID):
+        grid = time_call(lambda: checker.check(cell), repeat=repeat)
+    results["layout_drc"] = _engine_entry(allpairs, grid)
+
+    if batch_jobs >= 2:
+        from repro.core.batch import BatchTask, run_batch
+        from repro.sizing.specs import ParasiticMode
+
+        specs = table1_specs()
+        tasks = [
+            BatchTask(kind="case", technology="0.6um", specs=specs,
+                      mode=mode.name)
+            for mode in ParasiticMode
+        ]
+        serial = time_call(
+            lambda: run_batch(tasks, jobs=1), repeat=1, warmup=0
+        )
+        parallel = time_call(
+            lambda: run_batch(tasks, jobs=batch_jobs), repeat=1, warmup=0
+        )
+        results[f"table1_batch_jobs{batch_jobs}"] = _engine_entry(
+            serial, parallel
         )
     return results

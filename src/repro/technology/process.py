@@ -220,6 +220,42 @@ class Technology:
         if self.supply_nominal <= self.nmos.vto - self.pmos.vto:
             raise TechnologyError("nominal supply leaves no headroom")
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the whole technology description.
+
+        Two Technology objects with identical content share a
+        fingerprint regardless of object identity — this is the "tech
+        hash" component of layout-call memoization keys.  Computed once
+        and cached on the instance (frozen dataclasses still own a
+        ``__dict__``).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        import hashlib
+        from dataclasses import fields as dataclass_fields, is_dataclass
+
+        def tokens(value):
+            if is_dataclass(value) and not isinstance(value, type):
+                for field_info in dataclass_fields(value):
+                    yield field_info.name
+                    yield from tokens(getattr(value, field_info.name))
+            elif isinstance(value, dict):
+                for key in sorted(value):
+                    yield str(key)
+                    yield from tokens(value[key])
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    yield from tokens(item)
+            else:
+                yield repr(value)
+
+        digest = hashlib.sha256(
+            "\x1f".join(tokens(self)).encode()
+        ).hexdigest()[:16]
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
+
     def device(self, polarity: str) -> MosParams:
         """Return the MOS parameter set for ``'n'`` or ``'p'``."""
         if polarity == "n":

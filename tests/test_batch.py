@@ -1,0 +1,180 @@
+"""Parallel batch driver: determinism, recovery, fingerprints, CLI.
+
+The contract under test: ``run_batch`` returns results in task order
+that are bit-identical for any ``jobs`` value (compared through
+``CaseResult.fingerprint()``, which excludes wall-clock timings), and a
+task whose worker dies is resubmitted and, failing that, run in-process
+— the same recovery discipline as the Monte-Carlo shards.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.batch import (
+    TECHNOLOGY_PRESETS,
+    BatchTask,
+    run_batch,
+    run_task,
+)
+from repro.core.cases import CaseResult
+from repro.errors import SynthesisError
+from repro.resilience import faults
+from repro.sizing.specs import ParasiticMode
+
+
+def _case_tasks(specs, modes=(ParasiticMode.NONE, ParasiticMode.SINGLE_FOLD)):
+    return [
+        BatchTask(kind="case", technology="0.6um", specs=specs,
+                  mode=mode.name)
+        for mode in modes
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_batch(specs):
+    return run_batch(_case_tasks(specs), jobs=1)
+
+
+class TestBatchTask:
+    def test_picklable(self, specs):
+        tasks = _case_tasks(specs)
+        assert pickle.loads(pickle.dumps(tasks)) == tasks
+
+    def test_labels(self, specs):
+        task = BatchTask(kind="case", technology="0.6um", specs=specs,
+                         mode="FULL", corner="ss")
+        assert task.label == "case.full@ss"
+        flow = BatchTask(kind="flow", technology="0.6um", specs=specs,
+                         variant="traditional")
+        assert flow.label == "flow.traditional"
+
+    def test_unknown_kind_rejected(self, specs):
+        with pytest.raises(SynthesisError):
+            run_task(BatchTask(kind="wat", technology="0.6um", specs=specs))
+
+    def test_unknown_technology_rejected(self, specs):
+        with pytest.raises(SynthesisError):
+            run_task(BatchTask(kind="case", technology="7nm", specs=specs))
+
+    def test_presets_cover_cli_choices(self):
+        assert set(TECHNOLOGY_PRESETS) == {"0.35um", "0.6um", "0.8um"}
+
+
+class TestFingerprint:
+    def test_stable_across_runs(self, specs, serial_batch):
+        again = run_batch(_case_tasks(specs), jobs=1)
+        assert [r.fingerprint() for r in again.results] == [
+            r.fingerprint() for r in serial_batch.results
+        ]
+
+    def test_excludes_elapsed(self, serial_batch):
+        result = serial_batch.results[0]
+        assert isinstance(result, CaseResult)
+        fingerprint = result.fingerprint()
+        result.elapsed += 1000.0
+        assert result.fingerprint() == fingerprint
+
+    def test_sensitive_to_content(self, serial_batch):
+        a, b = serial_batch.results
+        assert a.fingerprint() != b.fingerprint()
+        fingerprint = a.fingerprint()
+        a.layout_calls += 1
+        try:
+            assert a.fingerprint() != fingerprint
+        finally:
+            a.layout_calls -= 1
+
+
+class TestRunBatch:
+    def test_invalid_jobs_rejected(self, specs):
+        with pytest.raises(SynthesisError):
+            run_batch(_case_tasks(specs), jobs=0)
+
+    def test_serial_statuses(self, serial_batch):
+        assert [s.status for s in serial_batch.statuses] == ["serial"] * 2
+        assert serial_batch.jobs == 1
+
+    def test_parallel_bit_identical_to_serial(self, specs, serial_batch):
+        parallel = run_batch(_case_tasks(specs), jobs=2)
+        assert parallel.jobs == 2
+        assert [r.fingerprint() for r in parallel.results] == [
+            r.fingerprint() for r in serial_batch.results
+        ]
+        assert [s.status for s in parallel.statuses] == ["ok", "ok"]
+
+    def test_corner_task_differs_from_nominal(self, specs, serial_batch):
+        skewed = run_batch(
+            [BatchTask(kind="case", technology="0.6um", specs=specs,
+                       mode=ParasiticMode.NONE.name, corner="ss")],
+            jobs=1,
+        )
+        assert (
+            skewed.results[0].fingerprint()
+            != serial_batch.results[0].fingerprint()
+        )
+
+    def test_flow_tasks_run(self, specs):
+        batch = run_batch(
+            [BatchTask(kind="flow", technology="0.6um", specs=specs,
+                       variant=variant)
+             for variant in ("traditional", "oriented")],
+            jobs=1,
+        )
+        traditional, oriented = batch.results
+        assert traditional.full_layout_rounds >= 1
+        assert oriented.layout_calls >= 1
+
+
+@pytest.mark.faults
+class TestBatchRecovery:
+    def test_crashed_worker_resubmitted_bit_identical(
+        self, specs, serial_batch
+    ):
+        with faults.inject("batch.worker", index=0) as fault:
+            result = run_batch(_case_tasks(specs), jobs=2)
+        assert fault.fired == 1
+        assert result.statuses[0].status == "resubmitted"
+        assert result.statuses[0].attempts == 2
+        assert "worker died" in result.statuses[0].error
+        assert [r.fingerprint() for r in result.results] == [
+            r.fingerprint() for r in serial_batch.results
+        ]
+
+    def test_persistent_crash_falls_back_in_process(
+        self, specs, serial_batch
+    ):
+        with faults.inject("batch.worker", index=0, times=3) as fault:
+            result = run_batch(_case_tasks(specs), jobs=2, max_retries=1)
+        assert fault.fired == 2  # one per pool round; in-process skips it
+        assert result.statuses[0].status == "in-process"
+        assert result.statuses[0].attempts == 3
+        assert [r.fingerprint() for r in result.results] == [
+            r.fingerprint() for r in serial_batch.results
+        ]
+
+
+class TestCli:
+    def test_table1_flags_parse(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["table1", "--jobs", "4", "--corners", "tt,ss", "--fingerprint"]
+        )
+        assert args.jobs == 4
+        assert args.corners == "tt,ss"
+        assert args.fingerprint is True
+
+    def test_flows_jobs_parse(self):
+        from repro.__main__ import build_parser
+
+        args = build_parser().parse_args(["flows", "--jobs", "2"])
+        assert args.jobs == 2
+
+    def test_table1_rejects_unknown_corner(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["table1", "--corners", "nope"]) == 2
+        assert "unknown corners" in capsys.readouterr().err

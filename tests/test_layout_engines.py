@@ -1,0 +1,371 @@
+"""Layout-path engines: golden equivalence, spatial index, memo caches.
+
+The vectorized extraction and grid-indexed DRC are exact replacements for
+the scalar references — same keys, same floats (within 1e-12), same
+violation order — verified here on both OTA topologies plus synthetic
+cells that hit every violation kind.  The composition and estimate memo
+caches must be invisible: a warm hit returns the identical content a cold
+run computes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.layout.cell import Cell
+from repro.layout.drc import DrcChecker
+from repro.layout.engine import (
+    ALLPAIRS,
+    GRID,
+    SCALAR,
+    VECTOR,
+    drc_engine,
+    extraction_engine,
+)
+from repro.layout.extraction import extract_cell
+from repro.layout.geometry import GridIndex, Rect, interval_pairs
+from repro.layout.layers import Layer
+from repro.layout.shape import (
+    ShapeFunction,
+    ShapePoint,
+    clear_compose_cache,
+    compose_frontier,
+)
+from repro.units import UM
+
+
+@pytest.fixture(scope="module")
+def two_stage_cell(tech):
+    from repro.layout.two_stage_ota import (
+        TwoStageLayoutRequest,
+        generate_two_stage_layout,
+    )
+    from repro.sizing.plans.two_stage import TwoStagePlan
+    from repro.sizing.specs import OtaSpecs, ParasiticMode
+
+    specs = OtaSpecs(
+        vdd=3.3, gbw=30e6, phase_margin=60.0, cload=2e-12,
+        input_cm_range=(1.0, 2.0), output_range=(0.4, 2.9),
+    )
+    result = TwoStagePlan(tech).size(specs, ParasiticMode.SINGLE_FOLD)
+    request = TwoStageLayoutRequest(
+        technology=tech, sizes=result.sizes, currents=result.currents,
+        cc=result.biases["_cc"], aspect=1.0,
+    )
+    return generate_two_stage_layout(request, mode="generate").cell
+
+
+@pytest.fixture
+def dirty_cell(tech):
+    """A cell tripping every violation kind the checker knows."""
+    rules = tech.rules
+    cell = Cell("dirty")
+    # Short: different nets overlapping on metal1.
+    cell.add_shape(Layer.METAL1, Rect(0, 0, 5 * UM, 1 * UM), net="a")
+    cell.add_shape(Layer.METAL1, Rect(4 * UM, 0, 9 * UM, 1 * UM), net="b")
+    # Spacing: two metal2 wires half a rule apart.
+    gap = rules.metal2_spacing / 2
+    cell.add_shape(Layer.METAL2, Rect(0, 0, 5 * UM, 1 * UM), net="c")
+    cell.add_shape(
+        Layer.METAL2, Rect(0, 1 * UM + gap, 5 * UM, 2 * UM + gap), net="d"
+    )
+    # Min width: a sliver of metal1 far from everything else.
+    cell.add_shape(
+        Layer.METAL1,
+        Rect(20 * UM, 0, 25 * UM, rules.metal1_min_width / 2),
+        net="e",
+    )
+    # Cut size: an oversized contact; enclosure: a bare correctly-sized one.
+    size = rules.contact_size
+    cell.add_shape(
+        Layer.CONTACT, Rect(40 * UM, 0, 40 * UM + 2 * size, size), net="f"
+    )
+    cell.add_shape(
+        Layer.CONTACT, Rect(60 * UM, 0, 60 * UM + size, size), net="g"
+    )
+    return cell
+
+
+class TestEngineSwitch:
+    def test_defaults(self):
+        assert extraction_engine.resolve(None) == VECTOR
+        assert drc_engine.resolve(None) == GRID
+
+    def test_explicit_resolve(self):
+        assert extraction_engine.resolve(SCALAR) == SCALAR
+        assert drc_engine.resolve(ALLPAIRS) == ALLPAIRS
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            extraction_engine.resolve("fpga")
+
+    def test_use_scopes_and_restores(self):
+        before = extraction_engine.resolve(None)
+        with extraction_engine.use(SCALAR):
+            assert extraction_engine.resolve(None) == SCALAR
+        assert extraction_engine.resolve(None) == before
+
+    def test_use_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with drc_engine.use(ALLPAIRS):
+                raise RuntimeError("boom")
+        assert drc_engine.resolve(None) == GRID
+
+
+def _assert_extractions_match(cell, tech):
+    scalar = extract_cell(cell, tech, engine=SCALAR)
+    vector = extract_cell(cell, tech, engine=VECTOR)
+    for attr in ("net_wire_cap", "coupling", "diffusion", "well"):
+        got = getattr(vector, attr)
+        want = getattr(scalar, attr)
+        assert list(got) == list(want), f"{attr} keys differ"
+        for key in want:
+            assert got[key] == pytest.approx(
+                want[key], rel=1e-12, abs=1e-30
+            ), f"{attr}[{key}]"
+
+
+class TestExtractionGolden:
+    def test_folded_cascode_matches_scalar(self, ota_layout, tech):
+        _assert_extractions_match(ota_layout.cell, tech)
+
+    def test_two_stage_matches_scalar(self, two_stage_cell, tech):
+        _assert_extractions_match(two_stage_cell, tech)
+
+    def test_coupling_keys_canonical(self, ota_layout, tech):
+        for engine in (SCALAR, VECTOR):
+            extracted = extract_cell(ota_layout.cell, tech, engine=engine)
+            for net_a, net_b in extracted.coupling:
+                assert net_a < net_b
+            assert list(extracted.coupling) == sorted(extracted.coupling)
+
+    def test_default_engine_is_vector(self, ota_layout, tech):
+        default = extract_cell(ota_layout.cell, tech)
+        vector = extract_cell(ota_layout.cell, tech, engine=VECTOR)
+        assert default.net_wire_cap == vector.net_wire_cap
+        assert default.coupling == vector.coupling
+
+
+class TestDrcGolden:
+    def test_clean_cell_identical(self, ota_layout, tech):
+        checker = DrcChecker(tech)
+        grid = checker.check(ota_layout.cell, engine=GRID)
+        allpairs = checker.check(ota_layout.cell, engine=ALLPAIRS)
+        assert grid == allpairs == []
+
+    def test_two_stage_identical(self, two_stage_cell, tech):
+        checker = DrcChecker(tech)
+        assert checker.check(two_stage_cell, engine=GRID) == checker.check(
+            two_stage_cell, engine=ALLPAIRS
+        )
+
+    def test_dirty_cell_identical_and_ordered(self, dirty_cell, tech):
+        checker = DrcChecker(tech)
+        grid = checker.check(dirty_cell, engine=GRID)
+        allpairs = checker.check(dirty_cell, engine=ALLPAIRS)
+        kinds = {v.kind for v in allpairs}
+        assert {"short", "spacing", "min_width", "cut_size",
+                "enclosure"} <= kinds
+        # Same violations in the same order, field for field.
+        assert grid == allpairs
+
+
+class TestGridIndex:
+    def _brute(self, rects, window, margin):
+        grown = Rect(
+            window.x0 - margin, window.y0 - margin,
+            window.x1 + margin, window.y1 + margin,
+        )
+        return [
+            i for i, r in enumerate(rects)
+            if grown.x0 < r.x1 and r.x0 < grown.x1
+            and grown.y0 < r.y1 and r.y0 < grown.y1
+        ]
+
+    def test_query_matches_brute_force(self):
+        rects = [
+            Rect(x * 1.5, y * 2.0, x * 1.5 + 1.0, y * 2.0 + 1.2)
+            for x in range(7)
+            for y in range(5)
+        ]
+        index = GridIndex.for_rects(rects)
+        for window in (
+            Rect(0.0, 0.0, 1.0, 1.0),
+            Rect(2.2, 1.1, 6.4, 3.3),
+            Rect(-5.0, -5.0, 50.0, 50.0),
+            Rect(100.0, 100.0, 101.0, 101.0),
+        ):
+            for margin in (0.0, 0.7):
+                got = index.query(window, margin)
+                assert got == self._brute(rects, window, margin)
+
+    def test_results_sorted_and_unique(self):
+        rects = [Rect(0, 0, 10, 10) for _ in range(4)]
+        index = GridIndex.for_rects(rects)
+        hits = index.query(Rect(1, 1, 2, 2))
+        assert hits == sorted(set(hits)) == [0, 1, 2, 3]
+
+    def test_incremental_insert(self):
+        index = GridIndex.for_rects([Rect(0, 0, 1, 1)])
+        index.insert(Rect(0.5, 0.5, 1.5, 1.5))
+        assert index.query(Rect(1.2, 1.2, 1.4, 1.4)) == [1]
+
+    def test_query_counter(self):
+        index = GridIndex.for_rects([Rect(0, 0, 1, 1)])
+        before = index.queries
+        index.query(Rect(0, 0, 1, 1))
+        index.query(Rect(5, 5, 6, 6))
+        assert index.queries == before + 2
+
+
+class TestIntervalPairs:
+    def test_matches_brute_force(self):
+        starts = [0.0, 0.5, 2.0, 2.1, 10.0]
+        ends = [1.0, 1.5, 3.0, 2.6, 11.0]
+        for window in (0.0, 0.5, 5.0):
+            ii, jj = interval_pairs(starts, ends, window)
+            got = sorted(zip(ii.tolist(), jj.tolist()))
+            # Brute force: pairs whose x-extents come within `window`.
+            want = sorted(
+                (i, j)
+                for i in range(len(starts))
+                for j in range(i + 1, len(starts))
+                if max(starts[i], starts[j]) - min(ends[i], ends[j])
+                <= window
+            )
+            assert got == want
+
+    def test_empty_input(self):
+        ii, jj = interval_pairs([], [], 1.0)
+        assert ii.size == 0 and jj.size == 0
+
+
+class TestComposeCache:
+    def test_hit_matches_cold_run(self):
+        clear_compose_cache()
+        children = [
+            [ShapePoint(1.0, 4.0), ShapePoint(2.0, 2.5), ShapePoint(4.0, 1.0)],
+            [ShapePoint(1.5, 3.0), ShapePoint(3.0, 1.5)],
+        ]
+        cold = compose_frontier("h", children, 0.25)
+        warm = compose_frontier("h", children, 0.25)
+        assert cold == warm
+
+    def test_matches_direct_stockmeyer(self):
+        clear_compose_cache()
+        left = ShapeFunction(
+            [ShapePoint(1.0, 4.0), ShapePoint(2.0, 2.5), ShapePoint(4.0, 1.0)]
+        )
+        right = ShapeFunction([ShapePoint(1.5, 3.0), ShapePoint(3.0, 1.5)])
+        direct = ShapeFunction.horizontal(left, right, spacing=0.25)
+        combos = compose_frontier(
+            "h", [left.points, right.points], 0.25
+        )
+        rebuilt = [
+            (
+                left.points[i].width + right.points[j].width + 0.25,
+                max(left.points[i].height, right.points[j].height),
+            )
+            for i, j in combos
+        ]
+        assert rebuilt == [(p.width, p.height) for p in direct.points]
+
+    def test_vertical_composition(self):
+        clear_compose_cache()
+        bottom = ShapeFunction([ShapePoint(1.0, 2.0), ShapePoint(3.0, 1.0)])
+        top = ShapeFunction([ShapePoint(2.0, 2.0), ShapePoint(4.0, 0.5)])
+        direct = ShapeFunction.vertical(bottom, top, spacing=0.1)
+        combos = compose_frontier(
+            "v", [bottom.points, top.points], 0.1
+        )
+        rebuilt = [
+            (
+                max(bottom.points[i].width, top.points[j].width),
+                bottom.points[i].height + top.points[j].height + 0.1,
+            )
+            for i, j in combos
+        ]
+        assert rebuilt == [(p.width, p.height) for p in direct.points]
+
+
+class TestEstimateMemo:
+    def _sizing(self, tech):
+        from repro.sizing.specs import SizingResult
+
+        return SizingResult(
+            sizes={"m1": (10 * UM, 1 * UM)},
+            currents={"m1": 1e-4},
+            biases={"vb": 1.0},
+        )
+
+    def test_identical_sizing_hits_cache(self, tech):
+        from repro.core.synthesis import LayoutOrientedSynthesizer
+        from repro.layout.parasitics import ParasiticReport
+
+        calls = []
+
+        def layout_tool(sizing, mode):
+            calls.append(mode)
+
+            class _Result:
+                report = ParasiticReport()
+
+            return _Result()
+
+        synthesizer = LayoutOrientedSynthesizer(
+            tech, layout_tool=layout_tool
+        )
+        sizing = self._sizing(tech)
+        first = synthesizer._estimate(sizing)
+        second = synthesizer._estimate(sizing)
+        assert second is first
+        assert calls == ["estimate"]
+
+    def test_different_sizing_misses(self, tech):
+        from repro.core.synthesis import LayoutOrientedSynthesizer
+        from repro.layout.parasitics import ParasiticReport
+
+        calls = []
+
+        def layout_tool(sizing, mode):
+            calls.append(dict(sizing.sizes))
+
+            class _Result:
+                report = ParasiticReport()
+
+            return _Result()
+
+        synthesizer = LayoutOrientedSynthesizer(
+            tech, layout_tool=layout_tool
+        )
+        a = self._sizing(tech)
+        b = self._sizing(tech)
+        b.sizes = {"m1": (12 * UM, 1 * UM)}
+        synthesizer._estimate(a)
+        synthesizer._estimate(b)
+        assert len(calls) == 2
+
+    def test_non_dict_sizes_bypass_cache(self, tech):
+        from repro.core.synthesis import LayoutOrientedSynthesizer
+        from repro.layout.parasitics import ParasiticReport
+
+        calls = []
+
+        def layout_tool(sizing, mode):
+            calls.append(mode)
+
+            class _Result:
+                report = ParasiticReport()
+
+            return _Result()
+
+        synthesizer = LayoutOrientedSynthesizer(
+            tech, layout_tool=layout_tool
+        )
+
+        class _Opaque:
+            sizes = "scripted"
+
+        synthesizer._estimate(_Opaque())
+        synthesizer._estimate(_Opaque())
+        assert calls == ["estimate", "estimate"]
