@@ -19,7 +19,14 @@ import pytest
 
 from repro.analysis.ac import ac_sweep
 from repro.analysis.dcop import solve_dc
-from repro.analysis.engine import COMPILED, LEGACY, use_engine
+from repro.analysis.engine import (
+    COMPILED,
+    LEGACY,
+    PERSAMPLE,
+    STACKED,
+    ensemble_engine,
+    use_engine,
+)
 from repro.analysis.montecarlo import run_monte_carlo
 from repro.perf import (
     BENCH_FILENAME,
@@ -91,6 +98,18 @@ def test_benchmark_monte_carlo_50(benchmark, bench_tb, engine):
     assert len(result.samples["offset_voltage"]) == 50
 
 
+@pytest.mark.parametrize("mode", (PERSAMPLE, STACKED))
+def test_benchmark_monte_carlo_200_ensemble(benchmark, bench_tb, mode):
+    """200 offset samples, per-sample loop vs one stacked (K, n, n) solve."""
+    with ensemble_engine.use(mode):
+        result = benchmark.pedantic(
+            run_monte_carlo, args=(bench_tb,),
+            kwargs={"runs": 200, "seed": 1234},
+            rounds=1, iterations=1, warmup_rounds=0,
+        )
+    assert len(result.samples["offset_voltage"]) == 200
+
+
 def test_write_bench_record():
     """Run the engine comparison and persist ``BENCH_analysis.json``.
 
@@ -104,3 +123,6 @@ def test_write_bench_record():
     assert results["ac_sweep_200"]["speedup"] > 1.0
     assert results["monte_carlo_50"]["speedup"] > 1.0
     assert results["synthesize_case4"]["speedup"] > 1.5
+    # Acceptance floor is 3x on an idle machine; 2x absorbs CI noise.
+    assert results["monte_carlo_200_ensemble"]["speedup"] > 2.0
+    assert "corners_batch_ensemble" in results

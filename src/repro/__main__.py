@@ -191,6 +191,23 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
             write_gds(outcome.layout.cell, args.gds)
             print(f"GDSII written to {args.gds}", file=sys.stderr)
             print(f"gds: {args.gds}")
+    if args.verify_corners:
+        from repro.sizing.verification import VerificationInterface
+
+        reports = VerificationInterface().verify_corners(
+            synthesizer.plan, outcome.sizing, specs
+        )
+        print("corner verification (stacked ensemble):")
+        for name, report in reports.items():
+            if report.metrics is None:
+                print(f"  {name}  FAIL  ({report.failure_reason})")
+                continue
+            verdict = "pass" if report.passed else "FAIL"
+            failed = [k for k, ok in report.failures().items() if not ok]
+            detail = f"  [{', '.join(failed)}]" if failed else ""
+            print(f"  {name}  {verdict}  "
+                  f"gbw {report.metrics.gbw / 1e6:6.1f} MHz  "
+                  f"pm {report.metrics.phase_margin_deg:5.1f} deg{detail}")
     return 0
 
 
@@ -274,7 +291,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro.perf import (
+        check_regressions,
         format_bench_table,
+        load_bench,
         run_benchmarks,
         run_layout_benchmarks,
         write_bench,
@@ -283,6 +302,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
         return 2
+    baseline = None
+    if args.against:
+        try:
+            baseline = load_bench(args.against)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot read baseline {args.against!r}: {error}",
+                  file=sys.stderr)
+            return 2
     json_dir = os.path.dirname(os.path.abspath(args.json))
     if not os.path.isdir(json_dir):
         print(f"error: output directory does not exist: {json_dir}",
@@ -304,6 +331,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
     write_bench(results, args.json)
     print(f"benchmark record written to {args.json}", file=sys.stderr)
     print(f"bench: {args.json}")
+    if baseline is not None:
+        regressions = check_regressions(
+            results, baseline, threshold=args.max_regression
+        )
+        if regressions:
+            print(f"performance regressions vs {args.against} "
+                  f"(> {args.max_regression:.0%} slower at p50):",
+                  file=sys.stderr)
+            for name, info in regressions.items():
+                print(f"  {name}: {info['baseline_p50_s'] * 1e3:.1f} ms -> "
+                      f"{info['fresh_p50_s'] * 1e3:.1f} ms "
+                      f"({info['ratio']:.2f}x)", file=sys.stderr)
+            return 1
+        print(f"no compiled-path regressions vs {args.against} "
+              f"(threshold {args.max_regression:.0%})", file=sys.stderr)
     return 0
 
 
@@ -378,6 +420,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "diagnostics dump")
     synthesize.add_argument("--svg", help="write the layout as SVG")
     synthesize.add_argument("--gds", help="write the layout as GDSII")
+    synthesize.add_argument(
+        "--verify-corners", action="store_true",
+        help="re-verify the synthesized sizing at the five process "
+             "corners as one stacked ensemble measurement")
     _add_trace_argument(synthesize)
     synthesize.set_defaults(func=cmd_synthesize)
 
@@ -418,6 +464,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--table1-jobs", type=int, default=0, metavar="N",
                        help="also time a serial vs --jobs N Table-1 batch "
                             "(needs a multi-core host; default: skip)")
+    bench.add_argument(
+        "--against", default=None, metavar="PATH",
+        help="baseline bench JSON to compare against; exit 1 if any "
+             "shared compiled entry regresses past --max-regression")
+    bench.add_argument(
+        "--max-regression", type=float, default=0.25, metavar="FRACTION",
+        help="allowed compiled-p50 slowdown vs --against "
+             "(default 0.25 = 25%%)")
     bench.add_argument("--json", default="BENCH_analysis.json",
                        help="output record path "
                             "(default BENCH_analysis.json)")

@@ -16,18 +16,81 @@ Every analysis entry point (:func:`~repro.analysis.dcop.solve_dc`,
 ``None`` (the default everywhere) resolves to the process-wide default set
 here, so a single :func:`use_engine` context flips a whole flow — this is
 how ``python -m repro bench`` measures before/after on identical code paths.
+
+A second, independent knob selects how *ensembles* of parameter vectors
+(Monte-Carlo mismatch samples, process corners) are evaluated on top of
+the compiled engine:
+
+* ``"stacked"`` — :mod:`repro.analysis.ensemble` solves all K members as
+  one batched ``(K, n, n)`` Newton with per-member convergence masking;
+* ``"per-sample"`` — the original one-solve-per-member loop, kept as the
+  golden reference (equivalence pinned sample-for-sample at rtol 1e-9).
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Tuple
 
 COMPILED = "compiled"
 LEGACY = "legacy"
 _ENGINES = (COMPILED, LEGACY)
 
+STACKED = "stacked"
+PERSAMPLE = "per-sample"
+
 _default_engine = COMPILED
+
+
+class EngineSwitch:
+    """One process-wide engine knob with scoped override support.
+
+    Mirror of :class:`repro.layout.engine.EngineSwitch` for the analysis
+    side, so the ensemble knob composes with (not replaces) the
+    compiled/legacy selection above.
+    """
+
+    __slots__ = ("label", "options", "_current")
+
+    def __init__(self, label: str, default: str, options: Tuple[str, ...]):
+        self.label = label
+        self.options = options
+        self._current = self._validated(default)
+
+    def _validated(self, name: str) -> str:
+        if name not in self.options:
+            raise ValueError(
+                f"unknown {self.label} engine {name!r}; "
+                f"expected one of {self.options}"
+            )
+        return name
+
+    def default(self) -> str:
+        """The engine used when callers pass ``engine=None``."""
+        return self._current
+
+    def set_default(self, name: str) -> None:
+        self._current = self._validated(name)
+
+    def resolve(self, engine: Optional[str]) -> str:
+        """Resolve an ``engine`` argument to a concrete engine name."""
+        if engine is None:
+            return self._current
+        return self._validated(engine)
+
+    @contextmanager
+    def use(self, name: str) -> Iterator[str]:
+        """Temporarily switch the default (benchmarks, golden tests)."""
+        previous = self._current
+        self._current = self._validated(name)
+        try:
+            yield self._current
+        finally:
+            self._current = previous
+
+
+#: How K-member parameter ensembles are solved on the compiled engine.
+ensemble_engine = EngineSwitch("ensemble", STACKED, (STACKED, PERSAMPLE))
 
 
 def default_engine() -> str:

@@ -227,6 +227,27 @@ def _measure_ota(
             engine=engine_name,
         ).run(frequencies)
 
+    return _metrics_from_sweeps(
+        tb, dc, offset, dm, cm, ps, output_resistance, noise
+    )
+
+
+def _metrics_from_sweeps(
+    tb: OtaTestbench,
+    dc: DcSolution,
+    offset: float,
+    dm: TransferFunction,
+    cm: TransferFunction,
+    ps: TransferFunction,
+    output_resistance: float,
+    noise,
+) -> OtaMetrics:
+    """Fold the raw sweeps into :class:`OtaMetrics`.
+
+    Shared by the per-testbench path above and the stacked ensemble
+    measurement (:func:`repro.analysis.ensemble.measure_ota_ensemble`),
+    which produces the same sweeps from one batched solve.
+    """
     gbw = dm.unity_gain_frequency()
     if gbw is None:
         raise AnalysisError(

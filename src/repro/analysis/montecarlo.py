@@ -150,17 +150,28 @@ def _offset_chunk(
     vth_rows: np.ndarray,
     beta_rows: np.ndarray,
     crash: bool = False,
+    ensemble: Optional[str] = None,
 ) -> List[Dict[str, float]]:
     """Default measurement (input offset) for a chunk of sample rows.
 
-    One compiled feedback program is re-biased per row — no re-cloning,
-    no re-stamping.  Module-level so process-pool workers can pickle it.
-    ``crash`` is the fault-injection hook: the parent's registry decides a
-    shard should die and the worker obliges with an unclean exit, so the
-    recovery path sees a genuine broken pool.
+    One compiled feedback program is shared by the whole chunk.  On the
+    stacked ensemble engine (the default) every pre-drawn row becomes one
+    member of a single batched ``(K, n, n)`` Newton solve
+    (:class:`~repro.analysis.ensemble.EnsembleProgram`); the per-sample
+    loop below is the golden reference, selected via
+    :data:`~repro.analysis.engine.ensemble_engine`.  ``ensemble`` carries
+    the parent's resolved engine across the process-pool boundary (a
+    worker is a fresh interpreter, so the process-wide default would not
+    follow a scoped override in the parent).
+
+    Module-level so process-pool workers can pickle it.  ``crash`` is the
+    fault-injection hook: the parent's registry decides a shard should die
+    and the worker obliges with an unclean exit, so the recovery path sees
+    a genuine broken pool.
     """
     if crash:
         os._exit(1)
+    from repro.analysis.engine import STACKED, ensemble_engine
     from repro.analysis.stamps import StampProgram
 
     feedback = tb.circuit.clone(tb.circuit.name + "_fb")
@@ -173,6 +184,22 @@ def _offset_chunk(
     permutation = np.array(
         [order[name] for name in program.mos_names], dtype=np.intp
     )
+    if ensemble_engine.resolve(ensemble) == STACKED and len(vth_rows):
+        from repro.analysis.ensemble import EnsembleProgram
+
+        stacked = EnsembleProgram.from_mismatch(
+            program,
+            np.asarray(vth_rows)[:, permutation],
+            np.asarray(beta_rows)[:, permutation],
+        )
+        solution = stacked.solve()
+        # The per-sample loop raises at the first failing sample; match
+        # that contract so shard recovery semantics stay unchanged.
+        solution.raise_on_failure()
+        return [
+            {"offset_voltage": float(v[out_node]) - vcm}
+            for v in solution.voltages
+        ]
     stats: List[Dict[str, float]] = []
     for vth_row, beta_row in zip(vth_rows, beta_rows):
         program.set_mismatch(vth_row[permutation], beta_row[permutation])
@@ -207,10 +234,15 @@ def _run_chunk(
     beta_rows: np.ndarray,
     measure: Optional[Callable[[OtaTestbench], Dict[str, float]]],
     crash: bool = False,
+    ensemble: Optional[str] = None,
 ) -> List[Dict[str, float]]:
-    """Dispatch one chunk to the right measurement implementation."""
+    """Dispatch one chunk to the right measurement implementation.
+
+    A custom ``measure`` always runs per sample (it takes a whole
+    testbench); only the default offset measurement has a stacked form.
+    """
     if measure is None:
-        return _offset_chunk(tb, names, vth_rows, beta_rows, crash)
+        return _offset_chunk(tb, names, vth_rows, beta_rows, crash, ensemble)
     return _measure_chunk(tb, names, vth_rows, beta_rows, measure, crash)
 
 
@@ -224,6 +256,7 @@ def _run_chunk_traced(
     shard_index: int,
     lo: int,
     hi: int,
+    ensemble: Optional[str] = None,
 ) -> Tuple[List[Dict[str, float]], Dict[str, object]]:
     """Worker-side traced chunk: runs under a local tracer and ships the
     picklable trace payload back with the samples.
@@ -237,7 +270,9 @@ def _run_chunk_traced(
     tracer = telemetry.Tracer()
     with tracer.activate():
         with tracer.span("mc.shard", index=shard_index, lo=lo, hi=hi):
-            stats = _run_chunk(tb, names, vth_rows, beta_rows, measure, crash)
+            stats = _run_chunk(
+                tb, names, vth_rows, beta_rows, measure, crash, ensemble
+            )
             tracer.count("mc.samples_measured", hi - lo)
     return stats, tracer.trace_payload()
 
@@ -253,6 +288,7 @@ def _run_shards(
     shard_timeout: Optional[float],
     max_shard_retries: int,
     budget: Optional[Budget],
+    ensemble: Optional[str] = None,
 ) -> Tuple[List[Optional[List[Dict[str, float]]]], List[ShardStatus]]:
     """Run every shard on a process pool with bounded recovery.
 
@@ -292,12 +328,12 @@ def _run_shards(
                 submit_times[i] = tracer.now()
                 futures[i] = pool.submit(
                     _run_chunk_traced, tb, names, vth[lo:hi], beta[lo:hi],
-                    measure, crash, i, lo, hi,
+                    measure, crash, i, lo, hi, ensemble,
                 )
             else:
                 futures[i] = pool.submit(
                     _run_chunk, tb, names, vth[lo:hi], beta[lo:hi],
-                    measure, crash,
+                    measure, crash, ensemble,
                 )
         for i, future in futures.items():
             try:
@@ -356,7 +392,8 @@ def _run_shards(
         try:
             with telemetry.span("mc.shard_fallback", index=i, lo=lo, hi=hi):
                 chunks[i] = _run_chunk(
-                    tb, names, vth[lo:hi], beta[lo:hi], measure
+                    tb, names, vth[lo:hi], beta[lo:hi], measure,
+                    ensemble=ensemble,
                 )
             telemetry.count("mc.shards_in_process")
             statuses[i].status = "in-process"
@@ -377,6 +414,7 @@ def run_monte_carlo(
     budget: Optional[Budget] = None,
     shard_timeout: Optional[float] = None,
     max_shard_retries: int = 1,
+    ensemble: Optional[str] = None,
 ) -> MonteCarloResult:
     """Sample mismatch and collect statistics.
 
@@ -395,14 +433,25 @@ def run_monte_carlo(
     :class:`ShardStatus` records.  ``budget`` bounds wall-clock time at
     sample/shard boundaries via
     :class:`~repro.errors.BudgetExceededError`.
+
+    ``ensemble`` picks how the default offset measurement evaluates each
+    shard of pre-drawn rows on the compiled engine: ``"stacked"`` (one
+    batched ensemble Newton per shard, the default) or ``"per-sample"``
+    (the golden per-row loop); ``None`` follows
+    :data:`~repro.analysis.engine.ensemble_engine`.  The value is
+    resolved here, in the parent, so scoped overrides reach pool workers.
     """
     if workers < 1:
         raise AnalysisError("workers must be >= 1")
     engine_name = resolve_engine(engine)
+    from repro.analysis.engine import ensemble_engine
+
+    ensemble_name = ensemble_engine.resolve(ensemble)
     result = MonteCarloResult()
 
     with telemetry.span(
-        "mc.run", runs=runs, workers=workers, engine=engine_name
+        "mc.run", runs=runs, workers=workers, engine=engine_name,
+        ensemble=ensemble_name,
     ):
         telemetry.count("mc.samples", runs)
 
@@ -443,7 +492,10 @@ def run_monte_carlo(
                 budget.check("montecarlo.start", runs=runs)
             with telemetry.span("mc.shard", index=0, lo=0, hi=runs):
                 chunks: List[Optional[List[Dict[str, float]]]] = [
-                    _run_chunk(tb, names, vth, beta, measure)
+                    _run_chunk(
+                        tb, names, vth, beta, measure,
+                        ensemble=ensemble_name,
+                    )
                 ]
         else:
             try:
@@ -469,6 +521,7 @@ def run_monte_carlo(
                 shard_timeout=shard_timeout,
                 max_shard_retries=max_shard_retries,
                 budget=budget,
+                ensemble=ensemble_name,
             )
             result.shards = statuses
             result.n_failed = sum(

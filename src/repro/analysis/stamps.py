@@ -428,11 +428,29 @@ class StampProgram:
         :attr:`last_convergence` and raised inside
         :class:`~repro.errors.ConvergenceError` when every rung fails.
         """
+        from repro.analysis import warmstart
         from repro.analysis.dcop import GMIN_SEQUENCE
 
         default_ladder = gmin_sequence is None or gmin_sequence is GMIN_SEQUENCE
+        warm_key = None
         if default_ladder:
             policy = COMPILED_POLICY
+            if warmstart.active():
+                # An open warm-start session (the synthesis loop) may hold
+                # the previous round's converged voltages for this exact
+                # node/branch layout; seed Newton from them.  A failed warm
+                # rung falls through to the standard ladder, so the solution
+                # is unchanged either way.
+                warm_key = (
+                    tuple(self.index.nets),
+                    tuple(s.name for s in self.index.sources),
+                )
+                seed = warmstart.lookup(warm_key)
+                if seed is not None and seed.shape == (self.size,):
+                    from repro.resilience.policy import warm_policy
+
+                    policy = warm_policy(seed)
+                    telemetry.count("dc.warm_start")
         else:
             policy = ramp_policy(tuple(gmin_sequence))
         try:
@@ -441,6 +459,8 @@ class StampProgram:
             self.last_convergence = error.report
             raise
         self.last_convergence = report
+        if warm_key is not None:
+            warmstart.record(warm_key, voltages)
         return voltages, report.iterations, report.achieved_gmin
 
     def solve_dc(
@@ -638,3 +658,45 @@ class LinearSystem:
             return np.linalg.solve(matrices, stacked)
         except np.linalg.LinAlgError as error:
             raise AnalysisError(f"singular MNA matrix: {error}") from error
+
+
+def solve_stacked_systems(
+    systems: Sequence["LinearSystem"],
+    frequencies: np.ndarray,
+    rhs_stack: np.ndarray,
+) -> np.ndarray:
+    """One ``(K, F, n, n)`` solve over K same-sized linear systems.
+
+    ``rhs_stack`` is ``(K, size, cols)`` complex, one right-hand-side block
+    per member; the result is ``(K, F, size, cols)``.  Each member's block
+    is assembled exactly like :meth:`LinearSystem.solve_batch` (real and
+    imaginary planes written directly, LAPACK invoked per matrix), so the
+    stacked result matches K independent ``solve_batch`` calls bit for bit
+    — this is what makes the ensemble measurement path equal to the
+    per-member golden path.
+    """
+    freq = np.asarray(frequencies, dtype=float)
+    members = len(systems)
+    if members == 0:
+        raise AnalysisError("stacked solve needs at least one system")
+    size = systems[0].size
+    rhs_stack = np.asarray(rhs_stack, dtype=complex)
+    if rhs_stack.shape[:2] != (members, size):
+        raise AnalysisError(
+            "rhs_stack must be (members, size, cols) matching the systems"
+        )
+    omega = 2.0 * np.pi * freq
+    matrices = np.empty((members, freq.size, size, size), dtype=complex)
+    matrices.real[:] = np.stack(
+        [system.conductance for system in systems]
+    )[:, None]
+    matrices.imag[:] = omega[None, :, None, None] * np.stack(
+        [system.capacitance for system in systems]
+    )[:, None]
+    stacked = np.broadcast_to(
+        rhs_stack[:, None], (members, freq.size) + rhs_stack.shape[1:]
+    )
+    try:
+        return np.linalg.solve(matrices, stacked)
+    except np.linalg.LinAlgError as error:
+        raise AnalysisError(f"singular MNA matrix: {error}") from error

@@ -1,0 +1,65 @@
+"""Warm-start store for DC solves across synthesis rounds.
+
+The synthesis loop re-verifies a structurally identical testbench every
+round — only device sizes move, and between consecutive rounds they move
+little, so the previous round's converged node voltages are an excellent
+Newton seed.  A warm-start *session* (a context manager the synthesizer
+opens around one run) caches converged voltages keyed on the circuit's
+node/branch layout; :meth:`~repro.analysis.stamps.StampProgram.solve_voltages`
+consults the active session and, on a hit, prepends a
+:class:`~repro.resilience.policy.WarmStart` rung to the compiled ladder.
+
+Design rules:
+
+* **Correctness over speed** — a seed only changes the Newton start
+  point.  If it misleads the solver the warm rung fails and the standard
+  ladder runs from its own initial guess, so the converged solution is
+  the ladder's fixed point either way.
+* **Per-process, per-session** — the store is a stack of plain dicts in
+  this interpreter; nothing leaks between synthesis runs (each ``run()``
+  opens a fresh session) or across the batch driver's process boundary,
+  which keeps parallel Table-1 fingerprints identical to serial ones.
+* **Structural keys** — a seed is only reused for a circuit with the
+  same ordered node and voltage-source-branch layout, so the voltage
+  vector always lines up index-for-index.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+Key = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+#: Stack of active sessions (innermost last); solves consult the top only.
+_sessions: List[Dict[Key, np.ndarray]] = []
+
+
+@contextmanager
+def session() -> Iterator[None]:
+    """Open a warm-start scope; seeds recorded inside die with it."""
+    _sessions.append({})
+    try:
+        yield
+    finally:
+        _sessions.pop()
+
+
+def active() -> bool:
+    """True when a session is open (solves should consult the store)."""
+    return bool(_sessions)
+
+
+def lookup(key: Key) -> Optional[np.ndarray]:
+    """Seed voltages for ``key`` from the innermost session, or None."""
+    if not _sessions:
+        return None
+    return _sessions[-1].get(key)
+
+
+def record(key: Key, voltages: np.ndarray) -> None:
+    """Store converged ``voltages`` under ``key`` (no-op outside sessions)."""
+    if _sessions:
+        _sessions[-1][key] = np.array(voltages, dtype=float, copy=True)

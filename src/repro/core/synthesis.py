@@ -206,12 +206,19 @@ class LayoutOrientedSynthesizer:
                 "layout-oriented synthesis needs a layout-aware parasitic "
                 "mode (LAYOUT_DIFFUSION or FULL)"
             )
+        from repro.analysis import warmstart
+
         with telemetry.span(
             "synthesis.run",
             topology=self.plan.topology,
             mode=mode.name,
             generate=generate,
-        ):
+        ), warmstart.session():
+            # Round r+1's verification bench has round r's node layout, so
+            # each round's DC solve seeds from the previous converged
+            # voltages (repro.analysis.warmstart); the session dies with
+            # this run, keeping runs independent and batch fingerprints
+            # serial/parallel-identical.
             outcome = self._run(specs, mode, generate, budget)
         tracer = telemetry.current()
         if tracer is not None:

@@ -70,6 +70,16 @@ def vgs_for_current(
         vds_fixed = None
     else:
         vds_fixed = vds
+    def drain_current(candidate: float) -> float:
+        vds_eval = (
+            vds_fixed if vds_fixed is not None
+            else max(candidate - vth, 0.1) + 0.3
+        )
+        id_value, _gm, _gds, _gmb, _region = model.evaluate(
+            width, length, candidate, vds_eval, vsb
+        )
+        return id_value
+
     for _ in range(max_iterations):
         vds_eval = vds_fixed if vds_fixed is not None else max(vgs - vth, 0.1) + 0.3
         id_value, gm, _gds, _gmb, _region = model.evaluate(
@@ -84,6 +94,31 @@ def vgs_for_current(
         # Damp large steps to stay within the model's smooth domain.
         step = max(min(step, 0.5), -0.5)
         vgs -= step
+
+    # Newton stalled (skewed-corner parameters can put the seed in a
+    # region where the damped steps oscillate).  Id is monotone in vgs, so
+    # bracket the target and bisect — slower but unconditionally
+    # convergent within the bracket.
+    lo, hi = vgs, vgs
+    for _ in range(80):
+        if drain_current(lo) < current:
+            break
+        lo -= 0.5
+    for _ in range(80):
+        if drain_current(hi) > current:
+            break
+        hi += 0.5
+    if drain_current(lo) < current < drain_current(hi):
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            id_mid = drain_current(mid)
+            if abs(id_mid - current) <= tolerance + 1e-9 * current:
+                return mid
+            if id_mid < current:
+                lo = mid
+            else:
+                hi = mid
+
     raise ModelError(
         f"vgs_for_current did not converge for Id={current:.3e} A "
         f"(W={width:.3e}, L={length:.3e})"

@@ -134,6 +134,40 @@ def load_bench(path: str) -> Dict[str, Dict[str, float]]:
     return payload["results"]
 
 
+def check_regressions(
+    fresh: Dict[str, Dict[str, float]],
+    baseline: Dict[str, Dict[str, float]],
+    threshold: float = 0.25,
+) -> Dict[str, Dict[str, float]]:
+    """Compiled-path entries of ``fresh`` slower than ``baseline``.
+
+    Compares ``compiled_p50_s`` (the representative latency; best-of is
+    too flattering, p95 too noisy for a gate) per entry present in both
+    records and returns ``{name: {"fresh_p50_s", "baseline_p50_s",
+    "ratio"}}`` for every entry more than ``threshold`` slower — empty
+    means the gate passes.  Entries missing from either side (renamed or
+    newly added benchmarks) are ignored; a baseline without percentile
+    keys (v1 schema) falls back to best-of.
+    """
+    regressions: Dict[str, Dict[str, float]] = {}
+    for name, entry in sorted(fresh.items()):
+        base = baseline.get(name)
+        if base is None:
+            continue
+        fresh_p50 = entry.get("compiled_p50_s", entry.get("compiled_s"))
+        base_p50 = base.get("compiled_p50_s", base.get("compiled_s"))
+        if not fresh_p50 or not base_p50:
+            continue
+        ratio = fresh_p50 / base_p50
+        if ratio > 1.0 + threshold:
+            regressions[name] = {
+                "fresh_p50_s": fresh_p50,
+                "baseline_p50_s": base_p50,
+                "ratio": ratio,
+            }
+    return regressions
+
+
 def format_bench_table(results: Dict[str, Dict[str, float]]) -> str:
     """Human-readable before/after table for the CLI."""
     rows = [("benchmark", "legacy", "compiled", "speedup")]
@@ -364,6 +398,48 @@ def run_benchmarks(
             repeat=max(1, repeat - 2),
         ),
     }
+
+    # Stacked-ensemble entries: per-sample (legacy column) vs the stacked
+    # (K, n, n) Newton (compiled column), both on the compiled engine.
+    from repro.analysis.engine import PERSAMPLE, STACKED, ensemble_engine
+    from repro.analysis.ensemble import measure_ota_ensemble
+
+    mc_repeat = max(1, repeat - 2)
+    with ensemble_engine.use(PERSAMPLE):
+        per_sample = time_call(
+            lambda: run_monte_carlo(tb, runs=200, seed=1234),
+            repeat=mc_repeat,
+        )
+    with ensemble_engine.use(STACKED):
+        stacked = time_call(
+            lambda: run_monte_carlo(tb, runs=200, seed=1234),
+            repeat=mc_repeat,
+        )
+    results["monte_carlo_200_ensemble"] = _engine_entry(per_sample, stacked)
+
+    from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+    from repro.technology import generic_060
+    from repro.technology.corners import corner_set
+
+    tech = generic_060()
+    specs = table1_specs()
+    plan = FoldedCascodePlan(tech)
+    sizing = plan.size(specs)
+    benches = [
+        FoldedCascodePlan(corner_tech).build_testbench(sizing, specs)
+        for corner_tech in corner_set(tech).values()
+    ]
+    per_corner = time_call(
+        lambda: measure_ota_ensemble(benches, engine=PERSAMPLE),
+        repeat=repeat,
+    )
+    stacked_corners = time_call(
+        lambda: measure_ota_ensemble(benches, engine=STACKED),
+        repeat=repeat,
+    )
+    results["corners_batch_ensemble"] = _engine_entry(
+        per_corner, stacked_corners
+    )
     if include_synthesis:
         from repro.core.synthesis import LayoutOrientedSynthesizer
         from repro.sizing.plans.folded_cascode import FoldedCascodePlan

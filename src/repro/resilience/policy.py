@@ -154,6 +154,39 @@ class DirectNewton:
         return voltages, self.gmins[-1]
 
 
+@dataclass(frozen=True, eq=False)
+class WarmStart:
+    """Direct Newton seeded from a previously converged solution.
+
+    Prepended to the compiled ladder when a warm-start session (see
+    :mod:`repro.analysis.warmstart`) holds node voltages for a
+    structurally matching circuit — e.g. the previous synthesis round's
+    verification bench.  A stale seed simply fails this rung and the
+    standard ladder takes over from its own initial guess, so the result
+    is identical either way; only the iteration count changes.
+    """
+
+    seed: np.ndarray
+    name: str = "warm-start"
+    gmins: Tuple[float, ...] = (1e-12, 0.0)
+    iteration_cap: int = 50
+
+    def attempt(
+        self, backend: Any, max_iterations: int, report: ConvergenceReport
+    ) -> Optional[Tuple[np.ndarray, float]]:
+        voltages = np.array(self.seed, dtype=float, copy=True)
+        for gmin in self.gmins:
+            voltages, ok, iterations, norm = backend.newton(
+                voltages, gmin,
+                max_iterations=min(max_iterations, self.iteration_cap),
+            )
+            report.add(self.name, f"gmin={gmin:g}", ok, iterations, norm)
+            if not ok:
+                report.final_voltages = voltages
+                return None
+        return voltages, self.gmins[-1]
+
+
 @dataclass(frozen=True)
 class GminRamp:
     """Gmin continuation: relax a node-to-ground shunt geometrically.
@@ -293,3 +326,13 @@ LEGACY_POLICY = SolverPolicy(rungs=(GminRamp(), SourceStepping()))
 def ramp_policy(sequence: Tuple[float, ...]) -> SolverPolicy:
     """Ladder for a caller-pinned gmin sequence (no direct fast path)."""
     return SolverPolicy(rungs=(GminRamp(tuple(sequence)), SourceStepping()))
+
+
+def warm_policy(seed: np.ndarray) -> SolverPolicy:
+    """The compiled ladder with a warm-start rung bolted on front.
+
+    Same terminal behaviour as :data:`COMPILED_POLICY` (the full ladder
+    still runs if the seed misleads Newton), but a good seed converges in
+    a handful of iterations before :class:`DirectNewton` would even
+    start."""
+    return SolverPolicy(rungs=(WarmStart(seed),) + COMPILED_POLICY.rungs)

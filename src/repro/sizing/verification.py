@@ -71,13 +71,28 @@ class VerificationInterface:
         (offset statistics) is included.
         """
         metrics = measure_ota(testbench)
-        meets_gbw = metrics.gbw >= specs.gbw * (1.0 - self.gbw_tolerance)
-        meets_pm = metrics.phase_margin_deg >= specs.phase_margin - self.pm_tolerance
         statistics = None
         if statistical_runs > 0:
             statistics = run_monte_carlo(
                 testbench, runs=statistical_runs, seed=seed
             )
+        return self.report_from_metrics(metrics, specs, statistics)
+
+    def report_from_metrics(
+        self,
+        metrics: OtaMetrics,
+        specs: OtaSpecs,
+        statistics: Optional[MonteCarloResult] = None,
+    ) -> VerificationReport:
+        """Spec comparison on already-measured metrics.
+
+        Shared by :meth:`verify` and the ensemble corner path, so both
+        apply identical tolerances.
+        """
+        meets_gbw = metrics.gbw >= specs.gbw * (1.0 - self.gbw_tolerance)
+        meets_pm = (
+            metrics.phase_margin_deg >= specs.phase_margin - self.pm_tolerance
+        )
         return VerificationReport(
             metrics=metrics,
             meets_gbw=meets_gbw,
@@ -92,21 +107,54 @@ class VerificationInterface:
         result,
         specs: OtaSpecs,
         corners: Optional[Dict[str, object]] = None,
+        ensemble: Optional[str] = None,
     ) -> Dict[str, VerificationReport]:
         """Re-verify a sizing result across process corners.
 
         ``plan`` must expose ``build_testbench``; each corner technology
         replaces the devices while the sizes and biases stay fixed — the
         deterministic worst-case companion to the Monte-Carlo analysis.
+
+        On the stacked ensemble engine (the default) all corner replicas
+        are measured as members of one
+        :func:`~repro.analysis.ensemble.measure_ota_ensemble` call — one
+        compiled program and one stacked small-signal solve instead of a
+        full re-compile per corner.  ``ensemble="per-sample"`` (or the
+        process-wide switch) restores the per-corner loop; members that
+        cannot be stacked fall back to it automatically.
         """
         from repro.technology.corners import all_corners
 
         if corners is None:
             corners = all_corners(plan.technology)
-        reports: Dict[str, VerificationReport] = {}
+        benches: Dict[str, object] = {}
         for name, technology in corners.items():
             corner_plan = type(plan)(technology, plan.model_level)
-            bench = corner_plan.build_testbench(result, specs)
+            benches[name] = corner_plan.build_testbench(result, specs)
+
+        from repro.analysis.engine import PERSAMPLE, ensemble_engine
+
+        reports: Dict[str, VerificationReport] = {}
+        if ensemble_engine.resolve(ensemble) != PERSAMPLE:
+            from repro.analysis.ensemble import measure_ota_ensemble
+
+            measurements = measure_ota_ensemble(list(benches.values()))
+            for name, measured in zip(benches, measurements):
+                if measured.metrics is None:
+                    reports[name] = VerificationReport(
+                        metrics=None,
+                        meets_gbw=False,
+                        meets_phase_margin=False,
+                        all_saturated=False,
+                        failure_reason=measured.error,
+                    )
+                else:
+                    reports[name] = self.report_from_metrics(
+                        measured.metrics, specs
+                    )
+            return reports
+
+        for name, bench in benches.items():
             try:
                 reports[name] = self.verify(bench, specs)
             except (AnalysisError, ConvergenceError) as error:

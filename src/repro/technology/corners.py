@@ -14,7 +14,7 @@ checks alongside the Monte-Carlo mismatch analysis.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.errors import TechnologyError
 from repro.technology.process import MosParams, Technology
@@ -87,10 +87,24 @@ def corner(
     return skewed
 
 
+def corner_set(
+    technology: Technology,
+    names: Sequence[str] = CORNERS,
+    delta_temperature: float = 0.0,
+) -> Dict[str, Technology]:
+    """Named corners keyed by name, in the given order.
+
+    The natural input for ensemble corner verification: every returned
+    technology shares the nominal's topology, so the replicas stack into
+    one batched solve.
+    """
+    return {
+        name: corner(technology, name, delta_temperature) for name in names
+    }
+
+
 def all_corners(
     technology: Technology, delta_temperature: float = 0.0
 ) -> Dict[str, Technology]:
     """All five corners keyed by name."""
-    return {
-        name: corner(technology, name, delta_temperature) for name in CORNERS
-    }
+    return corner_set(technology, CORNERS, delta_temperature)

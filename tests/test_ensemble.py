@@ -1,0 +1,158 @@
+"""Stacked-ensemble solves vs the per-sample golden path.
+
+The ensemble engine must be a pure performance transform: sample-for-
+sample equal results (rtol 1e-9; in practice bitwise), per-member failure
+isolation, and worker-count independence.  These tests pin the design
+rules documented in :mod:`repro.analysis.ensemble`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.engine import PERSAMPLE, STACKED, ensemble_engine
+from repro.analysis.ensemble import EnsembleProgram, measure_ota_ensemble
+from repro.analysis.montecarlo import run_monte_carlo
+from repro.analysis.stamps import StampProgram
+from repro.errors import ConvergenceError
+from repro.perf import default_testbench, two_stage_testbench
+from repro.sizing.specs import OtaSpecs
+from repro.technology import generic_035
+from repro.technology.corners import corner_set
+
+RTOL = 1e-9
+
+TESTBENCHES = {
+    "folded_cascode": default_testbench,
+    "two_stage": two_stage_testbench,
+}
+
+
+@pytest.fixture(scope="module", params=sorted(TESTBENCHES))
+def tb(request):
+    return TESTBENCHES[request.param]()
+
+
+@pytest.fixture(scope="module")
+def feedback(tb):
+    circuit = tb.circuit.clone("ensemble_fb")
+    circuit.remove(tb.source_neg)
+    circuit.add_vsource("_fb", tb.input_neg_net, tb.output_net, dc=0.0)
+    return circuit
+
+
+class TestMonteCarloParity:
+    def test_stacked_matches_per_sample(self, tb):
+        with ensemble_engine.use(PERSAMPLE):
+            reference = run_monte_carlo(tb, runs=40, seed=99)
+        with ensemble_engine.use(STACKED):
+            stacked = run_monte_carlo(tb, runs=40, seed=99)
+        assert set(stacked.samples) == set(reference.samples)
+        for key, values in reference.samples.items():
+            np.testing.assert_allclose(
+                stacked.samples[key], values, rtol=RTOL, atol=1e-12
+            )
+
+    def test_stacked_statistics_identical_for_any_worker_count(self, tb):
+        with ensemble_engine.use(STACKED):
+            serial = run_monte_carlo(tb, runs=12, seed=77, workers=1)
+            pooled = run_monte_carlo(tb, runs=12, seed=77, workers=4)
+        assert serial.samples == pooled.samples
+        assert pooled.n_failed == 0
+
+    def test_scoped_engine_override_crosses_worker_boundary(self, tb):
+        """A scoped per-sample override must also govern pool workers."""
+        with ensemble_engine.use(PERSAMPLE):
+            reference = run_monte_carlo(tb, runs=12, seed=77, workers=4)
+        with ensemble_engine.use(STACKED):
+            stacked = run_monte_carlo(tb, runs=12, seed=77, workers=4)
+        for key, values in reference.samples.items():
+            np.testing.assert_allclose(
+                stacked.samples[key], values, rtol=RTOL, atol=1e-12
+            )
+
+
+class TestMemberMasking:
+    def test_member_rows_independent_of_batch(self, feedback):
+        """A member's trajectory must not depend on who shares its batch."""
+        program = StampProgram(feedback)
+        n = program._n_mos
+        rng = np.random.default_rng(5)
+        vth = rng.normal(scale=2e-3, size=(3, n))
+        beta = rng.normal(scale=5e-3, size=(3, n))
+        small = EnsembleProgram.from_mismatch(program, vth, beta).solve()
+        assert small.converged.all()
+
+        # Append a pathological fourth member; the first three rows must
+        # come out bitwise identical whatever happens to the new one.
+        vth4 = np.vstack([vth, np.full((1, n), 50.0)])
+        beta4 = np.vstack([beta, np.full((1, n), -0.99)])
+        big = EnsembleProgram.from_mismatch(program, vth4, beta4).solve()
+        assert np.array_equal(big.voltages[:3], small.voltages)
+        np.testing.assert_array_equal(big.converged[:3], small.converged)
+        np.testing.assert_array_equal(big.iterations[:3], small.iterations)
+
+    def test_diverging_member_reported_not_poisoning(self, feedback):
+        """A member that genuinely fails DC is isolated: the others
+        converge to their per-sample values and the failure carries the
+        per-sample ConvergenceError/report."""
+        program = StampProgram(feedback)
+        n = program._n_mos
+        rng = np.random.default_rng(11)
+        vth = rng.normal(scale=2e-3, size=(4, n))
+        beta = rng.normal(scale=5e-3, size=(4, n))
+        # Member 2 is unsolvable (NaN threshold shifts poison the model
+        # evaluation on every rung, batched and scalar alike).
+        vth[2] = np.nan
+        solution = EnsembleProgram.from_mismatch(program, vth, beta).solve()
+        assert not solution.converged[2]
+        assert solution.converged[[0, 1, 3]].all()
+        assert 2 in solution.errors
+        report = solution.reports[2]
+        assert not report.converged
+        assert report.rungs
+        for k in (0, 1, 3):
+            program.set_mismatch(vth[k], beta[k])
+            program._swap_cache = None
+            voltages, _, _ = program.solve_voltages()
+            np.testing.assert_allclose(
+                solution.voltages[k], voltages, rtol=RTOL, atol=1e-12
+            )
+        program.set_mismatch(vth[2], beta[2])
+        program._swap_cache = None
+        with pytest.raises(ConvergenceError) as excinfo:
+            program.solve_voltages()
+        assert str(solution.errors[2]) == str(excinfo.value)
+        with pytest.raises(ConvergenceError):
+            solution.raise_on_failure()
+
+
+class TestEnsembleMeasurement:
+    def test_corner_measurement_matches_per_sample(self):
+        technology = generic_035()
+        specs = OtaSpecs()
+        from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+
+        plan = FoldedCascodePlan(technology, 1)
+        sizing = plan.size(specs)
+        benches = [
+            type(plan)(tech, 1).build_testbench(sizing, specs)
+            for tech in corner_set(technology).values()
+        ]
+        stacked = measure_ota_ensemble(benches, engine=STACKED)
+        reference = measure_ota_ensemble(benches, engine=PERSAMPLE)
+        assert len(stacked) == len(reference) == len(benches)
+        for got, ref in zip(stacked, reference):
+            if ref.metrics is None:
+                assert got.metrics is None
+                assert got.error == ref.error
+                continue
+            for attr in (
+                "dc_gain_db", "gbw", "phase_margin_deg", "slew_rate",
+                "cmrr_db", "psrr_db", "offset_voltage",
+                "output_resistance", "input_noise_rms", "power",
+            ):
+                assert getattr(got.metrics, attr) == pytest.approx(
+                    getattr(ref.metrics, attr), rel=RTOL, abs=1e-15
+                ), attr

@@ -91,3 +91,33 @@ class TestVgsForCurrent:
         vgs = vgs_for_current(model, current, w, l, vds=vds)
         measured, *_ = model.evaluate(w, l, vgs, vds, 0.0)
         assert measured == pytest.approx(current, rel=1e-4)
+
+    @pytest.mark.parametrize("corner_name", ["ss", "ff"])
+    def test_bisection_fallback_at_skewed_corners(self, tech, corner_name):
+        """A starved Newton budget still converges via bisection.
+
+        ``max_iterations=1`` guarantees Newton gives up immediately, so
+        this exercises the bracketing fallback on corner-skewed models.
+        """
+        from repro.technology.corners import corner
+
+        skewed = corner(tech, corner_name)
+        for params in (skewed.nmos, skewed.pmos):
+            model = make_model(params, 1)
+            w, l, vds = 40 * UM, 1 * UM, 1.2
+            target = 120e-6
+            vgs = vgs_for_current(
+                model, target, w, l, vds=vds, max_iterations=1
+            )
+            measured, *_ = model.evaluate(w, l, vgs, vds, 0.0)
+            assert measured == pytest.approx(target, rel=1e-6)
+
+    def test_bisection_matches_newton(self, nmos_model):
+        """Fallback and Newton agree on the same operating point."""
+        w, l, vds = 40 * UM, 1 * UM, 1.0
+        target = 120e-6
+        newton = vgs_for_current(nmos_model, target, w, l, vds=vds)
+        bisected = vgs_for_current(
+            nmos_model, target, w, l, vds=vds, max_iterations=1
+        )
+        assert bisected == pytest.approx(newton, abs=1e-6)
