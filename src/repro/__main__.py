@@ -20,13 +20,24 @@ to stderr, so stdout stays pipeable.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional
 
-from repro.errors import BudgetExceededError, ConvergenceError, ReproError
+from repro.errors import (
+    BudgetExceededError,
+    ConvergenceError,
+    JournalError,
+    ReproError,
+    RunInterrupted,
+)
 from repro.sizing.specs import OtaSpecs, ParasiticMode
 from repro.technology import generic_035, generic_060, generic_080
 from repro.units import UM
+
+#: Exit code of a run stopped cleanly by SIGINT/SIGTERM with a resumable
+#: journal checkpoint on disk.
+EXIT_INTERRUPTED = 3
 
 
 def dump_failure(error: ReproError) -> None:
@@ -88,6 +99,50 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_journal_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--journal", metavar="RUN_DIR", default=None,
+        help="journal completed units of work to RUN_DIR/journal.jsonl "
+             "(crash-safe; continue a killed run with --resume RUN_DIR)",
+    )
+    group.add_argument(
+        "--resume", metavar="RUN_DIR", default=None,
+        help="resume a journaled run: restore completed units from "
+             "RUN_DIR and run only the remaining work (results are "
+             "bit-identical to an uninterrupted run)",
+    )
+
+
+def _open_journal(args: argparse.Namespace, kind: str, config: dict):
+    """The run's :class:`RunJournal` per --journal/--resume, or None."""
+    from repro.resilience.journal import RunJournal
+
+    run_dir = getattr(args, "resume", None)
+    if run_dir:
+        journal = RunJournal.resume(run_dir, kind=kind, config=config)
+        print(f"resuming {kind} run from {run_dir}: "
+              f"{journal.resumed_unit_count} journaled unit(s) restored",
+              file=sys.stderr)
+        return journal
+    run_dir = getattr(args, "journal", None)
+    if run_dir:
+        return RunJournal.create(run_dir, kind=kind, config=config)
+    return None
+
+
+def _report_interrupt(error: RunInterrupted) -> int:
+    """Stderr checkpoint notice for a cleanly interrupted run."""
+    journal = error.journal
+    signal_name = error.signal_name or "signal"
+    units = len(journal) if journal is not None else 0
+    print(f"interrupted by {signal_name}: {units} completed unit(s) "
+          f"checkpointed", file=sys.stderr)
+    if journal is not None:
+        print(f"continue with: --resume {journal.run_dir}", file=sys.stderr)
+    return EXIT_INTERRUPTED
+
+
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--gbw", type=float, default=65.0,
                         help="gain-bandwidth target, MHz (default 65)")
@@ -122,9 +177,28 @@ def cmd_table1(args: argparse.Namespace) -> int:
         for corner in corners
         for mode in modes
     ]
+    config = {
+        "technology": args.technology,
+        "specs": dataclasses.asdict(specs),
+        "corners": corners,
+        "modes": [mode.name for mode in modes],
+    }
+    try:
+        journal = _open_journal(args, "table1", config)
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     for task in tasks:
         print(f"running {task.label} ...", file=sys.stderr)
-    batch = run_batch(tasks, jobs=args.jobs)
+    try:
+        if journal is not None:
+            with journal, journal.shutdown_guard():
+                batch = run_batch(tasks, jobs=args.jobs, journal=journal)
+                journal.complete()
+        else:
+            batch = run_batch(tasks, jobs=args.jobs)
+    except RunInterrupted as error:
+        return _report_interrupt(error)
     if batch.jobs > 1:
         print(f"ran {len(tasks)} cases on {batch.jobs} workers",
               file=sys.stderr)
@@ -154,10 +228,30 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         Budget.from_seconds(args.deadline) if args.deadline else None
     )
     synthesizer = LayoutOrientedSynthesizer(technology, aspect=args.aspect)
+    config = {
+        "technology": args.technology,
+        "specs": dataclasses.asdict(specs),
+        "aspect": args.aspect,
+    }
     try:
-        outcome = synthesizer.run(
-            specs, mode=ParasiticMode.FULL, generate=True, budget=budget
-        )
+        journal = _open_journal(args, "synthesize", config)
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if journal is not None:
+            with journal, journal.shutdown_guard():
+                outcome = synthesizer.run(
+                    specs, mode=ParasiticMode.FULL, generate=True,
+                    budget=budget, journal=journal,
+                )
+                journal.complete()
+        else:
+            outcome = synthesizer.run(
+                specs, mode=ParasiticMode.FULL, generate=True, budget=budget
+            )
+    except RunInterrupted as error:
+        return _report_interrupt(error)
     except ReproError as error:
         dump_failure(error)
         return 1
@@ -220,7 +314,25 @@ def cmd_flows(args: argparse.Namespace) -> int:
                   variant=variant)
         for variant in ("traditional", "oriented")
     ]
-    batch = run_batch(tasks, jobs=args.jobs)
+    config = {
+        "technology": args.technology,
+        "specs": dataclasses.asdict(specs),
+        "variants": [task.variant for task in tasks],
+    }
+    try:
+        journal = _open_journal(args, "flows", config)
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        if journal is not None:
+            with journal, journal.shutdown_guard():
+                batch = run_batch(tasks, jobs=args.jobs, journal=journal)
+                journal.complete()
+        else:
+            batch = run_batch(tasks, jobs=args.jobs)
+    except RunInterrupted as error:
+        return _report_interrupt(error)
     traditional, oriented = batch.results
     print(f"{'flow':<18}{'rounds':>8}{'time (s)':>10}"
           f"{'GBW (MHz)':>11}{'PM (deg)':>10}")
@@ -405,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a deterministic content hash per case "
                              "(excludes timings; for determinism checks)")
     _add_trace_argument(table1)
+    _add_journal_arguments(table1)
     table1.set_defaults(func=cmd_table1)
 
     synthesize = subparsers.add_parser(
@@ -425,6 +538,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-verify the synthesized sizing at the five process "
              "corners as one stacked ensemble measurement")
     _add_trace_argument(synthesize)
+    _add_journal_arguments(synthesize)
     synthesize.set_defaults(func=cmd_synthesize)
 
     flows = subparsers.add_parser(
@@ -436,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the two flows concurrently on N worker "
                             "processes")
     _add_trace_argument(flows)
+    _add_journal_arguments(flows)
     flows.set_defaults(func=cmd_flows)
 
     figure2 = subparsers.add_parser(
@@ -497,6 +612,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
+    from repro.resilience import faults
+
+    # The CI kill-resume smoke job (and any operator) can arm fault
+    # sites from the environment, e.g.
+    # REPRO_FAULTS="process.kill:at=2,action=crash".
+    faults.arm_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
@@ -512,8 +633,12 @@ def main(argv: Optional[list] = None) -> int:
             code = args.func(args)
     finally:
         # Partial traces are still replayable; export them even when the
-        # command dies mid-run.
-        tracer.write_jsonl(trace_path, name=name)
+        # command dies mid-run.  A resumed run appends a new trace
+        # segment instead of erasing the original legs.
+        tracer.write_jsonl(
+            trace_path, name=name,
+            append=bool(getattr(args, "resume", None)),
+        )
         print(f"trace written to {trace_path}", file=sys.stderr)
     print(f"trace: {trace_path}")
     return code

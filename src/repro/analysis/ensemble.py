@@ -468,15 +468,21 @@ class EnsembleProgram:
                 # r as a stack of vectors (never a broadcast matrix).
                 delta = np.linalg.solve(jacobian[idx], -r[..., None])[..., 0]
             except Exception:
-                # Stacked solve failed (singular member or injected
-                # fault): isolate members so one cannot sink the batch.
+                # Stacked solve failed — LAPACK raises one LinAlgError
+                # for the whole (K, n, n) batch even when a single
+                # member is singular (or a fault was injected).  Re-solve
+                # member-by-member to isolate the offenders: healthy
+                # members keep their Newton step, and only the genuinely
+                # singular ones demote to the scalar fallback ladder.
+                telemetry.count("ensemble.singular_batches")
                 delta = np.empty_like(r)
                 for row, k in enumerate(idx):
                     try:
                         delta[row] = np.linalg.solve(
                             jacobian[k], -residual[k]
                         )
-                    except Exception:
+                    except np.linalg.LinAlgError:
+                        telemetry.count("ensemble.singular_members")
                         delta[row] = np.nan
             usable = np.isfinite(delta).all(axis=1)
             if not usable.all():

@@ -33,6 +33,7 @@ from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
 from repro.resilience import faults
 from repro.resilience.budget import Budget
+from repro.resilience.journal import RunJournal, ignore_sigint
 
 
 @dataclass
@@ -44,7 +45,8 @@ class ShardStatus:
     """Half-open sample range ``[lo, hi)`` this shard covers."""
     attempts: int = 0
     status: str = "pending"
-    """``ok`` | ``resubmitted`` | ``in-process`` | ``failed``."""
+    """``ok`` | ``resubmitted`` | ``in-process`` | ``failed`` |
+    ``journaled`` (restored from a run journal, not re-run)."""
     error: Optional[str] = None
     """Last failure seen (worker death, timeout), even when recovered."""
 
@@ -277,6 +279,11 @@ def _run_chunk_traced(
     return stats, tracer.trace_payload()
 
 
+def _shard_key(span: Tuple[int, int]) -> str:
+    """Journal key of the shard covering sample rows ``[lo, hi)``."""
+    return f"mc.shard.{span[0]}.{span[1]}"
+
+
 def _run_shards(
     tb: OtaTestbench,
     names: Sequence[str],
@@ -289,6 +296,7 @@ def _run_shards(
     max_shard_retries: int,
     budget: Optional[Budget],
     ensemble: Optional[str] = None,
+    journal: Optional[RunJournal] = None,
 ) -> Tuple[List[Optional[List[Dict[str, float]]]], List[ShardStatus]]:
     """Run every shard on a process pool with bounded recovery.
 
@@ -297,6 +305,12 @@ def _run_shards(
     shard that *also* fails in-process is reported as lost.  Because every
     sample row was drawn before any work was scheduled, a recovered shard
     reproduces exactly the values the dead worker would have produced.
+
+    With a ``journal``, shards already recorded by a previous run are
+    restored instead of re-run (bit-identical, for the same pre-drawn
+    reason), every completed shard is appended durably, and a shutdown
+    signal drains in-flight workers into the journal before raising
+    :class:`~repro.errors.RunInterrupted`.
     """
     from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
     from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -305,8 +319,29 @@ def _run_shards(
     statuses = [
         ShardStatus(index=i, span=span) for i, span in enumerate(spans)
     ]
-    pending = list(range(len(spans)))
+    pending = []
+    for i, span in enumerate(spans):
+        if journal is not None and journal.has(_shard_key(span)):
+            chunks[i] = journal.result(_shard_key(span))
+            statuses[i].status = "journaled"
+            telemetry.count("mc.journaled_shards")
+        else:
+            pending.append(i)
     tracer = telemetry.current()
+
+    def accept(i: int, outcome: object, submit_time: Optional[float]) -> None:
+        """Accept one completed shard result (and journal it durably)."""
+        if tracer is not None:
+            chunks[i], payload = outcome
+            tracer.absorb(payload, t_offset=submit_time)
+        else:
+            chunks[i] = outcome
+        statuses[i].status = (
+            "ok" if statuses[i].attempts == 1 else "resubmitted"
+        )
+        if journal is not None:
+            lo, hi = spans[i]
+            journal.record(_shard_key(spans[i]), chunks[i], lo=lo, hi=hi)
 
     for _round in range(1 + max_shard_retries):
         if not pending:
@@ -314,8 +349,11 @@ def _run_shards(
         if budget is not None:
             budget.check("montecarlo.shards", pending=len(pending))
         retry: List[int] = []
+        # Workers ignore SIGINT so Ctrl-C (delivered to the whole process
+        # group) leaves the pool intact for the parent's checkpoint drain.
         pool = ProcessPoolExecutor(
-            max_workers=min(max_workers, len(pending))
+            max_workers=min(max_workers, len(pending)),
+            initializer=ignore_sigint,
         )
         had_timeout = False
         futures = {}
@@ -335,50 +373,68 @@ def _run_shards(
                     _run_chunk, tb, names, vth[lo:hi], beta[lo:hi],
                     measure, crash, ensemble,
                 )
-        for i, future in futures.items():
-            try:
-                outcome = future.result(timeout=shard_timeout)
-                if tracer is not None:
-                    chunks[i], payload = outcome
-                    tracer.absorb(payload, t_offset=submit_times[i])
-                else:
-                    chunks[i] = outcome
-                statuses[i].status = (
-                    "ok" if statuses[i].attempts == 1 else "resubmitted"
-                )
-            except (pickle.PicklingError, AttributeError, TypeError) as error:
-                # A result that cannot cross back (worker-side pickling)
-                # can never succeed on a retry: fail fast with context.
-                # (Parent-side pickling is pre-validated before dispatch,
-                # because a feeder-thread PicklingError wedges the pool
-                # beyond recovery on CPython < 3.12.)
-                pool.shutdown(wait=True, cancel_futures=True)
-                raise AnalysisError(
-                    f"Monte-Carlo shard {i} of {len(spans)} "
-                    f"(workers={max_workers}) could not cross the process "
-                    f"boundary: {error!r}; a custom measure function must "
-                    f"be module-level (picklable)"
-                ) from error
-            except FuturesTimeoutError:
-                had_timeout = True
-                statuses[i].error = (
-                    f"shard timed out after {shard_timeout:g} s"
-                )
-                telemetry.count("mc.shard_retries")
-                telemetry.event(
-                    "mc.shard_timeout", shard=i, timeout_s=shard_timeout
-                )
-                retry.append(i)
-            except (BrokenExecutor, OSError, EOFError) as error:
-                statuses[i].error = (
-                    f"worker died: {error!r} (shard {i} of {len(spans)}, "
-                    f"workers={max_workers})"
-                )
-                telemetry.count("mc.shard_retries")
-                telemetry.event(
-                    "mc.worker_death", shard=i, error=repr(error)
-                )
-                retry.append(i)
+        try:
+            for i, future in futures.items():
+                if journal is not None and journal.interrupted:
+                    # Shutdown signal: drain in-flight workers, journal
+                    # every shard that made it home, then stop cleanly.
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    for j, done in futures.items():
+                        if (
+                            chunks[j] is None
+                            and done.done()
+                            and not done.cancelled()
+                            and done.exception() is None
+                        ):
+                            accept(j, done.result(), submit_times.get(j))
+                    journal.check_interrupt("mc.drain")
+                try:
+                    accept(
+                        i,
+                        future.result(timeout=shard_timeout),
+                        submit_times.get(i),
+                    )
+                except (
+                    pickle.PicklingError, AttributeError, TypeError
+                ) as error:
+                    # A result that cannot cross back (worker-side
+                    # pickling) can never succeed on a retry: fail fast
+                    # with context.  (Parent-side pickling is
+                    # pre-validated before dispatch, because a
+                    # feeder-thread PicklingError wedges the pool beyond
+                    # recovery on CPython < 3.12.)
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    raise AnalysisError(
+                        f"Monte-Carlo shard {i} of {len(spans)} "
+                        f"(workers={max_workers}) could not cross the "
+                        f"process boundary: {error!r}; a custom measure "
+                        f"function must be module-level (picklable)"
+                    ) from error
+                except FuturesTimeoutError:
+                    had_timeout = True
+                    statuses[i].error = (
+                        f"shard timed out after {shard_timeout:g} s"
+                    )
+                    telemetry.count("mc.shard_retries")
+                    telemetry.event(
+                        "mc.shard_timeout", shard=i, timeout_s=shard_timeout
+                    )
+                    retry.append(i)
+                except (BrokenExecutor, OSError, EOFError) as error:
+                    statuses[i].error = (
+                        f"worker died: {error!r} (shard {i} of {len(spans)}, "
+                        f"workers={max_workers})"
+                    )
+                    telemetry.count("mc.shard_retries")
+                    telemetry.event(
+                        "mc.worker_death", shard=i, error=repr(error)
+                    )
+                    retry.append(i)
+        except BaseException:
+            # RunInterrupted, a simulated kill at a journal boundary, or
+            # the pickling failure above: don't leave workers running.
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
         # A timed-out worker may still be running; don't block on it.
         pool.shutdown(wait=not had_timeout, cancel_futures=True)
         pending = retry
@@ -386,6 +442,8 @@ def _run_shards(
     # Bounded retries exhausted: bring the stragglers home in-process.
     for i in pending:
         lo, hi = spans[i]
+        if journal is not None:
+            journal.check_interrupt("mc.shard-fallback")
         if budget is not None:
             budget.check("montecarlo.shard-fallback", shard=i)
         statuses[i].attempts += 1
@@ -397,6 +455,8 @@ def _run_shards(
                 )
             telemetry.count("mc.shards_in_process")
             statuses[i].status = "in-process"
+            if journal is not None:
+                journal.record(_shard_key(spans[i]), chunks[i], lo=lo, hi=hi)
         except Exception as error:  # noqa: BLE001 - recorded, not masked
             telemetry.count("mc.shards_failed")
             statuses[i].status = "failed"
@@ -415,6 +475,7 @@ def run_monte_carlo(
     shard_timeout: Optional[float] = None,
     max_shard_retries: int = 1,
     ensemble: Optional[str] = None,
+    journal: Optional[RunJournal] = None,
 ) -> MonteCarloResult:
     """Sample mismatch and collect statistics.
 
@@ -440,6 +501,14 @@ def run_monte_carlo(
     (the golden per-row loop); ``None`` follows
     :data:`~repro.analysis.engine.ensemble_engine`.  The value is
     resolved here, in the parent, so scoped overrides reach pool workers.
+
+    ``journal`` makes the run crash-safe: completed shards are appended
+    durably and restored on resume without re-running.  Because every
+    sample is pre-drawn from ``seed``, a resumed run's statistics are
+    bit-identical to an uninterrupted run's, for any kill point.  (The
+    shard partition follows ``workers``, so resuming with a *different*
+    worker count re-runs the unmatched spans — still bit-identical, just
+    without the skip.)
     """
     if workers < 1:
         raise AnalysisError("workers must be >= 1")
@@ -460,8 +529,19 @@ def run_monte_carlo(
                 raise AnalysisError(
                     "workers > 1 requires the compiled engine"
                 )
+            # The legacy engine threads one RNG stream through the whole
+            # loop, so the run journals as a single unit: all-or-nothing,
+            # but still restored bit-identically on resume.
+            if journal is not None:
+                cached = journal.result_or_none("mc.samples.all")
+                if cached is not None:
+                    telemetry.count("mc.journaled_shards")
+                    result.samples = cached
+                    return result
             rng = np.random.default_rng(seed)
             for sample_index in range(runs):
+                if journal is not None:
+                    journal.check_interrupt("mc.sample")
                 if budget is not None:
                     budget.check("montecarlo.sample", sample=sample_index)
                 perturbed = apply_mismatch(tb.circuit, rng)
@@ -483,20 +563,34 @@ def run_monte_carlo(
                     stats = measure(sample_tb)
                 for key, value in stats.items():
                     result.samples.setdefault(key, []).append(float(value))
+            if journal is not None:
+                journal.record("mc.samples.all", result.samples, runs=runs)
             return result
 
         names, vth, beta = draw_mismatch_samples(tb.circuit, runs, seed)
 
         if workers == 1:
-            if budget is not None:
-                budget.check("montecarlo.start", runs=runs)
-            with telemetry.span("mc.shard", index=0, lo=0, hi=runs):
-                chunks: List[Optional[List[Dict[str, float]]]] = [
-                    _run_chunk(
-                        tb, names, vth, beta, measure,
-                        ensemble=ensemble_name,
-                    )
-                ]
+            key = _shard_key((0, runs))
+            cached = (
+                journal.result_or_none(key) if journal is not None else None
+            )
+            if cached is not None:
+                telemetry.count("mc.journaled_shards")
+                chunks: List[Optional[List[Dict[str, float]]]] = [cached]
+            else:
+                if journal is not None:
+                    journal.check_interrupt("mc.start")
+                if budget is not None:
+                    budget.check("montecarlo.start", runs=runs)
+                with telemetry.span("mc.shard", index=0, lo=0, hi=runs):
+                    chunks = [
+                        _run_chunk(
+                            tb, names, vth, beta, measure,
+                            ensemble=ensemble_name,
+                        )
+                    ]
+                if journal is not None:
+                    journal.record(key, chunks[0], lo=0, hi=runs)
         else:
             try:
                 pickle.dumps((tb, measure))
@@ -522,6 +616,7 @@ def run_monte_carlo(
                 max_shard_retries=max_shard_retries,
                 budget=budget,
                 ensemble=ensemble_name,
+                journal=journal,
             )
             result.shards = statuses
             result.n_failed = sum(

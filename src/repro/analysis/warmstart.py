@@ -63,3 +63,31 @@ def record(key: Key, voltages: np.ndarray) -> None:
     """Store converged ``voltages`` under ``key`` (no-op outside sessions)."""
     if _sessions:
         _sessions[-1][key] = np.array(voltages, dtype=float, copy=True)
+
+
+def snapshot() -> Dict[Key, np.ndarray]:
+    """A deep copy of the innermost session's seeds ({} outside sessions).
+
+    The run journal stores one snapshot per synthesis round so a resumed
+    run re-enters each round with exactly the seeds the original run had
+    — the warm-start chain, and therefore every Newton iterate, replays
+    bit-identically.
+    """
+    if not _sessions:
+        return {}
+    return {
+        key: np.array(value, dtype=float, copy=True)
+        for key, value in _sessions[-1].items()
+    }
+
+
+def restore(seeds: Dict[Key, np.ndarray]) -> None:
+    """Overwrite the innermost session with ``seeds`` (no-op outside).
+
+    Inverse of :func:`snapshot`, used when resuming a journaled
+    synthesis run.
+    """
+    if _sessions:
+        _sessions[-1].clear()
+        for key, value in seeds.items():
+            _sessions[-1][key] = np.array(value, dtype=float, copy=True)

@@ -25,9 +25,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
-from repro.errors import SynthesisError
+from repro.errors import JournalError, SynthesisError
 from repro.resilience import faults
 from repro.resilience.budget import Budget
+from repro.resilience.journal import RunJournal, ignore_sigint
 from repro.sizing.specs import OtaSpecs, ParasiticMode
 from repro.technology import generic_035, generic_060, generic_080
 from repro.technology.corners import corner as technology_corner
@@ -77,7 +78,8 @@ class TaskStatus:
     label: str
     attempts: int = 0
     status: str = "pending"
-    """``ok`` | ``resubmitted`` | ``in-process`` | ``serial``."""
+    """``ok`` | ``resubmitted`` | ``in-process`` | ``serial`` |
+    ``journaled`` (restored from a resumed run journal, zero attempts)."""
     error: Optional[str] = None
     """Last failure seen (worker death, timeout), even when recovered."""
 
@@ -211,19 +213,60 @@ def _run_task_traced(
     return result, tracer.trace_payload()
 
 
+def _task_key(index: int) -> str:
+    return f"task.{index}"
+
+
+def _restore_journaled(
+    tasks: Sequence[BatchTask],
+    statuses: List[TaskStatus],
+    results: List[object],
+    journal: Optional[RunJournal],
+) -> List[int]:
+    """Fill ``results`` from the journal; return the still-pending indices.
+
+    A journaled unit whose recorded label does not match the task at the
+    same index means the resumed invocation built a different task list —
+    refuse rather than silently mix incompatible results.
+    """
+    pending: List[int] = []
+    for i, task in enumerate(tasks):
+        key = _task_key(i)
+        if journal is None or not journal.has(key):
+            pending.append(i)
+            continue
+        label = journal.unit_meta(key).get("label")
+        if label is not None and label != task.label:
+            raise JournalError(
+                f"journaled unit {key!r} is {label!r} but this run's task "
+                f"{i} is {task.label!r}; the task list changed — refusing "
+                f"to resume"
+            )
+        results[i] = journal.result(key)
+        statuses[i].status = "journaled"
+        telemetry.count("batch.journaled_tasks")
+    return pending
+
+
 def _run_serial(
     tasks: Sequence[BatchTask],
     statuses: List[TaskStatus],
     budget: Optional[Budget],
+    journal: Optional[RunJournal] = None,
 ) -> List[object]:
     results: List[object] = [None] * len(tasks)
-    for i, task in enumerate(tasks):
+    for i in _restore_journaled(tasks, statuses, results, journal):
+        task = tasks[i]
+        if journal is not None:
+            journal.check_interrupt("batch.task")
         if budget is not None:
             budget.check("batch.task", index=i)
         statuses[i].attempts += 1
         with telemetry.span("batch.task", index=i, label=task.label):
             results[i] = run_task(task)
         statuses[i].status = "serial"
+        if journal is not None:
+            journal.record(_task_key(i), results[i], label=task.label)
     return results
 
 
@@ -234,6 +277,7 @@ def _run_pooled(
     task_timeout: Optional[float],
     max_retries: int,
     budget: Optional[Budget],
+    journal: Optional[RunJournal] = None,
 ) -> List[object]:
     from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
     from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -250,8 +294,21 @@ def _run_pooled(
         ) from error
 
     results: List[object] = [None] * len(tasks)
-    pending = list(range(len(tasks)))
+    pending = _restore_journaled(tasks, statuses, results, journal)
     tracer = telemetry.current()
+
+    def harvest(i: int, outcome: object, submit_time: Optional[float]) -> None:
+        """Accept one completed task result (and journal it durably)."""
+        if tracer is not None:
+            results[i], payload = outcome
+            tracer.absorb(payload, t_offset=submit_time)
+        else:
+            results[i] = outcome
+        statuses[i].status = (
+            "ok" if statuses[i].attempts == 1 else "resubmitted"
+        )
+        if journal is not None:
+            journal.record(_task_key(i), results[i], label=tasks[i].label)
 
     for _round in range(1 + max_retries):
         if not pending:
@@ -259,7 +316,12 @@ def _run_pooled(
         if budget is not None:
             budget.check("batch.round", pending=len(pending))
         retry: List[int] = []
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)))
+        # Workers ignore SIGINT: Ctrl-C reaches the whole process group,
+        # and the parent must drain the pool into a checkpoint instead of
+        # finding it already broken.
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), initializer=ignore_sigint
+        )
         had_timeout = False
         futures = {}
         submit_times: Dict[int, float] = {}
@@ -275,15 +337,24 @@ def _run_pooled(
                 futures[i] = pool.submit(_run_task_worker, tasks[i], crash)
         try:
             for i, future in futures.items():
+                if journal is not None and journal.interrupted:
+                    # Shutdown signal: drain in-flight workers, journal
+                    # every result that made it home, then stop cleanly.
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    for j, done in futures.items():
+                        if (
+                            results[j] is None
+                            and done.done()
+                            and not done.cancelled()
+                            and done.exception() is None
+                        ):
+                            harvest(j, done.result(), submit_times.get(j))
+                    journal.check_interrupt("batch.drain")
                 try:
-                    outcome = future.result(timeout=task_timeout)
-                    if tracer is not None:
-                        results[i], payload = outcome
-                        tracer.absorb(payload, t_offset=submit_times[i])
-                    else:
-                        results[i] = outcome
-                    statuses[i].status = (
-                        "ok" if statuses[i].attempts == 1 else "resubmitted"
+                    harvest(
+                        i,
+                        future.result(timeout=task_timeout),
+                        submit_times.get(i),
                     )
                 except pickle.PicklingError as error:
                     # A result that cannot cross back can never succeed
@@ -325,6 +396,8 @@ def _run_pooled(
     # Bounded retries exhausted: bring the stragglers home in-process.
     # Task exceptions propagate here too — parity with the serial path.
     for i in pending:
+        if journal is not None:
+            journal.check_interrupt("batch.task-fallback")
         if budget is not None:
             budget.check("batch.task-fallback", task=i)
         statuses[i].attempts += 1
@@ -334,6 +407,8 @@ def _run_pooled(
             results[i] = run_task(tasks[i])
         telemetry.count("batch.in_process")
         statuses[i].status = "in-process"
+        if journal is not None:
+            journal.record(_task_key(i), results[i], label=tasks[i].label)
     return results
 
 
@@ -343,6 +418,7 @@ def run_batch(
     task_timeout: Optional[float] = None,
     max_retries: int = 1,
     budget: Optional[Budget] = None,
+    journal: Optional[RunJournal] = None,
 ) -> BatchResult:
     """Run every task, serially (``jobs=1``) or on a process pool.
 
@@ -355,6 +431,13 @@ def run_batch(
     error exactly as a serial run would.  ``budget`` bounds wall-clock
     time at task/round boundaries via
     :class:`~repro.errors.BudgetExceededError`.
+
+    ``journal`` makes the batch crash-safe: every completed task is
+    appended durably, tasks already journaled by a previous run are
+    restored without re-running (bit-identical — tasks are
+    self-contained values), and a SIGINT/SIGTERM observed through the
+    journal's shutdown guard drains in-flight workers into the journal
+    before raising :class:`~repro.errors.RunInterrupted`.
     """
     if jobs < 1:
         raise SynthesisError(f"jobs must be >= 1, got {jobs!r}")
@@ -367,10 +450,10 @@ def run_batch(
     with telemetry.span("batch.run", tasks=len(tasks), jobs=effective_jobs):
         telemetry.count("batch.tasks", len(tasks))
         if effective_jobs <= 1:
-            results = _run_serial(tasks, statuses, budget)
+            results = _run_serial(tasks, statuses, budget, journal)
         else:
             results = _run_pooled(
                 tasks, statuses, effective_jobs,
-                task_timeout, max_retries, budget,
+                task_timeout, max_retries, budget, journal,
             )
     return BatchResult(results=results, statuses=statuses, jobs=effective_jobs)

@@ -34,6 +34,7 @@ from repro.layout.ota import OtaLayoutRequest, OtaLayoutResult, generate_ota_lay
 from repro.layout.parasitics import ParasiticReport
 from repro.resilience import faults
 from repro.resilience.budget import Budget
+from repro.resilience.journal import RunJournal
 from repro.sizing.plans.folded_cascode import FoldedCascodePlan
 from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
 from repro.technology.process import Technology
@@ -70,6 +71,11 @@ class SynthesisOutcome:
     when only the final generation pass failed."""
     trace: Optional[TraceSummary] = None
     """Telemetry summary of the run when a tracer was active, else None."""
+
+
+def _round_key(round_index: int) -> str:
+    """Journal key of one synthesis round."""
+    return f"round.{round_index}"
 
 
 class LayoutOrientedSynthesizer:
@@ -179,6 +185,7 @@ class LayoutOrientedSynthesizer:
         mode: ParasiticMode = ParasiticMode.FULL,
         generate: bool = True,
         budget: Optional[Budget] = None,
+        journal: Optional[RunJournal] = None,
     ) -> SynthesisOutcome:
         """Run the coupled loop.
 
@@ -200,6 +207,13 @@ class LayoutOrientedSynthesizer:
         ``synthesis.run`` span with one ``synthesis.round`` child per
         round, and the returned outcome carries the
         :class:`~repro.telemetry.replay.TraceSummary` in ``.trace``.
+
+        ``journal`` makes the loop crash-safe: every completed round is
+        appended durably together with a snapshot of the warm-start
+        session, and on resume the journaled rounds are replayed — record
+        list, feedback report *and* warm-start seeds restored — so the
+        remaining rounds produce bit-identical Newton iterates and the
+        final outcome matches an uninterrupted run exactly.
         """
         if not mode.uses_layout:
             raise SynthesisError(
@@ -219,7 +233,7 @@ class LayoutOrientedSynthesizer:
             # voltages (repro.analysis.warmstart); the session dies with
             # this run, keeping runs independent and batch fingerprints
             # serial/parallel-identical.
-            outcome = self._run(specs, mode, generate, budget)
+            outcome = self._run(specs, mode, generate, budget, journal)
         tracer = telemetry.current()
         if tracer is not None:
             outcome.trace = tracer.summary()
@@ -231,7 +245,10 @@ class LayoutOrientedSynthesizer:
         mode: ParasiticMode,
         generate: bool,
         budget: Optional[Budget],
+        journal: Optional[RunJournal] = None,
     ) -> SynthesisOutcome:
+        from repro.analysis import warmstart
+
         start = time.perf_counter()
         records: List[SynthesisRecord] = []
         feedback: Optional[ParasiticReport] = None
@@ -242,6 +259,34 @@ class LayoutOrientedSynthesizer:
 
         try:
             for round_index in range(1, self.max_layout_calls + 1):
+                if journal is not None:
+                    unit = journal.result_or_none(_round_key(round_index))
+                    if unit is not None:
+                        # Replay a journaled round: restore the record,
+                        # the feedback report and the warm-start seeds,
+                        # then run the same convergence logic a live
+                        # round would — the remaining live rounds see
+                        # exactly the state the original run had here.
+                        record = unit["record"]
+                        warmstart.restore(unit["warm"])
+                        records.append(record)
+                        sizing = record.sizing
+                        previous = feedback
+                        feedback = record.report
+                        telemetry.count("synthesis.journaled_rounds")
+                        telemetry.event(
+                            "synthesis.round.journaled",
+                            round=round_index,
+                            distance=record.distance,
+                        )
+                        if (
+                            previous is not None
+                            and record.distance <= self.convergence_tolerance
+                        ):
+                            converged = True
+                            break
+                        continue
+                    journal.check_interrupt("synthesis.round")
                 if budget is not None:
                     budget.check("synthesis.round", round=round_index)
                 with telemetry.span("synthesis.round", round=round_index):
@@ -313,6 +358,18 @@ class LayoutOrientedSynthesizer:
                         width=getattr(estimate.report, "width", None),
                         height=getattr(estimate.report, "height", None),
                     )
+                    if journal is not None:
+                        # The warm-start snapshot rides along so a resume
+                        # re-enters the next round with identical Newton
+                        # seeds (bit-identical warm-start chains).
+                        journal.record(
+                            _round_key(round_index),
+                            {
+                                "record": records[-1],
+                                "warm": warmstart.snapshot(),
+                            },
+                            distance=distance,
+                        )
                     if (
                         previous is not None
                         and distance <= self.convergence_tolerance

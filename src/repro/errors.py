@@ -70,6 +70,41 @@ class BudgetExceededError(ReproError):
         self.partial = partial
 
 
+class JournalError(ReproError):
+    """A run journal could not be created, read or validated.
+
+    Raised when a ``--resume`` directory holds no journal, the journal's
+    schema is unknown, or its recorded run configuration does not match
+    the configuration of the resuming invocation (resuming a ``table1``
+    journal with different specs would silently mix incompatible
+    results — refuse instead).
+    """
+
+
+class RunInterrupted(ReproError):
+    """A journaled run stopped cleanly on SIGINT/SIGTERM.
+
+    Raised at a unit boundary after in-flight workers were drained and
+    every completed unit was flushed to the journal, so the run can be
+    continued with ``--resume``.  ``site`` names the boundary that
+    observed the signal, ``signal_name`` the signal received, and
+    ``journal`` the :class:`~repro.resilience.journal.RunJournal`
+    holding the checkpoint.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: Optional[str] = None,
+        signal_name: Optional[str] = None,
+        journal: Optional[Any] = None,
+    ):
+        super().__init__(message)
+        self.site = site
+        self.signal_name = signal_name
+        self.journal = journal
+
+
 class LayoutError(ReproError):
     """Layout generation failed (unsatisfiable constraint, bad geometry)."""
 

@@ -120,9 +120,12 @@ def cell_to_gds(cell: Cell, library: str = "REPRO") -> bytes:
 
 
 def write_gds(cell: Cell, path: str, library: str = "REPRO") -> None:
-    """Serialise ``cell`` and write the stream to ``path``."""
-    with open(path, "wb") as handle:
-        handle.write(cell_to_gds(cell, library=library))
+    """Serialise ``cell`` and write the stream to ``path`` (atomically —
+    a killed export leaves either the old stream or the new one, never a
+    truncated GDSII file that downstream tools would choke on)."""
+    from repro.ioutil import atomic_write
+
+    atomic_write(path, cell_to_gds(cell, library=library))
 
 
 # ---------------------------------------------------------------------------

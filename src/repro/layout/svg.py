@@ -77,6 +77,8 @@ def cell_to_svg(
 
 
 def write_svg(cell: Cell, path: str, scale: float = 10.0) -> None:
-    """Render ``cell`` and write it to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(cell_to_svg(cell, scale=scale))
+    """Render ``cell`` and write it to ``path`` (atomically, so a killed
+    export never leaves a half-written document)."""
+    from repro.ioutil import atomic_write
+
+    atomic_write(path, cell_to_svg(cell, scale=scale))

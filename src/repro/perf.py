@@ -112,11 +112,13 @@ def compare_engines(
 
 
 def write_bench(results: Dict[str, Dict[str, float]], path: str) -> None:
-    """Write the machine-readable benchmark record."""
+    """Write the machine-readable benchmark record (atomically: the
+    record doubles as a CI regression baseline, so a crash mid-write must
+    never leave a truncated JSON file behind)."""
+    from repro.ioutil import atomic_write
+
     payload = {"schema": BENCH_SCHEMA, "results": results}
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def load_bench(path: str) -> Dict[str, Dict[str, float]]:

@@ -15,10 +15,15 @@ degradation architecture:
   :class:`~repro.errors.BudgetExceededError`;
 * :mod:`repro.resilience.faults` — a deterministic fault-injection
   registry so every degradation path is testable without contriving
-  pathological circuits.
+  pathological circuits;
+* :mod:`repro.resilience.journal` — a crash-safe, append-only run
+  journal (:class:`RunJournal`, schema ``repro-journal-v1``) plus
+  SIGINT/SIGTERM shutdown guards, giving every long-running driver
+  durable checkpoints and deterministic ``--resume``.
 """
 
 from repro.resilience.budget import Budget, Deadline
+from repro.resilience.journal import JOURNAL_SCHEMA, RunJournal, ignore_sigint
 from repro.resilience.policy import (
     DEFAULT_GMIN_SEQUENCE,
     ConvergenceReport,
@@ -36,7 +41,10 @@ __all__ = [
     "DEFAULT_GMIN_SEQUENCE",
     "DirectNewton",
     "GminRamp",
+    "JOURNAL_SCHEMA",
+    "RunJournal",
     "RungRecord",
     "SolverPolicy",
     "SourceStepping",
+    "ignore_sigint",
 ]

@@ -24,10 +24,29 @@ Instrumented sites (the ``site`` strings accepted by :func:`inject`):
 ``mc.worker``         Monte-Carlo shard submission (``index`` = shard); a
                       firing makes the worker process die (``os._exit``),
                       exercising shard resubmission and in-process fallback
+``batch.worker``      batch-task submission (``index`` = task); a firing
+                      makes the task's worker process die, exercising the
+                      batch driver's resubmission/in-process recovery
 ``synthesis.sizing``  the sizing call of a synthesis round (``index`` = round)
 ``synthesis.layout``  the layout-tool call of a synthesis round
                       (``index`` = round)
+``journal.write``     the start of every :meth:`RunJournal.record
+                      <repro.resilience.journal.RunJournal.record>` append;
+                      an injected error simulates a failed journal write
+``process.kill``      every *journal boundary* — fired after a unit has been
+                      durably appended.  ``action="crash"`` hard-kills the
+                      process (``os._exit(137)``); the default action raises
+                      :class:`SimulatedKill` (a ``BaseException``) so tests
+                      can simulate process death in-process: nothing in the
+                      library catches it, and the on-disk journal is exactly
+                      what a real kill would have left
 ===================== =========================================================
+
+For kill-resume tests that need a *real* process death (the CI smoke
+job), faults can be armed from the environment: :func:`arm_from_env`
+parses ``REPRO_FAULTS`` (``site[:key=value,...]`` entries separated by
+``;``, e.g. ``process.kill:at=2,action=crash``) and is called by the CLI
+entry point before any command runs.
 
 Every instrumented site is guarded by :func:`active`, a single module-level
 truthiness test, so the registry costs nothing when no fault is armed.
@@ -37,15 +56,29 @@ Counters live in the :class:`Fault` object itself and are torn down with the
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Mapping, Optional
 
 from repro.errors import AnalysisError
 
 #: Armed faults, in arming order.  Instrumented sites consult this list via
 #: :func:`fire`; an empty list short-circuits every check.
 _ACTIVE: List["Fault"] = []
+
+#: Exit code of an ``action="crash"`` process kill (mirrors SIGKILL's
+#: conventional 128+9 so the CI smoke job can assert on it).
+KILL_EXIT_CODE = 137
+
+
+class SimulatedKill(BaseException):
+    """In-process stand-in for a hard process kill.
+
+    Derives from :class:`BaseException` so no library ``except Exception``
+    handler can absorb it — the stack unwinds exactly as ``os._exit``
+    would have cut it, leaving the on-disk journal in the same state.
+    """
 
 
 @dataclass
@@ -112,6 +145,73 @@ def maybe_raise(site: str, index: Optional[int] = None) -> None:
     fault = fire(site, index)
     if fault is not None:
         raise fault.exception()
+
+
+def maybe_kill(site: str = "process.kill", index: Optional[int] = None) -> None:
+    """Die at ``site`` if an armed kill fault fires.
+
+    ``action="crash"`` exits the process uncleanly (a genuine kill: no
+    atexit handlers, no finally blocks); any other action raises
+    :class:`SimulatedKill` so in-process tests can walk the kill-resume
+    matrix without spawning subprocesses.
+    """
+    fault = fire(site, index)
+    if fault is None:
+        return
+    if fault.action == "crash":
+        os._exit(KILL_EXIT_CODE)
+    raise SimulatedKill(f"simulated process kill at {site!r}")
+
+
+def arm(fault: Fault) -> Fault:
+    """Arm ``fault`` persistently (no scope; cleared by :func:`disarm_all`)."""
+    _ACTIVE.append(fault)
+    return fault
+
+
+def disarm_all() -> None:
+    """Clear every armed fault (scoped and persistent)."""
+    _ACTIVE.clear()
+
+
+def arm_from_env(environ: Optional[Mapping[str, str]] = None) -> List[Fault]:
+    """Arm faults described by the ``REPRO_FAULTS`` environment variable.
+
+    Format: ``site[:key=value,...]`` entries separated by ``;``.  Keys
+    are the integer fields ``at``/``times``/``index`` and the string
+    field ``action``.  Example::
+
+        REPRO_FAULTS="process.kill:at=2,action=crash"
+
+    kills the process (exit :data:`KILL_EXIT_CODE`) at the second journal
+    boundary — the lever the CI kill-resume smoke job pulls.  Returns the
+    armed faults (empty when the variable is unset).
+    """
+    if environ is None:
+        environ = os.environ
+    spec = environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return []
+    armed: List[Fault] = []
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        site, _, options = entry.partition(":")
+        fields = {}
+        for option in filter(None, options.split(",")):
+            key, _, value = option.partition("=")
+            key = key.strip()
+            if key in ("at", "times", "index"):
+                fields[key] = int(value)
+            elif key == "action":
+                fields[key] = value.strip()
+            else:
+                raise ValueError(
+                    f"REPRO_FAULTS: unknown option {key!r} in {entry!r}"
+                )
+        armed.append(arm(Fault(site=site.strip(), **fields)))
+    return armed
 
 
 @contextmanager

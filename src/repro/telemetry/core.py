@@ -252,11 +252,17 @@ class Tracer:
 
     # -- Export ------------------------------------------------------------
 
-    def write_jsonl(self, path: str, name: str = "trace") -> None:
-        """Write this tracer's records as a JSONL trace file."""
+    def write_jsonl(
+        self, path: str, name: str = "trace", append: bool = False
+    ) -> None:
+        """Write this tracer's records as a JSONL trace file.
+
+        ``append=True`` adds a new trace segment instead of replacing the
+        file — how a resumed run extends the original run's trace.
+        """
         from repro.telemetry.export import write_jsonl
 
-        write_jsonl(self.records, path, name=name)
+        write_jsonl(self.records, path, name=name, append=append)
 
     def summary(self):
         """The :class:`~repro.telemetry.replay.TraceSummary` of this

@@ -5,6 +5,13 @@ Line 1 is a header ``{"type": "header", "schema": "repro-trace-v1",
 :class:`~repro.telemetry.core.Tracer` (``span`` / ``event`` / ``count`` /
 ``gauge``).  The format is append-friendly and greppable; the reader
 tolerates (skips) blank lines so concatenated traces replay too.
+
+A resumed run (``--resume``) appends a *segment* — a fresh header line
+followed by its own records — instead of rewriting history.  The reader
+stitches segments together, remapping each segment's record ids past the
+previous segment's so the replayed tree stays collision-free; fresh
+writes go through :func:`~repro.ioutil.atomic_write`, so a crash while
+finalizing a trace can never leave a truncated file.
 """
 
 from __future__ import annotations
@@ -12,34 +19,53 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
+from repro.ioutil import atomic_write
 from repro.telemetry.core import TRACE_SCHEMA
 
 
 def write_jsonl(
-    records: List[Dict[str, Any]], path: str, name: str = "trace"
+    records: List[Dict[str, Any]],
+    path: str,
+    name: str = "trace",
+    append: bool = False,
 ) -> None:
-    """Write ``records`` (with a schema header) to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(
-            json.dumps(
-                {"type": "header", "schema": TRACE_SCHEMA, "name": name},
-                sort_keys=True,
-            )
+    """Write ``records`` (with a schema header) to ``path``.
+
+    ``append=True`` adds a new header-plus-records segment after any
+    existing content (the resumed-run mode) instead of replacing the
+    file; the default atomically replaces ``path``.
+    """
+    lines = [
+        json.dumps(
+            {"type": "header", "schema": TRACE_SCHEMA, "name": name},
+            sort_keys=True,
         )
-        handle.write("\n")
-        for record in records:
-            handle.write(json.dumps(record, sort_keys=True))
-            handle.write("\n")
+    ]
+    for record in records:
+        lines.append(json.dumps(record, sort_keys=True))
+    payload = "\n".join(lines) + "\n"
+    if append:
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(payload)
+        return
+    atomic_write(path, payload)
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
     """Read a trace file back into its record list.
+
+    A multi-segment trace (one header per ``--resume`` leg) is stitched
+    into a single record list: each segment's ``id``/``parent`` fields
+    are shifted past the ids already seen, so spans from different legs
+    can never collide in the replayed tree.
 
     Raises :class:`ValueError` on a missing or mismatched schema header
     or a malformed line (the line number is included for forensics).
     """
     records: List[Dict[str, Any]] = []
     header_seen = False
+    base = 0
+    segment_max = -1
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -51,17 +77,27 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
                 raise ValueError(
                     f"{path}:{line_number}: malformed trace line: {error}"
                 ) from error
-            if not header_seen:
-                if (
-                    record.get("type") != "header"
-                    or record.get("schema") != TRACE_SCHEMA
-                ):
+            if record.get("type") == "header":
+                if record.get("schema") != TRACE_SCHEMA:
                     raise ValueError(
-                        f"{path}: not a {TRACE_SCHEMA} trace file "
-                        f"(first line: {record!r})"
+                        f"{path}:{line_number}: not a {TRACE_SCHEMA} "
+                        f"trace header: {record!r}"
                     )
                 header_seen = True
+                base += segment_max + 1
+                segment_max = -1
                 continue
+            if not header_seen:
+                raise ValueError(
+                    f"{path}: not a {TRACE_SCHEMA} trace file "
+                    f"(first line: {record!r})"
+                )
+            record_id = record.get("id")
+            if record_id is not None:
+                segment_max = max(segment_max, record_id)
+                record["id"] = record_id + base
+            if record.get("parent") is not None:
+                record["parent"] = record["parent"] + base
             records.append(record)
     if not header_seen:
         raise ValueError(f"{path}: empty trace file (no header line)")

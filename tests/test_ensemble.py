@@ -127,6 +127,51 @@ class TestMemberMasking:
         with pytest.raises(ConvergenceError):
             solution.raise_on_failure()
 
+    def test_singular_batch_demotes_members_not_the_ensemble(
+        self, feedback, monkeypatch
+    ):
+        """LAPACK raises one LinAlgError for the whole (K, n, n) stack
+        even when a single member is singular: the batched solve must
+        re-solve member-by-member, demote only the genuinely singular
+        member to the scalar fallback ladder, and still converge every
+        member to its per-sample value."""
+        from repro import telemetry
+
+        program = StampProgram(feedback)
+        n = program._n_mos
+        rng = np.random.default_rng(5)
+        vth = rng.normal(scale=2e-3, size=(3, n))
+        beta = rng.normal(scale=5e-3, size=(3, n))
+        reference = EnsembleProgram.from_mismatch(program, vth, beta).solve()
+        assert reference.converged.all()
+
+        real_solve = np.linalg.solve
+        state = {"batched_failed": False, "member_failed": False}
+
+        def flaky_solve(a, b):
+            if np.asarray(a).ndim == 3:
+                state["batched_failed"] = True
+                raise np.linalg.LinAlgError("singular stacked batch")
+            if state["batched_failed"] and not state["member_failed"]:
+                # First per-member re-solve: exactly one singular member.
+                state["member_failed"] = True
+                raise np.linalg.LinAlgError("singular member")
+            return real_solve(a, b)
+
+        tracer = telemetry.Tracer()
+        monkeypatch.setattr(np.linalg, "solve", flaky_solve)
+        with tracer.activate():
+            solution = EnsembleProgram.from_mismatch(
+                program, vth, beta
+            ).solve()
+        assert state["member_failed"]
+        assert solution.converged.all()
+        np.testing.assert_allclose(
+            solution.voltages, reference.voltages, rtol=RTOL, atol=1e-12
+        )
+        assert tracer.counters["ensemble.singular_batches"] >= 1
+        assert tracer.counters["ensemble.singular_members"] == 1
+
 
 class TestEnsembleMeasurement:
     def test_corner_measurement_matches_per_sample(self):

@@ -198,6 +198,29 @@ class TestJsonlRoundTrip:
         with pytest.raises(ValueError, match=r"\.jsonl:2: malformed"):
             read_jsonl(str(path))
 
+    def test_appended_segments_replay_as_one_trace(self, tmp_path):
+        """A resumed run appends its own header+records segment; the
+        reader re-bases span ids per segment so both runs replay into
+        one summary with no id collisions."""
+        path = str(tmp_path / "trace.jsonl")
+        with trace_run("root") as first:
+            with telemetry.span("original"):
+                telemetry.count("hits", 1)
+        first.write_jsonl(path, name="root")
+        with trace_run("root") as second:
+            with telemetry.span("resumed"):
+                telemetry.count("hits", 2)
+        second.write_jsonl(path, name="root", append=True)
+
+        records = read_jsonl(path)
+        ids = [r["id"] for r in records if r.get("type") == "span"]
+        assert len(ids) == len(set(ids)), "span ids collide across segments"
+        summary = summarize(records)
+        assert summary.counters["hits"] == 3.0
+        assert summary.span_count("original") == 1
+        assert summary.span_count("resumed") == 1
+        assert summary.span_count("root") == 2
+
     def test_partial_trace_is_replayable(self):
         # A crash mid-run leaves counts whose parent span never closed;
         # replay keeps them as orphans instead of dropping the data.
