@@ -95,7 +95,19 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="record a JSONL telemetry trace of the run to FILE "
-             "(replay it with 'python -m repro trace FILE')",
+             "(replay it with 'python -m repro trace FILE', profile it "
+             "with 'python -m repro profile FILE')",
+    )
+
+
+def _add_monitor_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--monitor", metavar="PORT", nargs="?", const=-1, type=int,
+        default=None,
+        help="live progress heartbeat on stderr (units done/total, ETA, "
+             "last-unit seconds); with PORT also serve GET /metrics "
+             "(Prometheus text) and /status (JSON) on 127.0.0.1:PORT "
+             "(0 picks a free port); results stay bit-identical",
     )
 
 
@@ -403,6 +415,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro.perf import (
+        append_history,
+        check_history_regressions,
         check_regressions,
         format_bench_table,
         load_bench,
@@ -443,10 +457,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
     write_bench(results, args.json)
     print(f"benchmark record written to {args.json}", file=sys.stderr)
     print(f"bench: {args.json}")
+    if args.history:
+        try:
+            flagged = check_history_regressions(
+                results, args.history, threshold=args.max_regression
+            )
+            append_history(results, args.history)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot use history {args.history!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        if flagged:
+            print(f"run-over-run p50 regressions vs the previous entry of "
+                  f"{args.history} (> {args.max_regression:.0%} slower):",
+                  file=sys.stderr)
+            for name, info in flagged.items():
+                print(f"  {name}: {info['baseline_p50_s'] * 1e3:.1f} ms -> "
+                      f"{info['fresh_p50_s'] * 1e3:.1f} ms "
+                      f"({info['ratio']:.2f}x)", file=sys.stderr)
+        print(f"history appended to {args.history}", file=sys.stderr)
     if baseline is not None:
+        skipped: list = []
         regressions = check_regressions(
-            results, baseline, threshold=args.max_regression
+            results, baseline, threshold=args.max_regression,
+            skipped=skipped,
         )
+        if skipped:
+            print(f"bench gate skipped {len(skipped)} one-sided "
+                  f"entr{'y' if len(skipped) == 1 else 'ies'}: "
+                  f"{', '.join(skipped)}", file=sys.stderr)
         if regressions:
             print(f"performance regressions vs {args.against} "
                   f"(> {args.max_regression:.0%} slower at p50):",
@@ -458,6 +497,43 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no compiled-path regressions vs {args.against} "
               f"(threshold {args.max_regression:.0%})", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_jsonl, summarize
+    from repro.telemetry.profile import (
+        collapsed_stacks,
+        format_collapsed,
+        format_profile_table,
+        profile_spans,
+    )
+
+    try:
+        records = read_jsonl(args.file)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read trace {args.file!r}: {error}",
+              file=sys.stderr)
+        return 2
+    roots = summarize(records).roots
+    if not roots:
+        print(f"error: trace {args.file!r} has no spans to profile",
+              file=sys.stderr)
+        return 2
+    rows = profile_spans(roots)
+    wall = sum(root.dur for root in roots)
+    # Write the artifact before touching stdout so a closed pipe
+    # (profile ... | head) cannot lose the collapsed stacks.
+    if args.collapsed:
+        stacks = collapsed_stacks(roots)
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(format_collapsed(stacks) + "\n")
+        print(f"collapsed stacks written to {args.collapsed} "
+              f"({len(stacks)} unique stacks; feed to flamegraph.pl)",
+              file=sys.stderr)
+    print(format_profile_table(rows, top=args.top, wall_s=wall or None))
+    if args.collapsed:
+        print(f"collapsed: {args.collapsed}")
     return 0
 
 
@@ -517,6 +593,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print a deterministic content hash per case "
                              "(excludes timings; for determinism checks)")
     _add_trace_argument(table1)
+    _add_monitor_argument(table1)
     _add_journal_arguments(table1)
     table1.set_defaults(func=cmd_table1)
 
@@ -538,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-verify the synthesized sizing at the five process "
              "corners as one stacked ensemble measurement")
     _add_trace_argument(synthesize)
+    _add_monitor_argument(synthesize)
     _add_journal_arguments(synthesize)
     synthesize.set_defaults(func=cmd_synthesize)
 
@@ -550,6 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the two flows concurrently on N worker "
                             "processes")
     _add_trace_argument(flows)
+    _add_monitor_argument(flows)
     _add_journal_arguments(flows)
     flows.set_defaults(func=cmd_flows)
 
@@ -590,6 +669,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", default="BENCH_analysis.json",
                        help="output record path "
                             "(default BENCH_analysis.json)")
+    bench.add_argument(
+        "--history", default=None, metavar="FILE",
+        help="append this run to a JSONL bench history and flag "
+             "run-over-run p50 regressions vs the previous entry "
+             "(informational; --against remains the hard gate)")
     _add_trace_argument(bench)
     bench.set_defaults(func=cmd_bench)
 
@@ -600,6 +684,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="emit the summary as JSON instead of a tree")
     trace.set_defaults(func=cmd_trace)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile a JSONL telemetry trace (self-time per span name)",
+    )
+    profile.add_argument("file", help="trace file written by --trace")
+    profile.add_argument("--top", type=int, default=None, metavar="N",
+                         help="only the N hottest rows (by self-time)")
+    profile.add_argument(
+        "--collapsed", default=None, metavar="FILE",
+        help="also write flamegraph-collapsed 'stack;path count' lines "
+             "to FILE (input for flamegraph.pl / speedscope)")
+    profile.set_defaults(func=cmd_profile)
 
     evaluate = subparsers.add_parser(
         "evaluate", help="characterise and rank the bundled technologies"
@@ -621,26 +718,48 @@ def main(argv: Optional[list] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if not trace_path:
+    monitor_port = getattr(args, "monitor", None)
+    if not trace_path and monitor_port is None:
         return args.func(args)
 
-    from repro import telemetry
+    from contextlib import ExitStack
 
+    from repro import telemetry
+    from repro.telemetry import metrics as metrics_mod
+    from repro.telemetry import monitor as monitor_mod
+
+    # --monitor implies a tracer even without --trace: the registry is
+    # populated from the tracer's counter/gauge mirror, so /metrics would
+    # be empty with no tracer armed.  Observation only — results are
+    # bit-identical with or without either flag.
     name = f"cli.{args.command}"
     tracer = telemetry.Tracer()
-    try:
-        with tracer.activate(), tracer.span(name):
-            code = args.func(args)
-    finally:
-        # Partial traces are still replayable; export them even when the
-        # command dies mid-run.  A resumed run appends a new trace
-        # segment instead of erasing the original legs.
-        tracer.write_jsonl(
-            trace_path, name=name,
-            append=bool(getattr(args, "resume", None)),
-        )
-        print(f"trace written to {trace_path}", file=sys.stderr)
-    print(f"trace: {trace_path}")
+    with ExitStack() as stack:
+        if monitor_port is not None:
+            stack.enter_context(metrics_mod.collecting(fresh=True))
+            run_monitor = monitor_mod.RunMonitor(
+                label=args.command,
+                port=None if monitor_port < 0 else monitor_port,
+            )
+            stack.enter_context(run_monitor)
+            if run_monitor.port is not None:
+                print(f"monitor: http://127.0.0.1:{run_monitor.port}/status "
+                      f"(and /metrics)", file=sys.stderr)
+        try:
+            with tracer.activate(), tracer.span(name):
+                code = args.func(args)
+        finally:
+            if trace_path:
+                # Partial traces are still replayable; export them even
+                # when the command dies mid-run.  A resumed run appends a
+                # new trace segment instead of erasing the original legs.
+                tracer.write_jsonl(
+                    trace_path, name=name,
+                    append=bool(getattr(args, "resume", None)),
+                )
+                print(f"trace written to {trace_path}", file=sys.stderr)
+    if trace_path:
+        print(f"trace: {trace_path}")
     return code
 
 

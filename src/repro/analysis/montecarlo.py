@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,7 @@ from repro.errors import AnalysisError
 from repro.resilience import faults
 from repro.resilience.budget import Budget
 from repro.resilience.journal import RunJournal, ignore_sigint
+from repro.telemetry import metrics, monitor
 
 
 @dataclass
@@ -265,17 +267,25 @@ def _run_chunk_traced(
 
     The parent grafts the payload under its ``mc.run`` span with
     :meth:`~repro.telemetry.core.Tracer.absorb`, which is how per-shard
-    spans and worker-side solver counters survive the process boundary.
-    Tracing never touches the pre-drawn sample rows, so results stay
-    bit-identical with tracing on or off.
+    spans, worker-side solver counters and metrics aggregates (the
+    :func:`~repro.telemetry.core.traced_worker` delta) survive the
+    process boundary.  Tracing never touches the pre-drawn sample rows,
+    so results stay bit-identical with tracing on or off.
+
+    This is also the recovery path's workhorse: the in-process fallback
+    in :func:`_run_shards` calls it directly so a shard recovered from a
+    dead worker reports the same spans and counters as one that came
+    home through the pool.
     """
-    tracer = telemetry.Tracer()
-    with tracer.activate():
-        with tracer.span("mc.shard", index=shard_index, lo=lo, hi=hi):
-            stats = _run_chunk(
-                tb, names, vth_rows, beta_rows, measure, crash, ensemble
-            )
-            tracer.count("mc.samples_measured", hi - lo)
+    t0 = time.perf_counter()
+    with telemetry.traced_worker(
+        "mc.shard", index=shard_index, lo=lo, hi=hi
+    ) as tracer:
+        stats = _run_chunk(
+            tb, names, vth_rows, beta_rows, measure, crash, ensemble
+        )
+        tracer.count("mc.samples_measured", hi - lo)
+        metrics.observe("mc.shard.seconds", time.perf_counter() - t0)
     return stats, tracer.trace_payload()
 
 
@@ -319,25 +329,35 @@ def _run_shards(
     statuses = [
         ShardStatus(index=i, span=span) for i, span in enumerate(spans)
     ]
+    monitor.declare("mc.shard", len(spans))
     pending = []
     for i, span in enumerate(spans):
         if journal is not None and journal.has(_shard_key(span)):
             chunks[i] = journal.result(_shard_key(span))
             statuses[i].status = "journaled"
             telemetry.count("mc.journaled_shards")
+            monitor.unit_complete(
+                "mc.shard", label=_shard_key(span), restored=True
+            )
         else:
             pending.append(i)
     tracer = telemetry.current()
 
     def accept(i: int, outcome: object, submit_time: Optional[float]) -> None:
         """Accept one completed shard result (and journal it durably)."""
+        seconds = None
         if tracer is not None:
             chunks[i], payload = outcome
             tracer.absorb(payload, t_offset=submit_time)
+            if submit_time is not None:
+                seconds = tracer.now() - submit_time
         else:
             chunks[i] = outcome
         statuses[i].status = (
             "ok" if statuses[i].attempts == 1 else "resubmitted"
+        )
+        monitor.unit_complete(
+            "mc.shard", label=_shard_key(spans[i]), seconds=seconds
         )
         if journal is not None:
             lo, hi = spans[i]
@@ -448,10 +468,40 @@ def _run_shards(
             budget.check("montecarlo.shard-fallback", shard=i)
         statuses[i].attempts += 1
         try:
-            with telemetry.span("mc.shard_fallback", index=i, lo=lo, hi=hi):
-                chunks[i] = _run_chunk(
-                    tb, names, vth[lo:hi], beta[lo:hi], measure,
-                    ensemble=ensemble,
+            if tracer is not None:
+                # Run the *traced* chunk in-process so a recovered shard
+                # reports the same ``mc.shard`` span and counters a pool
+                # worker would have shipped home — previously this path
+                # silently dropped the shard's telemetry and trace totals
+                # no longer matched a serial run.  ``merge_metrics=False``
+                # because the in-process hooks fed the shared registry
+                # live; merging the delta again would double it.
+                t0 = tracer.now()
+                with telemetry.span(
+                    "mc.shard_fallback", index=i, lo=lo, hi=hi
+                ):
+                    chunks[i], payload = _run_chunk_traced(
+                        tb, names, vth[lo:hi], beta[lo:hi], measure,
+                        False, i, lo, hi, ensemble,
+                    )
+                    tracer.absorb(
+                        payload, t_offset=t0, merge_metrics=False
+                    )
+                monitor.unit_complete(
+                    "mc.shard",
+                    label=_shard_key(spans[i]),
+                    seconds=tracer.now() - t0,
+                )
+            else:
+                with telemetry.span(
+                    "mc.shard_fallback", index=i, lo=lo, hi=hi
+                ):
+                    chunks[i] = _run_chunk(
+                        tb, names, vth[lo:hi], beta[lo:hi], measure,
+                        ensemble=ensemble,
+                    )
+                monitor.unit_complete(
+                    "mc.shard", label=_shard_key(spans[i])
                 )
             telemetry.count("mc.shards_in_process")
             statuses[i].status = "in-process"
@@ -570,18 +620,22 @@ def run_monte_carlo(
         names, vth, beta = draw_mismatch_samples(tb.circuit, runs, seed)
 
         if workers == 1:
+            monitor.declare("mc.shard", 1)
             key = _shard_key((0, runs))
             cached = (
                 journal.result_or_none(key) if journal is not None else None
             )
             if cached is not None:
                 telemetry.count("mc.journaled_shards")
+                monitor.unit_complete("mc.shard", label=key, restored=True)
                 chunks: List[Optional[List[Dict[str, float]]]] = [cached]
             else:
                 if journal is not None:
                     journal.check_interrupt("mc.start")
                 if budget is not None:
                     budget.check("montecarlo.start", runs=runs)
+                metrics_on = metrics.enabled()
+                t0 = time.perf_counter() if metrics_on else 0.0
                 with telemetry.span("mc.shard", index=0, lo=0, hi=runs):
                     chunks = [
                         _run_chunk(
@@ -589,6 +643,15 @@ def run_monte_carlo(
                             ensemble=ensemble_name,
                         )
                     ]
+                    telemetry.count("mc.samples_measured", runs)
+                shard_seconds = (
+                    time.perf_counter() - t0 if metrics_on else None
+                )
+                if metrics_on:
+                    metrics.observe("mc.shard.seconds", shard_seconds)
+                monitor.unit_complete(
+                    "mc.shard", label=key, seconds=shard_seconds
+                )
                 if journal is not None:
                     journal.record(key, chunks[0], lo=0, hi=runs)
         else:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -30,6 +31,7 @@ from repro.resilience import faults
 from repro.resilience.budget import Budget
 from repro.resilience.journal import RunJournal, ignore_sigint
 from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.telemetry import metrics, monitor
 from repro.technology import generic_035, generic_060, generic_080
 from repro.technology.corners import corner as technology_corner
 from repro.technology.process import Technology
@@ -202,14 +204,19 @@ def _run_task_traced(
     task: BatchTask, index: int, crash: bool = False
 ) -> Tuple[object, Dict[str, object]]:
     """Worker-side traced task: runs under a local tracer and ships the
-    picklable trace payload back with the result (the parent grafts it
-    under its ``batch.run`` span, exactly like Monte-Carlo shards)."""
+    picklable trace payload — spans, counters and the scoped metrics
+    delta (:func:`~repro.telemetry.core.traced_worker`) — back with the
+    result (the parent grafts it under its ``batch.run`` span, exactly
+    like Monte-Carlo shards).  Also the in-process recovery entry, so a
+    task recovered from a dead worker reports identical telemetry."""
     if crash:
         os._exit(1)
-    tracer = telemetry.Tracer()
-    with tracer.activate():
-        with tracer.span("batch.task", index=index, label=task.label):
-            result = run_task(task)
+    t0 = time.perf_counter()
+    with telemetry.traced_worker(
+        "batch.task", index=index, label=task.label
+    ) as tracer:
+        result = run_task(task)
+        metrics.observe("batch.task.seconds", time.perf_counter() - t0)
     return result, tracer.trace_payload()
 
 
@@ -245,6 +252,7 @@ def _restore_journaled(
         results[i] = journal.result(key)
         statuses[i].status = "journaled"
         telemetry.count("batch.journaled_tasks")
+        monitor.unit_complete("task", label=task.label, restored=True)
     return pending
 
 
@@ -262,8 +270,14 @@ def _run_serial(
         if budget is not None:
             budget.check("batch.task", index=i)
         statuses[i].attempts += 1
+        instrumented = metrics.enabled() or monitor.active()
+        t0 = time.perf_counter() if instrumented else 0.0
         with telemetry.span("batch.task", index=i, label=task.label):
             results[i] = run_task(task)
+        if instrumented:
+            seconds = time.perf_counter() - t0
+            metrics.observe("batch.task.seconds", seconds)
+            monitor.unit_complete("task", label=task.label, seconds=seconds)
         statuses[i].status = "serial"
         if journal is not None:
             journal.record(_task_key(i), results[i], label=task.label)
@@ -299,14 +313,18 @@ def _run_pooled(
 
     def harvest(i: int, outcome: object, submit_time: Optional[float]) -> None:
         """Accept one completed task result (and journal it durably)."""
+        seconds = None
         if tracer is not None:
             results[i], payload = outcome
             tracer.absorb(payload, t_offset=submit_time)
+            if submit_time is not None:
+                seconds = tracer.now() - submit_time
         else:
             results[i] = outcome
         statuses[i].status = (
             "ok" if statuses[i].attempts == 1 else "resubmitted"
         )
+        monitor.unit_complete("task", label=tasks[i].label, seconds=seconds)
         if journal is not None:
             journal.record(_task_key(i), results[i], label=tasks[i].label)
 
@@ -401,10 +419,28 @@ def _run_pooled(
         if budget is not None:
             budget.check("batch.task-fallback", task=i)
         statuses[i].attempts += 1
-        with telemetry.span(
-            "batch.task_fallback", index=i, label=tasks[i].label
-        ):
-            results[i] = run_task(tasks[i])
+        if tracer is not None:
+            # Recover with the *traced* worker entry so the task reports
+            # the same ``batch.task`` span and counters a pool worker
+            # would have shipped home (previously the fallback dropped
+            # them and trace totals no longer matched a serial run).
+            # ``merge_metrics=False``: the in-process hooks already fed
+            # the shared registry live.
+            t0 = tracer.now()
+            with telemetry.span(
+                "batch.task_fallback", index=i, label=tasks[i].label
+            ):
+                results[i], payload = _run_task_traced(tasks[i], i)
+                tracer.absorb(payload, t_offset=t0, merge_metrics=False)
+            monitor.unit_complete(
+                "task", label=tasks[i].label, seconds=tracer.now() - t0
+            )
+        else:
+            with telemetry.span(
+                "batch.task_fallback", index=i, label=tasks[i].label
+            ):
+                results[i] = run_task(tasks[i])
+            monitor.unit_complete("task", label=tasks[i].label)
         telemetry.count("batch.in_process")
         statuses[i].status = "in-process"
         if journal is not None:
@@ -447,6 +483,7 @@ def run_batch(
         for i, task in enumerate(tasks)
     ]
     effective_jobs = min(jobs, len(tasks)) if tasks else 1
+    monitor.declare("task", len(tasks))
     with telemetry.span("batch.run", tasks=len(tasks), jobs=effective_jobs):
         telemetry.count("batch.tasks", len(tasks))
         if effective_jobs <= 1:

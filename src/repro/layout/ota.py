@@ -29,8 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
+import time
+
 from repro import telemetry
 from repro.errors import LayoutError
+from repro.telemetry import metrics
 from repro.layout.cell import Cell
 from repro.layout.devices import (
     ModuleLayout,
@@ -310,9 +313,14 @@ def generate_ota_layout(
     """
     if mode not in ("estimate", "generate"):
         raise LayoutError(f"mode must be 'estimate' or 'generate', got {mode!r}")
+    metrics_on = metrics.enabled()
+    t0 = time.perf_counter() if metrics_on else 0.0
     with telemetry.span("layout.call", mode=mode, aspect=request.aspect):
         telemetry.count(f"layout.calls.{mode}")
-        return _generate(request, mode)
+        result = _generate(request, mode)
+    if metrics_on:
+        metrics.observe("layout.call.seconds", time.perf_counter() - t0)
+    return result
 
 
 def _generate(request: OtaLayoutRequest, mode: str) -> OtaLayoutResult:

@@ -29,12 +29,21 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Callable, Dict, Optional
+import warnings
+from typing import Any, Callable, Dict, List, Optional
 
 BENCH_SCHEMA = "repro-bench-v2"
 #: Older schemas :func:`load_bench` accepts (entries lack p50/p95 keys).
 BENCH_COMPAT_SCHEMAS = ("repro-bench-v1",)
 BENCH_FILENAME = "BENCH_analysis.json"
+#: Schema tag on every line of a ``bench --history`` JSONL file.
+BENCH_HISTORY_SCHEMA = "repro-bench-history-v1"
+
+
+class BenchSkewWarning(UserWarning):
+    """A regression comparison skipped entries the two records don't share
+    (renamed or newly added benchmarks) — the gate covered less than the
+    full suite."""
 
 
 def _percentile(sorted_samples: list, q: float) -> float:
@@ -140,6 +149,7 @@ def check_regressions(
     fresh: Dict[str, Dict[str, float]],
     baseline: Dict[str, Dict[str, float]],
     threshold: float = 0.25,
+    skipped: Optional[List[str]] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Compiled-path entries of ``fresh`` slower than ``baseline``.
 
@@ -147,10 +157,24 @@ def check_regressions(
     too flattering, p95 too noisy for a gate) per entry present in both
     records and returns ``{name: {"fresh_p50_s", "baseline_p50_s",
     "ratio"}}`` for every entry more than ``threshold`` slower — empty
-    means the gate passes.  Entries missing from either side (renamed or
-    newly added benchmarks) are ignored; a baseline without percentile
-    keys (v1 schema) falls back to best-of.
+    means the gate passes.  An entry present in only one of the two
+    records (a renamed or newly added benchmark) is *skipped*, not
+    compared: a :class:`BenchSkewWarning` names it, and when the caller
+    passes a ``skipped`` list the names are appended there so the CLI
+    can report exactly what the gate did not cover.  A baseline without
+    percentile keys (v1 schema) falls back to best-of.
     """
+    missing = sorted(set(fresh) ^ set(baseline))
+    if missing:
+        if skipped is not None:
+            skipped.extend(missing)
+        warnings.warn(
+            f"bench comparison skipped {len(missing)} entr"
+            f"{'y' if len(missing) == 1 else 'ies'} present in only one "
+            f"record: {', '.join(missing)}",
+            BenchSkewWarning,
+            stacklevel=2,
+        )
     regressions: Dict[str, Dict[str, float]] = {}
     for name, entry in sorted(fresh.items()):
         base = baseline.get(name)
@@ -168,6 +192,82 @@ def check_regressions(
                 "ratio": ratio,
             }
     return regressions
+
+
+# -- Run-over-run history ----------------------------------------------------
+
+
+def append_history(
+    results: Dict[str, Dict[str, float]],
+    path: str,
+    timestamp: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Append one run's results to a JSONL bench history file.
+
+    Each line is self-describing — ``{"schema", "timestamp",
+    "results"}`` — so the file survives partial writes (a truncated tail
+    line is skipped by :func:`load_history`, everything before it loads).
+    Returns the appended entry.
+    """
+    entry: Dict[str, Any] = {
+        "schema": BENCH_HISTORY_SCHEMA,
+        "timestamp": time.time() if timestamp is None else timestamp,
+        "results": results,
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """Every well-formed entry of a bench history file, oldest first.
+
+    Lines that do not parse or carry a foreign schema raise ``ValueError``
+    with the line number — except a truncated *final* line (a run killed
+    mid-append), which is dropped silently: everything durably written
+    before it is still a valid history.
+    """
+    entries: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            if line_no == len(lines):
+                break  # torn tail from a killed append; keep the rest
+            raise ValueError(
+                f"{path}:{line_no}: malformed bench history line"
+            ) from None
+        if entry.get("schema") != BENCH_HISTORY_SCHEMA:
+            raise ValueError(
+                f"{path}:{line_no}: expected schema "
+                f"{BENCH_HISTORY_SCHEMA!r}, got {entry.get('schema')!r}"
+            )
+        entries.append(entry)
+    return entries
+
+
+def check_history_regressions(
+    results: Dict[str, Dict[str, float]],
+    path: str,
+    threshold: float = 0.25,
+    skipped: Optional[List[str]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run-over-run p50 check of ``results`` against the *latest* entry
+    of the history at ``path`` (empty dict when there is no history yet
+    or no entry regressed past ``threshold``)."""
+    try:
+        history = load_history(path)
+    except FileNotFoundError:
+        return {}
+    if not history:
+        return {}
+    return check_regressions(
+        results, history[-1]["results"], threshold=threshold, skipped=skipped
+    )
 
 
 def format_bench_table(results: Dict[str, Dict[str, float]]) -> str:

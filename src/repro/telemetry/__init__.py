@@ -19,6 +19,7 @@ or the ``--trace FILE`` CLI flag; replay a written file with
 ``python -m repro trace FILE``.
 """
 
+from repro.telemetry import metrics, monitor, profile
 from repro.telemetry.core import (
     TRACE_SCHEMA,
     Tracer,
@@ -29,6 +30,7 @@ from repro.telemetry.core import (
     gauge,
     span,
     trace_run,
+    traced_worker,
 )
 from repro.telemetry.export import read_jsonl, write_jsonl
 from repro.telemetry.replay import (
@@ -49,9 +51,13 @@ __all__ = [
     "enabled",
     "event",
     "gauge",
+    "metrics",
+    "monitor",
+    "profile",
     "read_jsonl",
     "span",
     "summarize",
     "trace_run",
+    "traced_worker",
     "write_jsonl",
 ]

@@ -29,6 +29,8 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.telemetry import metrics as _metrics
+
 #: Schema tag of the JSONL trace container (header line of every file).
 TRACE_SCHEMA = "repro-trace-v1"
 
@@ -122,6 +124,9 @@ class Tracer:
         self._origin = clock()
         self._stack: List[int] = []
         self._next_id = 0
+        #: Metrics delta captured by :func:`traced_worker`, shipped home
+        #: inside :meth:`trace_payload` when present.
+        self._metrics_delta: Optional[Dict[str, Any]] = None
 
     # -- Internals ---------------------------------------------------------
 
@@ -160,7 +165,16 @@ class Tracer:
 
     def count(self, name: str, n: float = 1) -> None:
         """Add ``n`` to the monotonic counter ``name`` (under the current
-        span, so replay can aggregate counters per subtree)."""
+        span, so replay can aggregate counters per subtree).
+
+        While the metrics registry is armed
+        (:func:`repro.telemetry.metrics.enabled`), every increment also
+        mirrors into the process-wide aggregates — that is how the whole
+        tracer counter vocabulary shows up in ``/metrics`` without a
+        second hook at each site.
+        """
+        if _metrics._enabled:
+            _metrics._REGISTRY.inc(name, n)
         self.counters[name] = self.counters.get(name, 0.0) + n
         self.records.append(
             {
@@ -175,6 +189,8 @@ class Tracer:
     def gauge(self, name: str, value: float) -> None:
         """Record the latest value of ``name`` (last write wins)."""
         value = float(value)
+        if _metrics._enabled:
+            _metrics._REGISTRY.set_gauge(name, value)
         self.gauges[name] = value
         self.records.append(
             {
@@ -205,17 +221,21 @@ class Tracer:
 
     def trace_payload(self) -> Dict[str, Any]:
         """Picklable snapshot for shipping across a process boundary."""
-        return {
+        payload: Dict[str, Any] = {
             "records": self.records,
             "counters": self.counters,
             "gauges": self.gauges,
         }
+        if self._metrics_delta is not None:
+            payload["metrics"] = self._metrics_delta
+        return payload
 
     def absorb(
         self,
         payload: Dict[str, Any],
         t_offset: float = 0.0,
         parent: Optional[int] = None,
+        merge_metrics: bool = True,
     ) -> None:
         """Graft another tracer's payload under the current span.
 
@@ -224,7 +244,25 @@ class Tracer:
         span), and timestamps are shifted by ``t_offset`` seconds so the
         child's records sit on this tracer's timeline.  Counter totals
         and gauges merge into this tracer's aggregates.
+
+        While the metrics registry is armed, the payload's aggregates
+        also merge into it: a payload carrying a ``metrics`` key (a
+        worker-side :meth:`~repro.telemetry.metrics.MetricsRegistry.delta_since`)
+        merges histograms and all, an older payload without one falls
+        back to folding its counter totals in.  Pass
+        ``merge_metrics=False`` when the payload was produced *in this
+        process* (the shard-recovery in-process fallback): its hooks
+        already fed the registry live, so merging again would double
+        every aggregate.
         """
+        if merge_metrics and _metrics._enabled:
+            worker_metrics = payload.get("metrics")
+            if worker_metrics is not None:
+                _metrics._REGISTRY.merge(worker_metrics)
+            else:
+                _metrics._REGISTRY.absorb_counters(
+                    payload.get("counters", {})
+                )
         base = self._next_id
         if parent is None:
             parent = self._parent_id()
@@ -308,3 +346,31 @@ def trace_run(name: str = "run", **attrs: Any) -> Iterator[Tracer]:
     with tracer.activate():
         with tracer.span(name, **attrs):
             yield tracer
+
+
+@contextmanager
+def traced_worker(name: str, **attrs: Any) -> Iterator[Tracer]:
+    """Pool-worker scope: a fresh tracer plus scoped metrics collection.
+
+    Activates a new :class:`Tracer` with ``name`` as its root span and
+    arms the metrics registry for the block; on exit the registry delta
+    observed during the block is attached to the tracer, so
+    :meth:`Tracer.trace_payload` ships spans, counters *and* histogram
+    aggregates home in one picklable payload.  The delta (not the whole
+    registry) is what crosses: a pool worker reused across units never
+    re-ships work it already reported.
+
+    Also the recovery path's collection scope: running the same function
+    *in-process* (dead-worker fallback) produces an identical payload,
+    which the parent grafts with ``merge_metrics=False`` because the
+    in-process hooks already fed the shared registry live.
+    """
+    tracer = Tracer()
+    base = _metrics._REGISTRY.snapshot()
+    _metrics.enable()
+    try:
+        with tracer.activate(), tracer.span(name, **attrs):
+            yield tracer
+    finally:
+        _metrics.disable()
+        tracer._metrics_delta = _metrics._REGISTRY.delta_since(base)

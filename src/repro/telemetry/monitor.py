@@ -1,0 +1,318 @@
+"""Live run monitor for long synthesis / Monte-Carlo / batch workloads.
+
+A running ``table1 --jobs 8`` or multi-hour Monte-Carlo sweep should not
+be a black box until it finishes or dies.  :class:`RunMonitor` gives the
+long-running drivers (:mod:`repro.core.batch`, Monte-Carlo shards,
+synthesis rounds) a heartbeat:
+
+* a **daemon thread** prints one progress line per interval to stderr —
+  ``monitor: 5/16 units (31%, 2 restored) · last case.full 12.3 s ·
+  ETA 138 s`` — computed from unit-completion reports the drivers push;
+* optionally a **localhost stdlib HTTP server** (``--monitor PORT``)
+  serves ``GET /metrics`` (Prometheus text exposition of the
+  :mod:`repro.telemetry.metrics` registry) and ``GET /status`` (the
+  progress snapshot as JSON), so a dashboard or ``curl`` can watch a run
+  that is still going.
+
+The monitor is strictly **read-only over the run**: drivers report
+progress through the module-level hooks (:func:`declare`,
+:func:`unit_complete`), which cost one global int test while no monitor
+is active and never touch solver or layout state — results are
+bit-identical with the monitor on or off (pinned by test).
+
+Journal awareness: units restored from a run journal (``--resume``) are
+reported with ``restored=True``; they count toward ``done`` immediately
+but are excluded from the rate used for the ETA, so resuming a
+90%-complete run shows an honest estimate for the remaining 10%.
+
+Unit kinds: each driver declares its own unit kind (``task`` for batch
+tasks, ``mc.shard`` for Monte-Carlo shards, ``round`` for synthesis
+rounds).  The first kind declared on a monitor becomes the *headline*
+kind — the one the progress line and ETA track — so a batch of synthesis
+tasks reports task-level progress while nested per-round completions
+still show up in the ``units`` section of ``/status``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Callable, Dict, Optional, TextIO
+
+from repro.telemetry import metrics
+
+#: Count of started monitors.  Read without a lock — the GIL makes the
+#: int access atomic, and it is only a gate (same idiom as
+#: ``telemetry.core._active_tracers``).
+_monitors = 0
+_current: Optional["RunMonitor"] = None
+
+
+def active() -> bool:
+    """True when a monitor is running (cheap: one global int test)."""
+    return _monitors > 0
+
+
+def current() -> Optional["RunMonitor"]:
+    """The process's active monitor, or ``None``."""
+    if _monitors == 0:
+        return None
+    return _current
+
+
+def declare(kind: str, total: int) -> None:
+    """Driver hook: announce ``total`` upcoming units of ``kind``."""
+    if _monitors:
+        monitor = _current
+        if monitor is not None:
+            monitor.declare(kind, total)
+
+
+def unit_complete(
+    kind: str,
+    label: Optional[str] = None,
+    seconds: Optional[float] = None,
+    restored: bool = False,
+) -> None:
+    """Driver hook: report one completed unit of ``kind``.
+
+    ``seconds`` is the unit's own wall time when the driver knows it;
+    ``restored=True`` marks a unit replayed from a run journal rather
+    than computed now.
+    """
+    if _monitors:
+        monitor = _current
+        if monitor is not None:
+            monitor.unit_complete(
+                kind, label=label, seconds=seconds, restored=restored
+            )
+
+
+class _KindProgress:
+    __slots__ = ("total", "done", "restored")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.done = 0
+        self.restored = 0
+
+
+class RunMonitor:
+    """Heartbeat + optional HTTP status server for one long run.
+
+    ``interval`` seconds between progress lines (written to ``stream``,
+    default stderr; pass ``stream=None`` *and* ``interval=0`` for a
+    silent monitor that only serves HTTP).  ``port`` enables the HTTP
+    server on ``127.0.0.1`` (0 picks an ephemeral port; read it back
+    from :attr:`port` after :meth:`start`).  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(
+        self,
+        label: str = "run",
+        interval: float = 5.0,
+        port: Optional[int] = None,
+        stream: Optional[TextIO] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.label = label
+        self.interval = interval
+        self._stream = stream
+        self._clock = clock
+        self._requested_port = port
+        self.port: Optional[int] = None
+        self._lock = threading.Lock()
+        self._kinds: Dict[str, _KindProgress] = {}
+        self._headline: Optional[str] = None
+        self._t0 = clock()
+        self._live_done = 0
+        self._last_label: Optional[str] = None
+        self._last_seconds: Optional[float] = None
+        self._stop = threading.Event()
+        self._heartbeat: Optional[threading.Thread] = None
+        self._server = None
+        self._server_thread: Optional[threading.Thread] = None
+        self._previous: Optional["RunMonitor"] = None
+
+    # -- Progress intake ---------------------------------------------------
+
+    def declare(self, kind: str, total: int) -> None:
+        with self._lock:
+            progress = self._kinds.setdefault(kind, _KindProgress())
+            progress.total += int(total)
+            if self._headline is None:
+                self._headline = kind
+
+    def unit_complete(
+        self,
+        kind: str,
+        label: Optional[str] = None,
+        seconds: Optional[float] = None,
+        restored: bool = False,
+    ) -> None:
+        with self._lock:
+            progress = self._kinds.setdefault(kind, _KindProgress())
+            progress.done += 1
+            if restored:
+                progress.restored += 1
+            if kind == self._headline:
+                if not restored:
+                    self._live_done += 1
+                self._last_label = label
+                self._last_seconds = seconds
+
+    # -- Progress readout --------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-ready progress snapshot (the ``/status`` body)."""
+        with self._lock:
+            elapsed = self._clock() - self._t0
+            headline = self._headline
+            progress = self._kinds.get(headline) if headline else None
+            eta = None
+            if progress is not None and self._live_done > 0:
+                remaining = max(0, progress.total - progress.done)
+                rate = self._live_done / elapsed if elapsed > 0 else 0.0
+                if rate > 0:
+                    eta = remaining / rate
+            return {
+                "label": self.label,
+                "kind": headline,
+                "done": progress.done if progress else 0,
+                "total": progress.total if progress else 0,
+                "restored": progress.restored if progress else 0,
+                "elapsed_s": elapsed,
+                "eta_s": eta,
+                "last_unit": self._last_label,
+                "last_unit_s": self._last_seconds,
+                "units": {
+                    kind: {
+                        "done": p.done,
+                        "total": p.total,
+                        "restored": p.restored,
+                    }
+                    for kind, p in sorted(self._kinds.items())
+                },
+            }
+
+    def format_line(self) -> str:
+        """One human-readable heartbeat line."""
+        status = self.status()
+        total = status["total"]
+        done = status["done"]
+        parts = []
+        if total:
+            percent = 100.0 * done / total
+            headline = f"{done}/{total} {status['kind']} ({percent:.0f}%"
+            if status["restored"]:
+                headline += f", {status['restored']} restored"
+            headline += ")"
+            parts.append(headline)
+        else:
+            parts.append(f"{done} unit(s) done")
+        if status["last_unit"] is not None:
+            last = f"last {status['last_unit']}"
+            if status["last_unit_s"] is not None:
+                last += f" {status['last_unit_s']:.1f} s"
+            parts.append(last)
+        if status["eta_s"] is not None:
+            parts.append(f"ETA {status['eta_s']:.0f} s")
+        parts.append(f"elapsed {status['elapsed_s']:.0f} s")
+        return f"monitor[{self.label}]: " + " · ".join(parts)
+
+    # -- Lifecycle ---------------------------------------------------------
+
+    def start(self) -> "RunMonitor":
+        """Install as the process monitor; start heartbeat/HTTP threads."""
+        global _monitors, _current
+        self._previous = _current
+        _current = self
+        _monitors += 1
+        if self._requested_port is not None:
+            self._start_server(self._requested_port)
+        if self.interval and self.interval > 0:
+            self._heartbeat = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-monitor-heartbeat",
+                daemon=True,
+            )
+            self._heartbeat.start()
+        return self
+
+    def stop(self, final_line: bool = True) -> None:
+        """Stop threads and uninstall (prints one final progress line)."""
+        global _monitors, _current
+        if _current is self:
+            _current = self._previous
+        _monitors = max(0, _monitors - 1)
+        self._stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=2.0)
+            self._heartbeat = None
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            if self._server_thread is not None:
+                self._server_thread.join(timeout=2.0)
+            self._server = None
+            self._server_thread = None
+        if final_line:
+            self._emit(self.format_line())
+
+    def __enter__(self) -> "RunMonitor":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.stop()
+        return False
+
+    # -- Internals ---------------------------------------------------------
+
+    def _emit(self, line: str) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        try:
+            print(line, file=stream, flush=True)
+        except (ValueError, OSError):
+            pass  # stream closed mid-shutdown; progress lines are best-effort
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            self._emit(self.format_line())
+
+    def _start_server(self, port: int) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        monitor = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+                if self.path == "/metrics":
+                    body = metrics.registry().to_prometheus()
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path in ("/", "/status"):
+                    body = json.dumps(monitor.status(), sort_keys=True)
+                    ctype = "application/json; charset=utf-8"
+                else:
+                    self.send_error(404, "unknown path (try /status)")
+                    return
+                encoded = body.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(encoded)))
+                self.end_headers()
+                self.wfile.write(encoded)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes are not run diagnostics; keep stderr clean
+
+        self._server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+        self.port = self._server.server_address[1]
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-monitor-http",
+            daemon=True,
+        )
+        self._server_thread.start()

@@ -1,0 +1,188 @@
+"""Trace-driven profiler: self-time attribution over recorded span trees.
+
+:mod:`repro.telemetry.replay` answers "what happened" (the span tree);
+this module answers "where did the time go".  :func:`profile_records`
+folds a trace into per-name aggregate rows — call count, total
+(inclusive) seconds, **self** (exclusive) seconds, and p50/p95 of the
+per-call durations — and :func:`collapsed_stacks` emits the
+``stack;path count`` lines standard flamegraph tooling consumes
+(Brendan Gregg's ``flamegraph.pl``, speedscope, inferno).
+
+Self-time is defined the usual way: a span's duration minus the summed
+durations of its *direct* children.  Attribution is exact on a serial
+trace — the self-times of every span partition the root's wall clock, so
+``sum(self) == root.dur`` — and intentionally *not* clamped for absorbed
+process-pool subtrees, where children overlap in wall time and a
+parent's self-time can legitimately go negative (the pool span waited
+while K workers burned K times the wall clock; a negative self reads as
+"this span's children overlapped").  Collapsed-stack output clamps at
+zero because flamegraph counts must be non-negative.
+
+CLI: ``python -m repro profile TRACE [--top N] [--collapsed FILE]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.replay import SpanNode, summarize
+
+
+@dataclass
+class SpanProfile:
+    """Aggregate profile row for one span name."""
+
+    name: str
+    count: int
+    total_s: float
+    """Inclusive seconds summed over every occurrence."""
+    self_s: float
+    """Exclusive seconds: total minus time inside direct children."""
+    p50_s: float
+    p95_s: float
+    """Percentiles of the per-call *inclusive* durations."""
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+        }
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lo = int(position)
+    hi = min(lo + 1, len(ordered) - 1)
+    fraction = position - lo
+    return ordered[lo] * (1.0 - fraction) + ordered[hi] * fraction
+
+
+def node_self_seconds(node: SpanNode) -> float:
+    """Exclusive time of one span: duration minus direct children."""
+    return node.dur - sum(child.dur for child in node.children)
+
+
+def profile_spans(roots: List[SpanNode]) -> List[SpanProfile]:
+    """Per-name profile rows over the given span trees, ranked by
+    self-time (descending) with total time as the tiebreaker."""
+    durations: Dict[str, List[float]] = {}
+    self_times: Dict[str, float] = {}
+    for root in roots:
+        for node in root.walk():
+            durations.setdefault(node.name, []).append(node.dur)
+            self_times[node.name] = (
+                self_times.get(node.name, 0.0) + node_self_seconds(node)
+            )
+    rows = []
+    for name, samples in durations.items():
+        ordered = sorted(samples)
+        rows.append(
+            SpanProfile(
+                name=name,
+                count=len(samples),
+                total_s=sum(samples),
+                self_s=self_times[name],
+                p50_s=_percentile(ordered, 0.50),
+                p95_s=_percentile(ordered, 0.95),
+            )
+        )
+    rows.sort(key=lambda row: (-row.self_s, -row.total_s, row.name))
+    return rows
+
+
+def profile_records(records: List[Dict[str, Any]]) -> List[SpanProfile]:
+    """Profile a flat record list (live tracer or ``read_jsonl`` output)."""
+    return profile_spans(summarize(records).roots)
+
+
+def collapsed_stacks(
+    roots: List[SpanNode], scale: float = 1e6
+) -> Dict[str, int]:
+    """Flamegraph-collapsed mapping ``"a;b;c" -> self-time units``.
+
+    Each key is the ``;``-joined span-name path from a root down; each
+    value is that path's summed self-time in integer units (microseconds
+    by default — flamegraph tooling wants integer counts).  Identical
+    paths from repeated calls merge; zero/negative self-times (absorbed
+    parallel subtrees) are dropped, as a flamegraph cannot draw them.
+    """
+    stacks: Dict[str, float] = {}
+
+    def walk(node: SpanNode, prefix: str) -> None:
+        path = f"{prefix};{node.name}" if prefix else node.name
+        stacks[path] = stacks.get(path, 0.0) + node_self_seconds(node)
+        for child in node.children:
+            walk(child, path)
+
+    for root in roots:
+        walk(root, "")
+    collapsed = {}
+    for path in sorted(stacks):
+        units = int(round(stacks[path] * scale))
+        if units > 0:
+            collapsed[path] = units
+    return collapsed
+
+
+def format_collapsed(stacks: Dict[str, int]) -> str:
+    """One ``stack;path count`` line per entry (flamegraph.pl input)."""
+    return "\n".join(f"{path} {count}" for path, count in stacks.items())
+
+
+def format_profile_table(
+    rows: List[SpanProfile],
+    top: Optional[int] = None,
+    wall_s: Optional[float] = None,
+) -> str:
+    """Human-readable profile table (ranked by self-time).
+
+    ``wall_s`` (typically the root span's duration) adds a ``self%``
+    column attributing wall clock per name.
+    """
+    if top is not None:
+        rows = rows[:top]
+    header: Tuple[str, ...] = (
+        "span", "calls", "total (s)", "self (s)",
+        "self%", "p50 (ms)", "p95 (ms)",
+    )
+    table: List[Tuple[str, ...]] = [header]
+    for row in rows:
+        share = (
+            f"{100.0 * row.self_s / wall_s:.1f}%"
+            if wall_s else "-"
+        )
+        table.append(
+            (
+                row.name,
+                str(row.count),
+                f"{row.total_s:.3f}",
+                f"{row.self_s:.3f}",
+                share,
+                f"{row.p50_s * 1e3:.1f}",
+                f"{row.p95_s * 1e3:.1f}",
+            )
+        )
+    widths = [
+        max(len(line[col]) for line in table) for col in range(len(header))
+    ]
+    lines = []
+    for i, line in enumerate(table):
+        cells = [line[0].ljust(widths[0])]
+        cells += [
+            cell.rjust(widths[col])
+            for col, cell in enumerate(line[1:], start=1)
+        ]
+        lines.append("  ".join(cells).rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

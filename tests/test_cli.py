@@ -27,6 +27,29 @@ class TestParser:
         assert args.cload == 5.0
         assert args.vdd == 5.0
 
+    def test_monitor_flag_shapes(self):
+        parser = build_parser()
+        assert parser.parse_args(["synthesize"]).monitor is None
+        # Bare --monitor means heartbeat only (no HTTP server).
+        assert parser.parse_args(["synthesize", "--monitor"]).monitor == -1
+        assert parser.parse_args(["table1", "--monitor", "0"]).monitor == 0
+        args = parser.parse_args(["flows", "--monitor", "8123"])
+        assert args.monitor == 8123
+
+    def test_bench_history_flag(self):
+        args = build_parser().parse_args(
+            ["bench", "--history", "bench.jsonl"]
+        )
+        assert args.history == "bench.jsonl"
+
+    def test_profile_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "run.jsonl", "--top", "7", "--collapsed", "c.txt"]
+        )
+        assert args.file == "run.jsonl"
+        assert args.top == 7
+        assert args.collapsed == "c.txt"
+
 
 class TestCommands:
     def test_figure2_prints_curve(self, capsys):
@@ -107,6 +130,46 @@ class TestCommands:
 
     def test_trace_missing_file_is_an_error(self, capsys):
         assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err
+
+    def test_profile_reports_self_time_and_collapsed(
+        self, capsys, tmp_path
+    ):
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "synthesize", "--gbw", "30", "--cload", "2",
+            "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()  # drain the synthesize output
+
+        collapsed = tmp_path / "collapsed.txt"
+        code = main([
+            "profile", str(trace), "--top", "25",
+            "--collapsed", str(collapsed),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        # Table header plus the hot spans from the synthesis loop.
+        assert "self (s)" in captured.out
+        assert "synthesis.round" in captured.out
+        assert f"collapsed: {collapsed}" in captured.out
+
+        # Collapsed stacks are flamegraph.pl-compatible: each line is
+        # "root;child;... <integer microseconds>".
+        lines = collapsed.read_text().splitlines()
+        assert lines
+        for line in lines:
+            stack, value = line.rsplit(" ", 1)
+            assert stack
+            assert int(value) > 0
+        assert any(
+            "synthesis.round" in line.rsplit(" ", 1)[0] for line in lines
+        )
+
+    def test_profile_missing_file_is_an_error(self, capsys):
+        assert main(["profile", "/nonexistent/trace.jsonl"]) == 2
         captured = capsys.readouterr()
         assert captured.out == ""
         assert "error:" in captured.err
