@@ -111,6 +111,47 @@ def _add_monitor_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write a Prometheus text snapshot of the run's counters and "
+             "histograms to FILE at exit (observation only; results stay "
+             "bit-identical)",
+    )
+
+
+def _add_runtime_arguments(
+    parser: argparse.ArgumentParser, pool: bool = True
+) -> None:
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", nargs="?", const="", default=None,
+        help="enable the cross-run artifact cache rooted at DIR (no "
+             "value: ~/.cache/repro); later runs with identical inputs "
+             "are served from disk, bit-identical to a cold run",
+    )
+    if pool:
+        parser.add_argument(
+            "--no-persistent-pool", action="store_true",
+            help="tear the worker pool down after every dispatch round "
+                 "instead of keeping it warm for the whole process",
+        )
+
+
+def _configure_runtime(args: argparse.Namespace) -> None:
+    """Apply --cache-dir / --no-persistent-pool before any dispatch."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        from repro.runtime import artifacts
+
+        root = artifacts.default_root() if cache_dir == "" else cache_dir
+        artifacts.configure(root)
+        print(f"artifact cache: {root}", file=sys.stderr)
+    if getattr(args, "no_persistent_pool", False):
+        from repro.runtime import pool as runtime_pool
+
+        runtime_pool.set_persistent(False)
+
+
 def _add_journal_arguments(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group()
     group.add_argument(
@@ -422,6 +463,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         load_bench,
         run_benchmarks,
         run_layout_benchmarks,
+        run_runtime_benchmarks,
         write_bench,
     )
 
@@ -453,6 +495,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 repeat=args.repeat, batch_jobs=args.table1_jobs
             )
         )
+    if not args.no_runtime:
+        print("timing per-round vs persistent executor runtime ...",
+              file=sys.stderr)
+        results.update(run_runtime_benchmarks(repeat=args.repeat))
     print(format_bench_table(results))
     write_bench(results, args.json)
     print(f"benchmark record written to {args.json}", file=sys.stderr)
@@ -594,7 +640,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(excludes timings; for determinism checks)")
     _add_trace_argument(table1)
     _add_monitor_argument(table1)
+    _add_metrics_argument(table1)
     _add_journal_arguments(table1)
+    _add_runtime_arguments(table1)
     table1.set_defaults(func=cmd_table1)
 
     synthesize = subparsers.add_parser(
@@ -616,7 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
              "corners as one stacked ensemble measurement")
     _add_trace_argument(synthesize)
     _add_monitor_argument(synthesize)
+    _add_metrics_argument(synthesize)
     _add_journal_arguments(synthesize)
+    _add_runtime_arguments(synthesize, pool=False)
     synthesize.set_defaults(func=cmd_synthesize)
 
     flows = subparsers.add_parser(
@@ -629,7 +679,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "processes")
     _add_trace_argument(flows)
     _add_monitor_argument(flows)
+    _add_metrics_argument(flows)
     _add_journal_arguments(flows)
+    _add_runtime_arguments(flows)
     flows.set_defaults(func=cmd_flows)
 
     figure2 = subparsers.add_parser(
@@ -655,6 +707,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-layout", action="store_true",
                        help="skip the layout-path benchmarks (extraction, "
                             "DRC)")
+    bench.add_argument("--no-runtime", action="store_true",
+                       help="skip the executor-runtime benchmarks "
+                            "(persistent pool, shared memory, artifact "
+                            "cache)")
     bench.add_argument("--table1-jobs", type=int, default=0, metavar="N",
                        help="also time a serial vs --jobs N Table-1 batch "
                             "(needs a multi-core host; default: skip)")
@@ -717,26 +773,31 @@ def main(argv: Optional[list] = None) -> int:
     faults.arm_from_env()
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_runtime(args)
     trace_path = getattr(args, "trace", None)
     monitor_port = getattr(args, "monitor", None)
-    if not trace_path and monitor_port is None:
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and monitor_port is None and not metrics_path:
         return args.func(args)
 
     from contextlib import ExitStack
 
     from repro import telemetry
+    from repro.ioutil import atomic_write
     from repro.telemetry import metrics as metrics_mod
     from repro.telemetry import monitor as monitor_mod
 
-    # --monitor implies a tracer even without --trace: the registry is
-    # populated from the tracer's counter/gauge mirror, so /metrics would
-    # be empty with no tracer armed.  Observation only — results are
-    # bit-identical with or without either flag.
+    # --monitor and --metrics imply a tracer even without --trace: the
+    # registry is populated from the tracer's counter/gauge mirror, so
+    # /metrics (and the --metrics snapshot) would be empty with no
+    # tracer armed.  Observation only — results are bit-identical with
+    # or without any of these flags.
     name = f"cli.{args.command}"
     tracer = telemetry.Tracer()
     with ExitStack() as stack:
-        if monitor_port is not None:
+        if monitor_port is not None or metrics_path:
             stack.enter_context(metrics_mod.collecting(fresh=True))
+        if monitor_port is not None:
             run_monitor = monitor_mod.RunMonitor(
                 label=args.command,
                 port=None if monitor_port < 0 else monitor_port,
@@ -758,8 +819,18 @@ def main(argv: Optional[list] = None) -> int:
                     append=bool(getattr(args, "resume", None)),
                 )
                 print(f"trace written to {trace_path}", file=sys.stderr)
+            if metrics_path:
+                # Snapshot before collecting() pops the registry; a run
+                # that died mid-way still leaves a usable snapshot.
+                atomic_write(
+                    metrics_path, metrics_mod.registry().to_prometheus()
+                )
+                print(f"metrics written to {metrics_path}",
+                      file=sys.stderr)
     if trace_path:
         print(f"trace: {trace_path}")
+    if metrics_path:
+        print(f"metrics: {metrics_path}")
     return code
 
 

@@ -14,16 +14,25 @@ and re-biases it per sample instead of re-cloning and re-stamping; with
 ``workers=N`` the pre-drawn sample rows are partitioned over a process
 pool.  Because the draws are fixed before any work is scheduled, results
 are identical for any worker count.
+
+Pooled dispatch goes through the persistent executor runtime
+(:mod:`repro.runtime`): the pool is reused across calls, the sample
+matrices travel by shared memory (:mod:`repro.runtime.shm`), and workers
+hold the compiled feedback program in a content-keyed resident cache so
+repeated dispatches ship a fingerprint instead of the testbench.  Each
+layer degrades independently to the old per-run behavior when disabled,
+and none of them changes a single sampled value.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -32,9 +41,10 @@ from repro.analysis.engine import COMPILED, resolve_engine
 from repro.analysis.metrics import OtaTestbench, feedback_dc_solution
 from repro.circuit.netlist import Circuit
 from repro.errors import AnalysisError
-from repro.resilience import faults
 from repro.resilience.budget import Budget
-from repro.resilience.journal import RunJournal, ignore_sigint
+from repro.resilience.journal import RunJournal
+from repro.runtime import pool as runtime_pool
+from repro.runtime import shm as runtime_shm
 from repro.telemetry import metrics, monitor
 
 
@@ -148,6 +158,81 @@ def _testbench_with_mismatch(
     )
 
 
+class _CompiledOffset:
+    """The default offset measurement, compiled once per testbench.
+
+    Holds the feedback-loop :class:`~repro.analysis.stamps.StampProgram`
+    plus the permutation that maps pre-drawn sample columns (circuit
+    device order) onto program device order.  Compilation is a pure
+    function of the testbench, and :meth:`measure` is stateless across
+    calls (``set_mismatch`` deltas are overwritten per sample;
+    :meth:`EnsembleProgram.from_mismatch
+    <repro.analysis.ensemble.EnsembleProgram.from_mismatch>` takes
+    explicit rows), so one instance may serve any number of shards —
+    which is exactly what the worker-resident cache in
+    :mod:`repro.runtime.pool` does with it.
+    """
+
+    __slots__ = ("names", "program", "out_node", "vcm", "permutation")
+
+    def __init__(self, tb: OtaTestbench, names: Sequence[str]):
+        from repro.analysis.stamps import StampProgram
+
+        feedback = tb.circuit.clone(tb.circuit.name + "_fb")
+        feedback.remove(tb.source_neg)
+        feedback.add_vsource("_fb", tb.input_neg_net, tb.output_net, dc=0.0)
+        self.program = StampProgram(feedback)
+        self.out_node = self.program.index.node(tb.output_net)
+        self.vcm = tb.common_mode_voltage()
+        self.names = tuple(names)
+        order = {name: i for i, name in enumerate(self.names)}
+        self.permutation = np.array(
+            [order[name] for name in self.program.mos_names], dtype=np.intp
+        )
+
+    def measure(
+        self,
+        vth_rows: np.ndarray,
+        beta_rows: np.ndarray,
+        ensemble: Optional[str] = None,
+    ) -> List[Dict[str, float]]:
+        """Offset samples for a chunk of pre-drawn rows.
+
+        On the stacked ensemble engine (the default) every row becomes
+        one member of a single batched ``(K, n, n)`` Newton solve; the
+        per-sample loop below is the golden reference, selected via
+        :data:`~repro.analysis.engine.ensemble_engine`.
+        """
+        from repro.analysis.engine import STACKED, ensemble_engine
+
+        if ensemble_engine.resolve(ensemble) == STACKED and len(vth_rows):
+            from repro.analysis.ensemble import EnsembleProgram
+
+            stacked = EnsembleProgram.from_mismatch(
+                self.program,
+                np.asarray(vth_rows)[:, self.permutation],
+                np.asarray(beta_rows)[:, self.permutation],
+            )
+            solution = stacked.solve()
+            # The per-sample loop raises at the first failing sample;
+            # match that contract so shard recovery stays unchanged.
+            solution.raise_on_failure()
+            return [
+                {"offset_voltage": float(v[self.out_node]) - self.vcm}
+                for v in solution.voltages
+            ]
+        stats: List[Dict[str, float]] = []
+        for vth_row, beta_row in zip(vth_rows, beta_rows):
+            self.program.set_mismatch(
+                vth_row[self.permutation], beta_row[self.permutation]
+            )
+            voltages, _iterations, _gmin = self.program.solve_voltages()
+            stats.append(
+                {"offset_voltage": float(voltages[self.out_node]) - self.vcm}
+            )
+        return stats
+
+
 def _offset_chunk(
     tb: OtaTestbench,
     names: Sequence[str],
@@ -158,15 +243,11 @@ def _offset_chunk(
 ) -> List[Dict[str, float]]:
     """Default measurement (input offset) for a chunk of sample rows.
 
-    One compiled feedback program is shared by the whole chunk.  On the
-    stacked ensemble engine (the default) every pre-drawn row becomes one
-    member of a single batched ``(K, n, n)`` Newton solve
-    (:class:`~repro.analysis.ensemble.EnsembleProgram`); the per-sample
-    loop below is the golden reference, selected via
-    :data:`~repro.analysis.engine.ensemble_engine`.  ``ensemble`` carries
-    the parent's resolved engine across the process-pool boundary (a
-    worker is a fresh interpreter, so the process-wide default would not
-    follow a scoped override in the parent).
+    One compiled feedback program (:class:`_CompiledOffset`) is shared
+    by the whole chunk.  ``ensemble`` carries the parent's resolved
+    engine across the process-pool boundary (a worker is a fresh
+    interpreter, so the process-wide default would not follow a scoped
+    override in the parent).
 
     Module-level so process-pool workers can pickle it.  ``crash`` is the
     fault-injection hook: the parent's registry decides a shard should die
@@ -175,43 +256,7 @@ def _offset_chunk(
     """
     if crash:
         os._exit(1)
-    from repro.analysis.engine import STACKED, ensemble_engine
-    from repro.analysis.stamps import StampProgram
-
-    feedback = tb.circuit.clone(tb.circuit.name + "_fb")
-    feedback.remove(tb.source_neg)
-    feedback.add_vsource("_fb", tb.input_neg_net, tb.output_net, dc=0.0)
-    program = StampProgram(feedback)
-    out_node = program.index.node(tb.output_net)
-    vcm = tb.common_mode_voltage()
-    order = {name: i for i, name in enumerate(names)}
-    permutation = np.array(
-        [order[name] for name in program.mos_names], dtype=np.intp
-    )
-    if ensemble_engine.resolve(ensemble) == STACKED and len(vth_rows):
-        from repro.analysis.ensemble import EnsembleProgram
-
-        stacked = EnsembleProgram.from_mismatch(
-            program,
-            np.asarray(vth_rows)[:, permutation],
-            np.asarray(beta_rows)[:, permutation],
-        )
-        solution = stacked.solve()
-        # The per-sample loop raises at the first failing sample; match
-        # that contract so shard recovery semantics stay unchanged.
-        solution.raise_on_failure()
-        return [
-            {"offset_voltage": float(v[out_node]) - vcm}
-            for v in solution.voltages
-        ]
-    stats: List[Dict[str, float]] = []
-    for vth_row, beta_row in zip(vth_rows, beta_rows):
-        program.set_mismatch(vth_row[permutation], beta_row[permutation])
-        voltages, _iterations, _gmin = program.solve_voltages()
-        stats.append(
-            {"offset_voltage": float(voltages[out_node]) - vcm}
-        )
-    return stats
+    return _CompiledOffset(tb, names).measure(vth_rows, beta_rows, ensemble)
 
 
 def _measure_chunk(
@@ -289,9 +334,325 @@ def _run_chunk_traced(
     return stats, tracer.trace_payload()
 
 
+class _ResidentChunk:
+    """Worker-resident Monte-Carlo state: the unpickled testbench plus a
+    lazily compiled :class:`_CompiledOffset`.
+
+    Cached per worker process under the parent's payload content hash
+    (:func:`repro.runtime.pool.resident_object`), so repeated dispatches
+    against a persistent pool ship a fingerprint instead of re-shipping
+    the testbench and recompiling the feedback program per shard.
+    """
+
+    __slots__ = ("tb", "measure", "_compiled")
+
+    def __init__(self, tb: OtaTestbench, measure):
+        self.tb = tb
+        self.measure = measure
+        self._compiled: Optional[_CompiledOffset] = None
+
+    def run(
+        self,
+        names: Sequence[str],
+        vth_rows: np.ndarray,
+        beta_rows: np.ndarray,
+        ensemble: Optional[str],
+    ) -> List[Dict[str, float]]:
+        if self.measure is not None:
+            return _measure_chunk(
+                self.tb, names, vth_rows, beta_rows, self.measure
+            )
+        compiled = self._compiled
+        if compiled is None or compiled.names != tuple(names):
+            compiled = _CompiledOffset(self.tb, names)
+            self._compiled = compiled
+        return compiled.measure(vth_rows, beta_rows, ensemble)
+
+
+def _build_resident_chunk(payload: bytes) -> _ResidentChunk:
+    tb, measure = pickle.loads(payload)
+    return _ResidentChunk(tb, measure)
+
+
+@dataclass(frozen=True)
+class _ShardJob:
+    """Everything one pooled shard needs, picklable by construction.
+
+    ``payload`` is the pickled ``(tb, measure)`` recipe — or ``None``
+    when the parent believes this pool generation already holds the
+    resident state under ``key``.  Sample rows travel either as
+    :class:`~repro.runtime.shm.ShmRef` descriptors (shared-memory
+    transport) or as pickled row slices (fallback); workers compute on
+    value-identical copies in both cases, so the transport never changes
+    results.
+    """
+
+    key: str
+    payload: Optional[bytes]
+    names: Tuple[str, ...]
+    lo: int
+    hi: int
+    index: int
+    ensemble: Optional[str]
+    crash: bool = False
+    vth_ref: Optional[runtime_shm.ShmRef] = None
+    beta_ref: Optional[runtime_shm.ShmRef] = None
+    vth_rows: Optional[np.ndarray] = None
+    beta_rows: Optional[np.ndarray] = None
+
+
+def _job_rows(job: _ShardJob) -> Tuple[np.ndarray, np.ndarray]:
+    if job.vth_ref is not None:
+        return (
+            runtime_shm.read(job.vth_ref, job.lo, job.hi),
+            runtime_shm.read(job.beta_ref, job.lo, job.hi),
+        )
+    return job.vth_rows, job.beta_rows
+
+
+def _run_shard_job(job: _ShardJob):
+    """Pool-side shard entry (untraced parent)."""
+    if job.crash:
+        os._exit(1)
+    try:
+        state = runtime_pool.resident_object(
+            job.key, job.payload, _build_resident_chunk
+        )
+    except runtime_pool.NeedPayload:
+        return runtime_pool.CacheMiss(job.key)
+    vth_rows, beta_rows = _job_rows(job)
+    return state.run(job.names, vth_rows, beta_rows, job.ensemble)
+
+
+def _run_shard_job_traced(job: _ShardJob):
+    """Pool-side shard entry under a worker-local tracer.
+
+    Ships ``(stats, trace_payload)`` home exactly like
+    :func:`_run_chunk_traced`; a cold resident cache short-circuits to a
+    :class:`~repro.runtime.pool.CacheMiss` (the abandoned tracer is
+    dropped with the ``with`` block, so the resend's span is the only
+    one the parent absorbs — trace shape matches the pre-runtime path).
+    """
+    if job.crash:
+        os._exit(1)
+    t0 = time.perf_counter()
+    with telemetry.traced_worker(
+        "mc.shard", index=job.index, lo=job.lo, hi=job.hi
+    ) as tracer:
+        try:
+            state = runtime_pool.resident_object(
+                job.key, job.payload, _build_resident_chunk
+            )
+        except runtime_pool.NeedPayload:
+            return runtime_pool.CacheMiss(job.key)
+        vth_rows, beta_rows = _job_rows(job)
+        stats = state.run(job.names, vth_rows, beta_rows, job.ensemble)
+        tracer.count("mc.samples_measured", job.hi - job.lo)
+        metrics.observe("mc.shard.seconds", time.perf_counter() - t0)
+    return stats, tracer.trace_payload()
+
+
 def _shard_key(span: Tuple[int, int]) -> str:
     """Journal key of the shard covering sample rows ``[lo, hi)``."""
     return f"mc.shard.{span[0]}.{span[1]}"
+
+
+#: Monte-Carlo's site vocabulary for the shared dispatch engine — the
+#: budget/journal/fault names shards have always used.
+_MC_SITES = runtime_pool.DispatchSites(
+    fault_site="mc.worker",
+    budget_round="montecarlo.shards",
+    drain_site="mc.drain",
+    fallback_check="mc.shard-fallback",
+    budget_fallback="montecarlo.shard-fallback",
+    unit_kw="shard",
+    transport_shutdown_wait=True,
+)
+
+
+class _ShardDispatch:
+    """Monte-Carlo's unit semantics for :func:`repro.runtime.pool
+    .run_dispatch`: how to submit a shard, harvest its result, record a
+    failure, and recover in-process.  The engine owns pool lifecycle,
+    retry rounds, journal drain and budget checkpoints."""
+
+    transport_exceptions = (pickle.PicklingError, AttributeError, TypeError)
+
+    def __init__(
+        self,
+        tb: OtaTestbench,
+        names: Sequence[str],
+        vth: np.ndarray,
+        beta: np.ndarray,
+        measure,
+        spans: Sequence[Tuple[int, int]],
+        chunks: List[Optional[List[Dict[str, float]]]],
+        statuses: List[ShardStatus],
+        ensemble: Optional[str],
+        journal: Optional[RunJournal],
+        key: str,
+        payload: bytes,
+        sample_refs: Optional[Tuple[runtime_shm.ShmRef, runtime_shm.ShmRef]],
+        max_workers: int,
+    ):
+        self.tb = tb
+        self.names = tuple(names)
+        self.vth = vth
+        self.beta = beta
+        self.measure = measure
+        self.spans = spans
+        self.chunks = chunks
+        self.statuses = statuses
+        self.ensemble = ensemble
+        self.journal = journal
+        self.key = key
+        self.payload = payload
+        self.sample_refs = sample_refs
+        self.max_workers = max_workers
+        self.tracer = telemetry.current()
+        self._payload_sent: Set[int] = set()
+        self._lease: Optional[runtime_pool.PoolLease] = None
+
+    def begin_attempt(self, i: int) -> None:
+        self.statuses[i].attempts += 1
+
+    def has_result(self, i: int) -> bool:
+        return self.chunks[i] is not None
+
+    def submit(self, pool, lease, i: int, crash: bool, resend: bool):
+        lo, hi = self.spans[i]
+        self._lease = lease
+        # Ship the (tb, measure) payload until this pool generation has
+        # acknowledged it (or when a worker explicitly asked again); a
+        # warm pool gets the content hash alone.
+        ship = resend or not lease.key_shipped(self.key)
+        if ship:
+            self._payload_sent.add(i)
+        else:
+            self._payload_sent.discard(i)
+        if self.sample_refs is not None:
+            vth_ref, beta_ref = self.sample_refs
+            job = _ShardJob(
+                key=self.key, payload=self.payload if ship else None,
+                names=self.names, lo=lo, hi=hi, index=i,
+                ensemble=self.ensemble, crash=crash,
+                vth_ref=vth_ref, beta_ref=beta_ref,
+            )
+        else:
+            job = _ShardJob(
+                key=self.key, payload=self.payload if ship else None,
+                names=self.names, lo=lo, hi=hi, index=i,
+                ensemble=self.ensemble, crash=crash,
+                vth_rows=self.vth[lo:hi], beta_rows=self.beta[lo:hi],
+            )
+        entry = (
+            _run_shard_job_traced if self.tracer is not None
+            else _run_shard_job
+        )
+        return pool.submit(entry, job)
+
+    def accept(self, i: int, outcome, submit_time: Optional[float]) -> None:
+        """Accept one completed shard result (and journal it durably)."""
+        seconds = None
+        if self.tracer is not None:
+            self.chunks[i], payload = outcome
+            self.tracer.absorb(payload, t_offset=submit_time)
+            if submit_time is not None:
+                seconds = self.tracer.now() - submit_time
+        else:
+            self.chunks[i] = outcome
+        self.statuses[i].status = (
+            "ok" if self.statuses[i].attempts == 1 else "resubmitted"
+        )
+        monitor.unit_complete(
+            "mc.shard", label=_shard_key(self.spans[i]), seconds=seconds
+        )
+        if self.journal is not None:
+            lo, hi = self.spans[i]
+            self.journal.record(
+                _shard_key(self.spans[i]), self.chunks[i], lo=lo, hi=hi
+            )
+        if i in self._payload_sent and self._lease is not None:
+            # At least one worker of this generation built the resident
+            # state; later dispatches ship the hash alone (a cold worker
+            # answers CacheMiss and gets the payload resent).
+            self._lease.mark_shipped(self.key)
+
+    def note_timeout(self, i: int, timeout: Optional[float]) -> None:
+        self.statuses[i].error = f"shard timed out after {timeout:g} s"
+        telemetry.count("mc.shard_retries")
+        telemetry.event("mc.shard_timeout", shard=i, timeout_s=timeout)
+
+    def note_death(self, i: int, error: BaseException) -> None:
+        self.statuses[i].error = (
+            f"worker died: {error!r} (shard {i} of {len(self.spans)}, "
+            f"workers={self.max_workers})"
+        )
+        telemetry.count("mc.shard_retries")
+        telemetry.event("mc.worker_death", shard=i, error=repr(error))
+
+    def transport_error(self, i: int, error: BaseException) -> Exception:
+        # A result that cannot cross back (worker-side pickling) can
+        # never succeed on a retry.  (Parent-side pickling is
+        # pre-validated before dispatch, because a feeder-thread
+        # PicklingError wedges the pool beyond recovery on CPython
+        # < 3.12.)
+        return AnalysisError(
+            f"Monte-Carlo shard {i} of {len(self.spans)} "
+            f"(workers={self.max_workers}) could not cross the "
+            f"process boundary: {error!r}; a custom measure "
+            f"function must be module-level (picklable)"
+        )
+
+    def fallback(self, i: int) -> None:
+        """In-process recovery after bounded retries are exhausted."""
+        lo, hi = self.spans[i]
+        try:
+            if self.tracer is not None:
+                # Run the *traced* chunk in-process so a recovered shard
+                # reports the same ``mc.shard`` span and counters a pool
+                # worker would have shipped home.  ``merge_metrics=False``
+                # because the in-process hooks fed the shared registry
+                # live; merging the delta again would double it.
+                t0 = self.tracer.now()
+                with telemetry.span(
+                    "mc.shard_fallback", index=i, lo=lo, hi=hi
+                ):
+                    self.chunks[i], payload = _run_chunk_traced(
+                        self.tb, self.names, self.vth[lo:hi],
+                        self.beta[lo:hi], self.measure,
+                        False, i, lo, hi, self.ensemble,
+                    )
+                    self.tracer.absorb(
+                        payload, t_offset=t0, merge_metrics=False
+                    )
+                monitor.unit_complete(
+                    "mc.shard",
+                    label=_shard_key(self.spans[i]),
+                    seconds=self.tracer.now() - t0,
+                )
+            else:
+                with telemetry.span(
+                    "mc.shard_fallback", index=i, lo=lo, hi=hi
+                ):
+                    self.chunks[i] = _run_chunk(
+                        self.tb, self.names, self.vth[lo:hi],
+                        self.beta[lo:hi], self.measure,
+                        ensemble=self.ensemble,
+                    )
+                monitor.unit_complete(
+                    "mc.shard", label=_shard_key(self.spans[i])
+                )
+            telemetry.count("mc.shards_in_process")
+            self.statuses[i].status = "in-process"
+            if self.journal is not None:
+                self.journal.record(
+                    _shard_key(self.spans[i]), self.chunks[i], lo=lo, hi=hi
+                )
+        except Exception as error:  # noqa: BLE001 - recorded, not masked
+            telemetry.count("mc.shards_failed")
+            self.statuses[i].status = "failed"
+            self.statuses[i].error = repr(error)
 
 
 def _run_shards(
@@ -307,8 +668,12 @@ def _run_shards(
     budget: Optional[Budget],
     ensemble: Optional[str] = None,
     journal: Optional[RunJournal] = None,
+    payload: Optional[bytes] = None,
+    sample_refs: Optional[
+        Tuple[runtime_shm.ShmRef, runtime_shm.ShmRef]
+    ] = None,
 ) -> Tuple[List[Optional[List[Dict[str, float]]]], List[ShardStatus]]:
-    """Run every shard on a process pool with bounded recovery.
+    """Run every shard through the shared dispatch engine.
 
     A shard whose worker dies (or times out) is resubmitted on a fresh
     pool up to ``max_shard_retries`` times, then run in-process; only a
@@ -321,10 +686,12 @@ def _run_shards(
     reason), every completed shard is appended durably, and a shutdown
     signal drains in-flight workers into the journal before raising
     :class:`~repro.errors.RunInterrupted`.
-    """
-    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-    from concurrent.futures import TimeoutError as FuturesTimeoutError
 
+    ``payload`` is the pre-validated pickled ``(tb, measure)`` recipe —
+    its content hash keys the worker-resident compiled state, so a warm
+    persistent pool receives the hash instead of the testbench.
+    ``sample_refs`` selects the shared-memory row transport.
+    """
     chunks: List[Optional[List[Dict[str, float]]]] = [None] * len(spans)
     statuses = [
         ShardStatus(index=i, span=span) for i, span in enumerate(spans)
@@ -341,176 +708,20 @@ def _run_shards(
             )
         else:
             pending.append(i)
-    tracer = telemetry.current()
-
-    def accept(i: int, outcome: object, submit_time: Optional[float]) -> None:
-        """Accept one completed shard result (and journal it durably)."""
-        seconds = None
-        if tracer is not None:
-            chunks[i], payload = outcome
-            tracer.absorb(payload, t_offset=submit_time)
-            if submit_time is not None:
-                seconds = tracer.now() - submit_time
-        else:
-            chunks[i] = outcome
-        statuses[i].status = (
-            "ok" if statuses[i].attempts == 1 else "resubmitted"
-        )
-        monitor.unit_complete(
-            "mc.shard", label=_shard_key(spans[i]), seconds=seconds
-        )
-        if journal is not None:
-            lo, hi = spans[i]
-            journal.record(_shard_key(spans[i]), chunks[i], lo=lo, hi=hi)
-
-    for _round in range(1 + max_shard_retries):
-        if not pending:
-            break
-        if budget is not None:
-            budget.check("montecarlo.shards", pending=len(pending))
-        retry: List[int] = []
-        # Workers ignore SIGINT so Ctrl-C (delivered to the whole process
-        # group) leaves the pool intact for the parent's checkpoint drain.
-        pool = ProcessPoolExecutor(
-            max_workers=min(max_workers, len(pending)),
-            initializer=ignore_sigint,
-        )
-        had_timeout = False
-        futures = {}
-        submit_times: Dict[int, float] = {}
-        for i in pending:
-            lo, hi = spans[i]
-            crash = faults.fire("mc.worker", index=i) is not None
-            statuses[i].attempts += 1
-            if tracer is not None:
-                submit_times[i] = tracer.now()
-                futures[i] = pool.submit(
-                    _run_chunk_traced, tb, names, vth[lo:hi], beta[lo:hi],
-                    measure, crash, i, lo, hi, ensemble,
-                )
-            else:
-                futures[i] = pool.submit(
-                    _run_chunk, tb, names, vth[lo:hi], beta[lo:hi],
-                    measure, crash, ensemble,
-                )
-        try:
-            for i, future in futures.items():
-                if journal is not None and journal.interrupted:
-                    # Shutdown signal: drain in-flight workers, journal
-                    # every shard that made it home, then stop cleanly.
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    for j, done in futures.items():
-                        if (
-                            chunks[j] is None
-                            and done.done()
-                            and not done.cancelled()
-                            and done.exception() is None
-                        ):
-                            accept(j, done.result(), submit_times.get(j))
-                    journal.check_interrupt("mc.drain")
-                try:
-                    accept(
-                        i,
-                        future.result(timeout=shard_timeout),
-                        submit_times.get(i),
-                    )
-                except (
-                    pickle.PicklingError, AttributeError, TypeError
-                ) as error:
-                    # A result that cannot cross back (worker-side
-                    # pickling) can never succeed on a retry: fail fast
-                    # with context.  (Parent-side pickling is
-                    # pre-validated before dispatch, because a
-                    # feeder-thread PicklingError wedges the pool beyond
-                    # recovery on CPython < 3.12.)
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    raise AnalysisError(
-                        f"Monte-Carlo shard {i} of {len(spans)} "
-                        f"(workers={max_workers}) could not cross the "
-                        f"process boundary: {error!r}; a custom measure "
-                        f"function must be module-level (picklable)"
-                    ) from error
-                except FuturesTimeoutError:
-                    had_timeout = True
-                    statuses[i].error = (
-                        f"shard timed out after {shard_timeout:g} s"
-                    )
-                    telemetry.count("mc.shard_retries")
-                    telemetry.event(
-                        "mc.shard_timeout", shard=i, timeout_s=shard_timeout
-                    )
-                    retry.append(i)
-                except (BrokenExecutor, OSError, EOFError) as error:
-                    statuses[i].error = (
-                        f"worker died: {error!r} (shard {i} of {len(spans)}, "
-                        f"workers={max_workers})"
-                    )
-                    telemetry.count("mc.shard_retries")
-                    telemetry.event(
-                        "mc.worker_death", shard=i, error=repr(error)
-                    )
-                    retry.append(i)
-        except BaseException:
-            # RunInterrupted, a simulated kill at a journal boundary, or
-            # the pickling failure above: don't leave workers running.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        # A timed-out worker may still be running; don't block on it.
-        pool.shutdown(wait=not had_timeout, cancel_futures=True)
-        pending = retry
-
-    # Bounded retries exhausted: bring the stragglers home in-process.
-    for i in pending:
-        lo, hi = spans[i]
-        if journal is not None:
-            journal.check_interrupt("mc.shard-fallback")
-        if budget is not None:
-            budget.check("montecarlo.shard-fallback", shard=i)
-        statuses[i].attempts += 1
-        try:
-            if tracer is not None:
-                # Run the *traced* chunk in-process so a recovered shard
-                # reports the same ``mc.shard`` span and counters a pool
-                # worker would have shipped home — previously this path
-                # silently dropped the shard's telemetry and trace totals
-                # no longer matched a serial run.  ``merge_metrics=False``
-                # because the in-process hooks fed the shared registry
-                # live; merging the delta again would double it.
-                t0 = tracer.now()
-                with telemetry.span(
-                    "mc.shard_fallback", index=i, lo=lo, hi=hi
-                ):
-                    chunks[i], payload = _run_chunk_traced(
-                        tb, names, vth[lo:hi], beta[lo:hi], measure,
-                        False, i, lo, hi, ensemble,
-                    )
-                    tracer.absorb(
-                        payload, t_offset=t0, merge_metrics=False
-                    )
-                monitor.unit_complete(
-                    "mc.shard",
-                    label=_shard_key(spans[i]),
-                    seconds=tracer.now() - t0,
-                )
-            else:
-                with telemetry.span(
-                    "mc.shard_fallback", index=i, lo=lo, hi=hi
-                ):
-                    chunks[i] = _run_chunk(
-                        tb, names, vth[lo:hi], beta[lo:hi], measure,
-                        ensemble=ensemble,
-                    )
-                monitor.unit_complete(
-                    "mc.shard", label=_shard_key(spans[i])
-                )
-            telemetry.count("mc.shards_in_process")
-            statuses[i].status = "in-process"
-            if journal is not None:
-                journal.record(_shard_key(spans[i]), chunks[i], lo=lo, hi=hi)
-        except Exception as error:  # noqa: BLE001 - recorded, not masked
-            telemetry.count("mc.shards_failed")
-            statuses[i].status = "failed"
-            statuses[i].error = repr(error)
+    if payload is None:
+        payload = pickle.dumps((tb, measure))
+    dispatch = _ShardDispatch(
+        tb, names, vth, beta, measure, spans, chunks, statuses,
+        ensemble, journal,
+        key=hashlib.sha256(payload).hexdigest(),
+        payload=payload,
+        sample_refs=sample_refs,
+        max_workers=max_workers,
+    )
+    runtime_pool.run_dispatch(
+        dispatch, pending, max_workers, shard_timeout, max_shard_retries,
+        budget, journal, _MC_SITES,
+    )
     return chunks, statuses
 
 
@@ -656,11 +867,13 @@ def run_monte_carlo(
                     journal.record(key, chunks[0], lo=0, hi=runs)
         else:
             try:
-                pickle.dumps((tb, measure))
+                payload = pickle.dumps((tb, measure))
             except Exception as error:
                 # Submitting an unpicklable payload would wedge the pool's
                 # queue feeder (unrecoverable on CPython < 3.12), so refuse
-                # before any worker is spawned.
+                # before any worker is spawned.  The validated bytes are
+                # the submission payload itself (and its hash keys the
+                # worker-resident cache) — nothing is pickled twice.
                 raise AnalysisError(
                     f"Monte-Carlo payload cannot cross the process boundary "
                     f"(workers={workers}): {error!r}; a custom measure "
@@ -672,15 +885,37 @@ def run_monte_carlo(
                 for i in range(workers)
                 if bounds[i + 1] > bounds[i]
             ]
-            chunks, statuses = _run_shards(
-                tb, names, vth, beta, measure, spans,
-                max_workers=len(spans),
-                shard_timeout=shard_timeout,
-                max_shard_retries=max_shard_retries,
-                budget=budget,
-                ensemble=ensemble_name,
-                journal=journal,
-            )
+            # Publish the pre-drawn rows once over shared memory; the
+            # parent owns the segment and unlinks it whatever happens
+            # (the ``finally`` covers failures and journal-guarded
+            # SIGINT/SIGTERM; atexit + the faults kill hook cover hard
+            # exits).  Any publication failure falls back to pickled
+            # row slices — same values, same results.
+            block = None
+            sample_refs = None
+            if runtime_shm.enabled():
+                try:
+                    block = runtime_shm.publish(vth, beta)
+                except runtime_shm.ShmError:
+                    block = None
+                else:
+                    refs = block.refs()
+                    sample_refs = (refs[0], refs[1])
+            try:
+                chunks, statuses = _run_shards(
+                    tb, names, vth, beta, measure, spans,
+                    max_workers=len(spans),
+                    shard_timeout=shard_timeout,
+                    max_shard_retries=max_shard_retries,
+                    budget=budget,
+                    ensemble=ensemble_name,
+                    journal=journal,
+                    payload=payload,
+                    sample_refs=sample_refs,
+                )
+            finally:
+                if block is not None:
+                    block.close()
             result.shards = statuses
             result.n_failed = sum(
                 status.span[1] - status.span[0]

@@ -27,9 +27,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.errors import JournalError, SynthesisError
-from repro.resilience import faults
 from repro.resilience.budget import Budget
-from repro.resilience.journal import RunJournal, ignore_sigint
+from repro.resilience.journal import RunJournal
+from repro.runtime import artifacts, pool as runtime_pool
 from repro.sizing.specs import OtaSpecs, ParasiticMode
 from repro.telemetry import metrics, monitor
 from repro.technology import generic_035, generic_060, generic_080
@@ -81,7 +81,8 @@ class TaskStatus:
     attempts: int = 0
     status: str = "pending"
     """``ok`` | ``resubmitted`` | ``in-process`` | ``serial`` |
-    ``journaled`` (restored from a resumed run journal, zero attempts)."""
+    ``journaled`` (restored from a resumed run journal, zero attempts) |
+    ``cached`` (served by the cross-run artifact cache, zero attempts)."""
     error: Optional[str] = None
     """Last failure seen (worker death, timeout), even when recovered."""
 
@@ -220,8 +221,101 @@ def _run_task_traced(
     return result, tracer.trace_payload()
 
 
+def _run_task_payload(payload: bytes, crash: bool = False) -> object:
+    """Pool-side entry over the pre-validated pickled task.
+
+    Submitting the validation pass's own bytes means each task is
+    pickled exactly once, parent-side, and the worker does the single
+    ``loads`` the executor's argument machinery would have done anyway.
+    """
+    if crash:
+        os._exit(1)
+    return run_task(pickle.loads(payload))
+
+
+def _run_task_payload_traced(
+    payload: bytes, index: int, crash: bool = False
+) -> Tuple[object, Dict[str, object]]:
+    """Traced pool-side entry over the pre-validated pickled task."""
+    if crash:
+        os._exit(1)
+    return _run_task_traced(pickle.loads(payload), index)
+
+
 def _task_key(index: int) -> str:
     return f"task.{index}"
+
+
+def _case_artifact_key(task: BatchTask) -> Optional[str]:
+    """Content address of a ``case`` task's result, or ``None``.
+
+    Keys fold the full task value (specs, mode, corner, model level,
+    aspect), the resolved technology's content fingerprint, and every
+    engine default that could steer the computation — so a run under a
+    scoped engine override or an edited preset never collides with the
+    default world.  Flow tasks return ``None``: their outcome objects
+    carry stateful flow history that is cheap to recompute and awkward
+    to address.
+    """
+    if task.kind != "case":
+        return None
+    from repro.analysis.engine import ensemble_engine, resolve_engine
+    from repro.layout.engine import drc_engine, extraction_engine
+
+    return artifacts.content_key(
+        "case-result",
+        task,
+        _build_technology(task).fingerprint(),
+        resolve_engine(None),
+        ensemble_engine.resolve(None),
+        extraction_engine.resolve(None),
+        drc_engine.resolve(None),
+    )
+
+
+def _restore_cached(
+    tasks: Sequence[BatchTask],
+    statuses: List[TaskStatus],
+    results: List[object],
+    pending: List[int],
+    journal: Optional[RunJournal],
+) -> Tuple[List[int], List[Optional[str]]]:
+    """Serve pending tasks from the cross-run artifact cache.
+
+    Returns the still-pending indices plus each task's content key (for
+    publishing computed results).  A hit is journaled like a computed
+    result so a later resume restores it from the journal, which remains
+    the authority on this run's history.  No-op (all pending, no keys)
+    when no cache is active.
+    """
+    store = artifacts.active()
+    keys: List[Optional[str]] = [None] * len(tasks)
+    if store is None:
+        return pending, keys
+    still: List[int] = []
+    for i in pending:
+        task = tasks[i]
+        keys[i] = _case_artifact_key(task)
+        hit = store.get("case-result", keys[i]) if keys[i] else None
+        if hit is None:
+            still.append(i)
+            continue
+        results[i] = hit
+        statuses[i].status = "cached"
+        telemetry.count("batch.cached_tasks")
+        monitor.unit_complete("task", label=task.label, restored=True)
+        if journal is not None:
+            journal.record(_task_key(i), hit, label=task.label)
+    return still, keys
+
+
+def _store_artifact(key: Optional[str], result: object) -> None:
+    """Publish a freshly computed case result (no-op without a cache)."""
+    if key is None:
+        return
+    store = artifacts.active()
+    if store is not None:
+        store.put("case-result", key, result)
 
 
 def _restore_journaled(
@@ -263,7 +357,11 @@ def _run_serial(
     journal: Optional[RunJournal] = None,
 ) -> List[object]:
     results: List[object] = [None] * len(tasks)
-    for i in _restore_journaled(tasks, statuses, results, journal):
+    pending = _restore_journaled(tasks, statuses, results, journal)
+    pending, cache_keys = _restore_cached(
+        tasks, statuses, results, pending, journal
+    )
+    for i in pending:
         task = tasks[i]
         if journal is not None:
             journal.check_interrupt("batch.task")
@@ -281,7 +379,140 @@ def _run_serial(
         statuses[i].status = "serial"
         if journal is not None:
             journal.record(_task_key(i), results[i], label=task.label)
+        _store_artifact(cache_keys[i], results[i])
     return results
+
+
+#: Batch's site vocabulary for the shared dispatch engine — the
+#: budget/journal/fault names batch tasks have always used.
+_BATCH_SITES = runtime_pool.DispatchSites(
+    fault_site="batch.worker",
+    budget_round="batch.round",
+    drain_site="batch.drain",
+    fallback_check="batch.task-fallback",
+    budget_fallback="batch.task-fallback",
+    unit_kw="task",
+)
+
+
+class _BatchDispatch:
+    """Batch's unit semantics for :func:`repro.runtime.pool.run_dispatch`:
+    how to submit a task, harvest its result, record a failure, and
+    recover in-process.  The engine owns pool lifecycle, retry rounds,
+    journal drain and budget checkpoints."""
+
+    transport_exceptions = (pickle.PicklingError,)
+
+    def __init__(
+        self,
+        tasks: Sequence[BatchTask],
+        payloads: Sequence[bytes],
+        statuses: List[TaskStatus],
+        results: List[object],
+        cache_keys: Sequence[Optional[str]],
+        journal: Optional[RunJournal],
+        jobs: int,
+    ):
+        self.tasks = tasks
+        self.payloads = payloads
+        self.statuses = statuses
+        self.results = results
+        self.cache_keys = cache_keys
+        self.journal = journal
+        self.jobs = jobs
+        self.tracer = telemetry.current()
+
+    def begin_attempt(self, i: int) -> None:
+        self.statuses[i].attempts += 1
+
+    def has_result(self, i: int) -> bool:
+        return self.results[i] is not None
+
+    def submit(self, pool, lease, i: int, crash: bool, resend: bool):
+        # Tasks are unique values, so there is no resident state to
+        # fingerprint: the pre-validated payload bytes ship every time.
+        if self.tracer is not None:
+            return pool.submit(
+                _run_task_payload_traced, self.payloads[i], i, crash
+            )
+        return pool.submit(_run_task_payload, self.payloads[i], crash)
+
+    def accept(self, i: int, outcome, submit_time: Optional[float]) -> None:
+        """Accept one completed task result (and journal it durably)."""
+        seconds = None
+        if self.tracer is not None:
+            self.results[i], payload = outcome
+            self.tracer.absorb(payload, t_offset=submit_time)
+            if submit_time is not None:
+                seconds = self.tracer.now() - submit_time
+        else:
+            self.results[i] = outcome
+        self.statuses[i].status = (
+            "ok" if self.statuses[i].attempts == 1 else "resubmitted"
+        )
+        monitor.unit_complete(
+            "task", label=self.tasks[i].label, seconds=seconds
+        )
+        if self.journal is not None:
+            self.journal.record(
+                _task_key(i), self.results[i], label=self.tasks[i].label
+            )
+        _store_artifact(self.cache_keys[i], self.results[i])
+
+    def note_timeout(self, i: int, timeout: Optional[float]) -> None:
+        self.statuses[i].error = f"task timed out after {timeout:g} s"
+        telemetry.count("batch.retries")
+        telemetry.event("batch.task_timeout", task=i, timeout_s=timeout)
+
+    def note_death(self, i: int, error: BaseException) -> None:
+        self.statuses[i].error = (
+            f"worker died: {error!r} (task {i} of {len(self.tasks)}, "
+            f"jobs={self.jobs})"
+        )
+        telemetry.count("batch.retries")
+        telemetry.event("batch.worker_death", task=i, error=repr(error))
+
+    def transport_error(self, i: int, error: BaseException) -> Exception:
+        # A result that cannot cross back can never succeed on a retry:
+        # fail fast with context.
+        return SynthesisError(
+            f"batch task {i} ({self.tasks[i].label}) result could "
+            f"not cross the process boundary: {error!r}"
+        )
+
+    def fallback(self, i: int) -> None:
+        """In-process recovery; task exceptions propagate here too —
+        parity with the serial path."""
+        if self.tracer is not None:
+            # Recover with the *traced* worker entry so the task reports
+            # the same ``batch.task`` span and counters a pool worker
+            # would have shipped home.  ``merge_metrics=False``: the
+            # in-process hooks already fed the shared registry live.
+            t0 = self.tracer.now()
+            with telemetry.span(
+                "batch.task_fallback", index=i, label=self.tasks[i].label
+            ):
+                self.results[i], payload = _run_task_traced(
+                    self.tasks[i], i
+                )
+                self.tracer.absorb(payload, t_offset=t0, merge_metrics=False)
+            monitor.unit_complete(
+                "task", label=self.tasks[i].label,
+                seconds=self.tracer.now() - t0,
+            )
+        else:
+            with telemetry.span(
+                "batch.task_fallback", index=i, label=self.tasks[i].label
+            ):
+                self.results[i] = run_task(self.tasks[i])
+            monitor.unit_complete("task", label=self.tasks[i].label)
+        telemetry.count("batch.in_process")
+        self.statuses[i].status = "in-process"
+        if self.journal is not None:
+            self.journal.record(
+                _task_key(i), self.results[i], label=self.tasks[i].label
+            )
+        _store_artifact(self.cache_keys[i], self.results[i])
 
 
 def _run_pooled(
@@ -293,158 +524,35 @@ def _run_pooled(
     budget: Optional[Budget],
     journal: Optional[RunJournal] = None,
 ) -> List[object]:
-    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-    from concurrent.futures import TimeoutError as FuturesTimeoutError
-
-    try:
-        pickle.dumps(list(tasks))
-    except Exception as error:
-        # Submitting an unpicklable payload would wedge the pool's queue
-        # feeder (unrecoverable on CPython < 3.12): refuse before any
-        # worker is spawned.
-        raise SynthesisError(
-            f"batch payload cannot cross the process boundary "
-            f"(jobs={jobs}): {error!r}"
-        ) from error
+    payloads: List[bytes] = []
+    for i, task in enumerate(tasks):
+        try:
+            # The validation pass produces the submission payload: each
+            # task is pickled exactly once (previously the whole list
+            # was dumped for validation and every task dumped again at
+            # submit time).
+            payloads.append(pickle.dumps(task))
+        except Exception as error:
+            # Submitting an unpicklable payload would wedge the pool's
+            # queue feeder (unrecoverable on CPython < 3.12): refuse
+            # before any worker is spawned.
+            raise SynthesisError(
+                f"batch payload cannot cross the process boundary "
+                f"(jobs={jobs}, task {i}: {task.label}): {error!r}"
+            ) from error
 
     results: List[object] = [None] * len(tasks)
     pending = _restore_journaled(tasks, statuses, results, journal)
-    tracer = telemetry.current()
-
-    def harvest(i: int, outcome: object, submit_time: Optional[float]) -> None:
-        """Accept one completed task result (and journal it durably)."""
-        seconds = None
-        if tracer is not None:
-            results[i], payload = outcome
-            tracer.absorb(payload, t_offset=submit_time)
-            if submit_time is not None:
-                seconds = tracer.now() - submit_time
-        else:
-            results[i] = outcome
-        statuses[i].status = (
-            "ok" if statuses[i].attempts == 1 else "resubmitted"
-        )
-        monitor.unit_complete("task", label=tasks[i].label, seconds=seconds)
-        if journal is not None:
-            journal.record(_task_key(i), results[i], label=tasks[i].label)
-
-    for _round in range(1 + max_retries):
-        if not pending:
-            break
-        if budget is not None:
-            budget.check("batch.round", pending=len(pending))
-        retry: List[int] = []
-        # Workers ignore SIGINT: Ctrl-C reaches the whole process group,
-        # and the parent must drain the pool into a checkpoint instead of
-        # finding it already broken.
-        pool = ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), initializer=ignore_sigint
-        )
-        had_timeout = False
-        futures = {}
-        submit_times: Dict[int, float] = {}
-        for i in pending:
-            crash = faults.fire("batch.worker", index=i) is not None
-            statuses[i].attempts += 1
-            if tracer is not None:
-                submit_times[i] = tracer.now()
-                futures[i] = pool.submit(
-                    _run_task_traced, tasks[i], i, crash
-                )
-            else:
-                futures[i] = pool.submit(_run_task_worker, tasks[i], crash)
-        try:
-            for i, future in futures.items():
-                if journal is not None and journal.interrupted:
-                    # Shutdown signal: drain in-flight workers, journal
-                    # every result that made it home, then stop cleanly.
-                    pool.shutdown(wait=True, cancel_futures=True)
-                    for j, done in futures.items():
-                        if (
-                            results[j] is None
-                            and done.done()
-                            and not done.cancelled()
-                            and done.exception() is None
-                        ):
-                            harvest(j, done.result(), submit_times.get(j))
-                    journal.check_interrupt("batch.drain")
-                try:
-                    harvest(
-                        i,
-                        future.result(timeout=task_timeout),
-                        submit_times.get(i),
-                    )
-                except pickle.PicklingError as error:
-                    # A result that cannot cross back can never succeed
-                    # on a retry: fail fast with context.
-                    raise SynthesisError(
-                        f"batch task {i} ({tasks[i].label}) result could "
-                        f"not cross the process boundary: {error!r}"
-                    ) from error
-                except FuturesTimeoutError:
-                    had_timeout = True
-                    statuses[i].error = (
-                        f"task timed out after {task_timeout:g} s"
-                    )
-                    telemetry.count("batch.retries")
-                    telemetry.event(
-                        "batch.task_timeout", task=i, timeout_s=task_timeout
-                    )
-                    retry.append(i)
-                except (BrokenExecutor, OSError, EOFError) as error:
-                    statuses[i].error = (
-                        f"worker died: {error!r} (task {i} of {len(tasks)}, "
-                        f"jobs={jobs})"
-                    )
-                    telemetry.count("batch.retries")
-                    telemetry.event(
-                        "batch.worker_death", task=i, error=repr(error)
-                    )
-                    retry.append(i)
-        except BaseException:
-            # A task-level ReproError (or the pickling failure above)
-            # propagates to the caller like a serial run's would; don't
-            # leave the pool's workers running behind it.
-            pool.shutdown(wait=False, cancel_futures=True)
-            raise
-        # A timed-out worker may still be running; don't block on it.
-        pool.shutdown(wait=not had_timeout, cancel_futures=True)
-        pending = retry
-
-    # Bounded retries exhausted: bring the stragglers home in-process.
-    # Task exceptions propagate here too — parity with the serial path.
-    for i in pending:
-        if journal is not None:
-            journal.check_interrupt("batch.task-fallback")
-        if budget is not None:
-            budget.check("batch.task-fallback", task=i)
-        statuses[i].attempts += 1
-        if tracer is not None:
-            # Recover with the *traced* worker entry so the task reports
-            # the same ``batch.task`` span and counters a pool worker
-            # would have shipped home (previously the fallback dropped
-            # them and trace totals no longer matched a serial run).
-            # ``merge_metrics=False``: the in-process hooks already fed
-            # the shared registry live.
-            t0 = tracer.now()
-            with telemetry.span(
-                "batch.task_fallback", index=i, label=tasks[i].label
-            ):
-                results[i], payload = _run_task_traced(tasks[i], i)
-                tracer.absorb(payload, t_offset=t0, merge_metrics=False)
-            monitor.unit_complete(
-                "task", label=tasks[i].label, seconds=tracer.now() - t0
-            )
-        else:
-            with telemetry.span(
-                "batch.task_fallback", index=i, label=tasks[i].label
-            ):
-                results[i] = run_task(tasks[i])
-            monitor.unit_complete("task", label=tasks[i].label)
-        telemetry.count("batch.in_process")
-        statuses[i].status = "in-process"
-        if journal is not None:
-            journal.record(_task_key(i), results[i], label=tasks[i].label)
+    pending, cache_keys = _restore_cached(
+        tasks, statuses, results, pending, journal
+    )
+    dispatch = _BatchDispatch(
+        tasks, payloads, statuses, results, cache_keys, journal, jobs
+    )
+    runtime_pool.run_dispatch(
+        dispatch, pending, jobs, task_timeout, max_retries,
+        budget, journal, _BATCH_SITES,
+    )
     return results
 
 

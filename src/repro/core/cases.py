@@ -8,45 +8,20 @@ the "value(value-in-brackets)" pairs of the paper's Table 1.
 
 from __future__ import annotations
 
-import enum
 import hashlib
 import time
-from dataclasses import dataclass, fields, is_dataclass
-from typing import Iterator, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.analysis.metrics import OtaMetrics, measure_ota
 from repro.layout.extraction import annotate_circuit, extract_cell
 from repro.layout.ota import OtaLayoutRequest, OtaLayoutResult, generate_ota_layout
 from repro.circuit.testbench import OtaTestbench
 from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.runtime.artifacts import canonical_tokens as _tokens
 from repro.sizing.plans.folded_cascode import FoldedCascodePlan
 from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
 from repro.technology.process import Technology
-
-
-def _tokens(value: object) -> Iterator[str]:
-    """Deterministic token stream over result payloads (for hashing).
-
-    Handles the value shapes a :class:`CaseResult` is built from: enums
-    hash by name, dataclasses by field name + content, mappings by
-    repr-sorted key, sequences in order, everything else by ``repr``
-    (floats therefore contribute full bit-exact precision).
-    """
-    if isinstance(value, enum.Enum):
-        yield value.name
-    elif is_dataclass(value) and not isinstance(value, type):
-        for field_info in fields(value):
-            yield field_info.name
-            yield from _tokens(getattr(value, field_info.name))
-    elif isinstance(value, dict):
-        for key, item in sorted(value.items(), key=lambda kv: repr(kv[0])):
-            yield repr(key)
-            yield from _tokens(item)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            yield from _tokens(item)
-    else:
-        yield repr(value)
 
 
 @dataclass

@@ -35,6 +35,7 @@ from repro.layout.parasitics import ParasiticReport
 from repro.resilience import faults
 from repro.resilience.budget import Budget
 from repro.resilience.journal import RunJournal
+from repro.runtime import artifacts
 from repro.telemetry import metrics, monitor
 from repro.sizing.plans.folded_cascode import FoldedCascodePlan
 from repro.sizing.specs import OtaSpecs, ParasiticMode, SizingResult
@@ -115,6 +116,10 @@ class LayoutOrientedSynthesizer:
         self.prefer_even_folds = prefer_even_folds
         self.plan = plan or FoldedCascodePlan(technology, model_level)
         self.layout_tool = layout_tool or self._default_layout_tool
+        #: Only the built-in layout tool is pure in its inputs; custom
+        #: tools (scripted stand-ins, stateful mocks) must never be
+        #: served from the cross-run artifact cache.
+        self._default_tool = layout_tool is None
         #: Parasitic-estimate results keyed on canonicalized sizing content
         #: plus the technology fingerprint — a converged round that
         #: re-requests identical geometry skips the layout rebuild.
@@ -175,9 +180,28 @@ class LayoutOrientedSynthesizer:
                 telemetry.count("layout.calls.estimate")
                 telemetry.count("layout.cache.hit")
             return cached
+        store = artifacts.active() if self._default_tool else None
+        artifact_key = (
+            artifacts.content_key("layout-estimate", key)
+            if store is not None else None
+        )
+        if store is not None:
+            persisted = store.get("layout-estimate", artifact_key)
+            if persisted is not None:
+                # Same accounting as an in-memory hit: the rebuild is
+                # skipped, the logical layout call still happens.
+                with telemetry.span(
+                    "layout.call", mode="estimate", cached=True
+                ):
+                    telemetry.count("layout.calls.estimate")
+                    telemetry.count("layout.cache.hit")
+                self._estimate_cache[key] = persisted
+                return persisted
         telemetry.count("layout.cache.miss")
         result = self.layout_tool(sizing, "estimate")
         self._estimate_cache[key] = result
+        if store is not None:
+            store.put("layout-estimate", artifact_key, result)
         return result
 
     def run(

@@ -627,3 +627,84 @@ def run_layout_benchmarks(
             serial, parallel
         )
     return results
+
+
+def _sample_entry(samples: List[float]) -> Dict[str, float]:
+    """A :func:`time_call`-shaped stats dict from raw second samples."""
+    ordered = sorted(samples)
+    return {
+        "best_s": ordered[0],
+        "mean_s": sum(samples) / len(samples),
+        "p50_s": _percentile(ordered, 0.50),
+        "p95_s": _percentile(ordered, 0.95),
+        "repeat": float(len(samples)),
+    }
+
+
+def run_runtime_benchmarks(repeat: int = 3) -> Dict[str, Dict[str, float]]:
+    """Time the persistent-runtime wins (the ``repro.runtime`` stack).
+
+    ``mc_dispatch_overhead`` runs the same 2-worker Monte-Carlo dispatch
+    with a dedicated pool per round and pickled sample transport (the
+    pre-runtime behavior; ``legacy`` column) and with the persistent
+    executor plus shared-memory samples (``compiled`` column), so the
+    speedup is pure dispatch overhead — the physics per shard is
+    identical and results are bit-identical in both modes.
+
+    ``table1_warm_vs_cold`` runs two cheap Table-1 cases against an
+    empty cross-run artifact cache (``legacy``) and then re-runs them
+    against the now-populated cache (``compiled``): the warm run is
+    served from disk without re-synthesizing.
+    """
+    import tempfile
+
+    from repro.analysis.montecarlo import run_monte_carlo
+    from repro.runtime import artifacts
+    from repro.runtime import pool as runtime_pool
+    from repro.runtime import shm as runtime_shm
+
+    tb = default_testbench()
+
+    def mc():
+        return run_monte_carlo(tb, runs=64, seed=1234, workers=4)
+
+    # Per-round pools, pickled samples: every timed call pays four
+    # process spawns plus a testbench + sample-rows pickle per shard.
+    with runtime_pool.persistent(False), runtime_shm.use(False):
+        runtime_pool.shutdown()
+        per_round = time_call(mc, repeat=repeat, warmup=0)
+    # Persistent pool, shared-memory samples: the warmup call creates
+    # the pool and ships the compiled-state payload once; the timed
+    # calls measure reuse.
+    with runtime_pool.persistent(True), runtime_shm.use(True):
+        runtime_pool.shutdown()
+        warm_pool = time_call(mc, repeat=repeat, warmup=1)
+    results = {
+        "mc_dispatch_overhead": _engine_entry(per_round, warm_pool)
+    }
+
+    from repro.core.batch import BatchTask, run_batch
+
+    specs = table1_specs()
+    tasks = [
+        BatchTask(kind="case", technology="0.6um", specs=specs, mode=mode)
+        for mode in ("NONE", "SINGLE_FOLD")
+    ]
+    cold_samples: List[float] = []
+    warm_samples: List[float] = []
+    for _ in range(max(1, repeat - 1)):
+        # A fresh cache root per iteration keeps every cold sample
+        # genuinely cold; the warm sample re-runs the identical batch
+        # against the cache the cold run just filled.
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+            with artifacts.using(root):
+                start = time.perf_counter()
+                run_batch(tasks, jobs=1)
+                cold_samples.append(time.perf_counter() - start)
+                start = time.perf_counter()
+                run_batch(tasks, jobs=1)
+                warm_samples.append(time.perf_counter() - start)
+    results["table1_warm_vs_cold"] = _engine_entry(
+        _sample_entry(cold_samples), _sample_entry(warm_samples)
+    )
+    return results

@@ -1,0 +1,223 @@
+"""Shared-memory transport for pre-drawn Monte-Carlo sample matrices.
+
+``run_monte_carlo`` draws every vth/beta mismatch row before any work is
+scheduled (that is what makes results independent of worker count).
+Without this module each shard's rows are pickled into the pool's call
+queue — ``runs x devices x 16`` bytes copied per dispatch, again on
+every retry round.  Here the parent publishes both matrices **once**
+into a single ``multiprocessing.shared_memory`` segment and shards
+receive tiny :class:`ShmRef` descriptors; a worker attaches, copies its
+``[lo, hi)`` row slice out, and detaches.
+
+Ownership is strictly parent-side: the process that called
+:func:`publish` closes *and unlinks* the segment, in a ``finally``, so
+clean runs, failing runs and journal-guarded SIGINT/SIGTERM shutdowns
+(``RunInterrupted`` unwinds through the ``finally``) all release it.
+Two backstops cover abnormal exits: an ``atexit`` sweep, and a
+:func:`repro.resilience.faults.register_kill_hook` callback so a
+``REPRO_FAULTS`` ``process.kill`` crash (``os._exit`` — no ``finally``,
+no ``atexit``) still unlinks before the process dies.  A SIGKILL the
+process never sees is mopped up by the stdlib ``resource_tracker``,
+which outlives the parent precisely for this case.
+
+Disable with ``REPRO_NO_SHM`` (or scoped, with :func:`use`); transport
+choice never changes results because workers compute on value-identical
+row copies either way.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import telemetry
+
+#: Environment kill-switch: any non-empty value disables the transport.
+NO_SHM_ENV = "REPRO_NO_SHM"
+
+
+class ShmError(RuntimeError):
+    """Shared-memory publication failed (caller falls back to pickling)."""
+
+
+@dataclass(frozen=True)
+class ShmRef:
+    """Picklable descriptor of one matrix inside a published segment."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    offset: int
+
+
+#: Segments this process created and has not yet unlinked.
+_LIVE: Dict[str, Any] = {}
+_HOOKS_INSTALLED = False
+_AVAILABLE: Optional[bool] = None
+_OVERRIDE: List[bool] = []
+
+
+def _emergency_cleanup() -> None:
+    """Unlink every live segment; safe to call multiple times."""
+    for name in list(_LIVE):
+        segment = _LIVE.pop(name, None)
+        if segment is None:
+            continue
+        try:
+            segment.close()
+        except Exception:  # noqa: BLE001 - emergency path, best effort
+            pass
+        try:
+            segment.unlink()
+        except Exception:  # noqa: BLE001
+            pass
+
+
+def _install_hooks() -> None:
+    global _HOOKS_INSTALLED
+    if _HOOKS_INSTALLED:
+        return
+    _HOOKS_INSTALLED = True
+    atexit.register(_emergency_cleanup)
+    from repro.resilience import faults
+
+    faults.register_kill_hook(_emergency_cleanup)
+
+
+def available() -> bool:
+    """Whether this platform can create shared-memory segments (probed
+    once with a 1-byte segment; /dev/shm may be absent or read-only in
+    minimal containers)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:  # noqa: BLE001 - any failure means "no"
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+def enabled() -> bool:
+    """Whether Monte-Carlo dispatch should publish samples over shm."""
+    if _OVERRIDE:
+        return _OVERRIDE[-1] and available()
+    if os.environ.get(NO_SHM_ENV):
+        return False
+    return available()
+
+
+@contextmanager
+def use(flag: bool) -> Iterator[None]:
+    """Scoped override of :func:`enabled` (tests, benchmarks)."""
+    _OVERRIDE.append(bool(flag))
+    try:
+        yield
+    finally:
+        _OVERRIDE.pop()
+
+
+class SharedSamples:
+    """One parent-owned segment holding a set of published matrices."""
+
+    def __init__(self, arrays: Sequence[np.ndarray]):
+        from multiprocessing import shared_memory
+
+        arrays = [np.ascontiguousarray(a) for a in arrays]
+        total = sum(int(a.nbytes) for a in arrays)
+        try:
+            self._segment = shared_memory.SharedMemory(
+                create=True, size=max(1, total)
+            )
+        except Exception as error:  # noqa: BLE001 - map to one fallback
+            raise ShmError(f"could not create segment: {error!r}") from error
+        _install_hooks()
+        _LIVE[self._segment.name] = self._segment
+        self._refs: List[ShmRef] = []
+        offset = 0
+        for a in arrays:
+            view = np.ndarray(
+                a.shape, dtype=a.dtype, buffer=self._segment.buf,
+                offset=offset,
+            )
+            view[...] = a
+            del view
+            self._refs.append(
+                ShmRef(self._segment.name, tuple(a.shape), a.dtype.str,
+                       offset)
+            )
+            offset += int(a.nbytes)
+        telemetry.count("runtime.shm.bytes", total)
+        telemetry.count("runtime.shm.segments")
+
+    def refs(self) -> List[ShmRef]:
+        return list(self._refs)
+
+    def close(self) -> None:
+        """Close and unlink the segment (idempotent)."""
+        segment = getattr(self, "_segment", None)
+        if segment is None:
+            return
+        self._segment = None
+        _LIVE.pop(segment.name, None)
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # already swept
+                pass
+
+    def __enter__(self) -> "SharedSamples":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def publish(*arrays: np.ndarray) -> SharedSamples:
+    """Publish ``arrays`` into one segment owned by the caller.
+
+    Raises :class:`ShmError` when the platform refuses; callers treat
+    that as "use the pickled-rows transport".
+    """
+    return SharedSamples(arrays)
+
+
+def read(
+    ref: ShmRef, lo: Optional[int] = None, hi: Optional[int] = None
+) -> np.ndarray:
+    """Copy ``ref``'s matrix (or its ``[lo, hi)`` row slice) out of shm.
+
+    Worker-side helper: attaches, copies, detaches — the returned array
+    owns its memory, so the parent may unlink the segment the moment the
+    run completes without invalidating anything a worker returned.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=ref.name)
+    try:
+        view = np.ndarray(
+            ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf,
+            offset=ref.offset,
+        )
+        rows = view if lo is None else view[lo:hi]
+        out = np.array(rows, copy=True)
+        del rows, view
+    finally:
+        segment.close()
+    return out
+
+
+def live_segments() -> List[str]:
+    """Names of segments this process currently owns (tests)."""
+    return sorted(_LIVE)

@@ -68,6 +68,7 @@ DEFAULT_BUCKETS: Dict[str, Tuple[float, ...]] = {
     "mc.shard.seconds": SECONDS_BUCKETS,
     "batch.task.seconds": SECONDS_BUCKETS,
     "synthesis.round.seconds": SECONDS_BUCKETS,
+    "runtime.dispatch.seconds": SECONDS_BUCKETS,
 }
 
 
