@@ -135,10 +135,17 @@ def _add_runtime_arguments(
             help="tear the worker pool down after every dispatch round "
                  "instead of keeping it warm for the whole process",
         )
+    parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the differential layout/sizing caches and recompute "
+             "every round from scratch (results are bit-identical either "
+             "way; this flag only trades wall-clock for memory)",
+    )
 
 
 def _configure_runtime(args: argparse.Namespace) -> None:
-    """Apply --cache-dir / --no-persistent-pool before any dispatch."""
+    """Apply --cache-dir / --no-persistent-pool / --no-incremental
+    before any dispatch."""
     cache_dir = getattr(args, "cache_dir", None)
     if cache_dir is not None:
         from repro.runtime import artifacts
@@ -150,6 +157,10 @@ def _configure_runtime(args: argparse.Namespace) -> None:
         from repro.runtime import pool as runtime_pool
 
         runtime_pool.set_persistent(False)
+    if getattr(args, "no_incremental", False):
+        from repro.layout.engine import FROM_SCRATCH, incremental_engine
+
+        incremental_engine.set_default(FROM_SCRATCH)
 
 
 def _add_journal_arguments(parser: argparse.ArgumentParser) -> None:
@@ -270,10 +281,13 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from repro.core.synthesis import LayoutOrientedSynthesizer
     from repro.layout.gds import write_gds
     from repro.layout.svg import write_svg
     from repro.resilience.budget import Budget
+    from repro.runtime import speculate
 
     technology = _TECHNOLOGIES[args.technology]()
     specs = _specs_from_args(args)
@@ -291,18 +305,24 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     except JournalError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    speculation = (
+        speculate.session(args.speculate) if args.speculate
+        else nullcontext()
+    )
     try:
-        if journal is not None:
-            with journal, journal.shutdown_guard():
+        with speculation:
+            if journal is not None:
+                with journal, journal.shutdown_guard():
+                    outcome = synthesizer.run(
+                        specs, mode=ParasiticMode.FULL, generate=True,
+                        budget=budget, journal=journal,
+                    )
+                    journal.complete()
+            else:
                 outcome = synthesizer.run(
                     specs, mode=ParasiticMode.FULL, generate=True,
-                    budget=budget, journal=journal,
+                    budget=budget,
                 )
-                journal.complete()
-        else:
-            outcome = synthesizer.run(
-                specs, mode=ParasiticMode.FULL, generate=True, budget=budget
-            )
     except RunInterrupted as error:
         return _report_interrupt(error)
     except ReproError as error:
@@ -313,6 +333,8 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
     status = "converged" if outcome.converged else "DEGRADED"
     print(f"{status} in {outcome.layout_calls} layout calls "
           f"({outcome.elapsed:.1f} s)")
+    if args.fingerprint:
+        print(f"fingerprint: {outcome.fingerprint()}")
     if outcome.diagnostics:
         print(f"diagnostics: {outcome.diagnostics}", file=sys.stderr)
     print(f"  DC gain       {metrics.dc_gain_db:7.1f} dB")
@@ -662,6 +684,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify-corners", action="store_true",
         help="re-verify the synthesized sizing at the five process "
              "corners as one stacked ensemble measurement")
+    synthesize.add_argument(
+        "--fingerprint", action="store_true",
+        help="print the outcome's content fingerprint (a short digest of "
+             "sizes, feedback and layout; identical runs print identical "
+             "fingerprints regardless of caches or speculation)")
+    synthesize.add_argument(
+        "--speculate", type=int, default=0, metavar="N",
+        help="evaluate next-round layout estimates speculatively on N "
+             "pool workers while the current round sizes (results are "
+             "bit-identical; mis-speculations are kept as artifacts)")
     _add_trace_argument(synthesize)
     _add_monitor_argument(synthesize)
     _add_metrics_argument(synthesize)
@@ -730,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="append this run to a JSONL bench history and flag "
              "run-over-run p50 regressions vs the previous entry "
              "(informational; --against remains the hard gate)")
+    bench.add_argument(
+        "--no-incremental", action="store_true",
+        help="run the suite with the differential caches globally off "
+             "(the *_incremental entries still flip the switch per "
+             "column)")
     _add_trace_argument(bench)
     bench.set_defaults(func=cmd_bench)
 
@@ -771,6 +808,15 @@ def main(argv: Optional[list] = None) -> int:
     # sites from the environment, e.g.
     # REPRO_FAULTS="process.kill:at=2,action=crash".
     faults.arm_from_env()
+    # Each CLI invocation is its own process in real use; in-process
+    # callers (tests, scripts calling main() repeatedly) share the
+    # module-level differential stores, which would make a later
+    # invocation's trace and timings reflect an earlier one's work.
+    # Start every invocation cold so one `main()` call behaves like one
+    # process.
+    from repro.layout import incremental
+
+    incremental.clear()
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_runtime(args)

@@ -92,6 +92,19 @@ class EngineSwitch:
 #: How K-member parameter ensembles are solved on the compiled engine.
 ensemble_engine = EngineSwitch("ensemble", STACKED, (STACKED, PERSAMPLE))
 
+FULL = "full"
+CHORD = "chord"
+
+#: How Newton linear systems are solved on the compiled engine:
+#: ``"full"`` factors the Jacobian every iteration (the reference
+#: behaviour, bit-stable across releases); ``"chord"`` reuses one LU
+#: factorization for trailing iterations and refactors on residual
+#: stall (:meth:`~repro.analysis.stamps.StampProgram.newton_chord`).
+#: Chord iterates converge to the same fixed point but along a
+#: different path, so the switch defaults to ``"full"`` and chord is
+#: opt-in per run.
+newton_engine = EngineSwitch("newton", FULL, (FULL, CHORD))
+
 
 def default_engine() -> str:
     """The process-wide engine used when callers pass ``engine=None``."""

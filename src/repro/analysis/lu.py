@@ -1,0 +1,123 @@
+"""Plain-NumPy LU factorization with partial pivoting.
+
+The chord-Newton rung (:meth:`~repro.analysis.stamps.StampProgram.newton_chord`)
+factors the Jacobian once and back-substitutes against the frozen
+factorization for trailing iterations — so it needs factor and solve as
+*separate* operations, which ``np.linalg.solve`` does not expose and
+scipy (not a dependency of this project) would otherwise provide.
+
+Two shapes are supported:
+
+* single system — ``lu_factor(a)`` / ``lu_solve(lu, piv, b)`` for the
+  scalar Newton in :mod:`repro.analysis.stamps`;
+* stacked systems — ``lu_factor_batched(a)`` / ``lu_solve_batched`` over
+  a ``(K, n, n)`` ensemble (:mod:`repro.analysis.ensemble`), vectorized
+  across members the same way the stacked Newton is.
+
+The batched variants never raise on a singular member: its pivots go to
+zero, the division produces non-finite factors under a suppressed
+``errstate``, and the resulting non-finite solution rows are exactly
+what the ensemble's existing fallback filtering demotes to the scalar
+ladder.  The single-system variants raise ``np.linalg.LinAlgError`` like
+``np.linalg.solve`` does, so chord and full Newton fail identically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Iterations a factorization is reused before a mandatory refresh.
+DEFAULT_MAX_REUSE = 8
+
+#: A chord iteration must shrink the residual by at least this factor;
+#: anything slower counts as a stall and triggers a refactorization.
+DEFAULT_STALL_RATIO = 0.5
+
+
+def lu_factor(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Factor ``a`` as ``P a = L U`` with partial pivoting.
+
+    Returns ``(lu, piv)`` where ``lu`` packs the unit-lower and upper
+    triangles and ``piv`` is the row permutation (``P b == b[piv]``).
+    Raises ``np.linalg.LinAlgError`` on an exactly singular matrix.
+    """
+    lu = np.array(a, dtype=float, copy=True)
+    n = lu.shape[0]
+    piv = np.arange(n)
+    for k in range(n - 1):
+        p = k + int(np.argmax(np.abs(lu[k:, k])))
+        if p != k:
+            lu[[k, p]] = lu[[p, k]]
+            piv[[k, p]] = piv[[p, k]]
+        pivot = lu[k, k]
+        if pivot == 0.0:
+            raise np.linalg.LinAlgError("singular matrix in LU factorization")
+        lu[k + 1:, k] /= pivot
+        lu[k + 1:, k + 1:] -= np.outer(lu[k + 1:, k], lu[k, k + 1:])
+    if n and lu[n - 1, n - 1] == 0.0:
+        raise np.linalg.LinAlgError("singular matrix in LU factorization")
+    return lu, piv
+
+
+def lu_solve(lu: np.ndarray, piv: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a x = b`` from a :func:`lu_factor` factorization."""
+    x = np.array(b, dtype=float)[piv]
+    n = x.shape[0]
+    for i in range(1, n):
+        x[i] -= lu[i, :i] @ x[:i]
+    for i in range(n - 1, -1, -1):
+        if i + 1 < n:
+            x[i] -= lu[i, i + 1:] @ x[i + 1:]
+        x[i] /= lu[i, i]
+    return x
+
+
+def lu_factor_batched(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Factor a ``(K, n, n)`` stack, vectorized across members.
+
+    Singular members do not raise: their factors come out non-finite
+    (suppressed ``errstate``) and surface as non-finite solve results.
+    """
+    lu = np.array(a, dtype=float, copy=True)
+    K, n, _ = lu.shape
+    piv = np.tile(np.arange(n), (K, 1))
+    members = np.arange(K)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for k in range(n - 1):
+            p = k + np.argmax(np.abs(lu[:, k:, k]), axis=1)
+            swap = lu[members, p].copy()
+            lu[members, p] = lu[members, k]
+            lu[members, k] = swap
+            swap_piv = piv[members, p].copy()
+            piv[members, p] = piv[members, k]
+            piv[members, k] = swap_piv
+            pivot = lu[:, k, k]
+            lu[:, k + 1:, k] /= pivot[:, None]
+            lu[:, k + 1:, k + 1:] -= (
+                lu[:, k + 1:, k, None] * lu[:, None, k, k + 1:]
+            )
+    return lu, piv
+
+
+def lu_solve_batched(
+    lu: np.ndarray, piv: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Solve each stacked system against its packed factorization.
+
+    ``b`` is ``(K, n)``; returns ``(K, n)``.  Members whose factors are
+    non-finite (singular at factor time) produce non-finite rows.
+    """
+    x = np.take_along_axis(np.asarray(b, dtype=float), piv, axis=1).copy()
+    n = x.shape[1]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        for i in range(1, n):
+            x[:, i] -= np.einsum("kj,kj->k", lu[:, i, :i], x[:, :i])
+        for i in range(n - 1, -1, -1):
+            if i + 1 < n:
+                x[:, i] -= np.einsum(
+                    "kj,kj->k", lu[:, i, i + 1:], x[:, i + 1:]
+                )
+            x[:, i] /= lu[:, i, i]
+    return x

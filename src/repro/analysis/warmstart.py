@@ -22,25 +22,66 @@ Design rules:
 * **Structural keys** — a seed is only reused for a circuit with the
   same ordered node and voltage-source-branch layout, so the voltage
   vector always lines up index-for-index.
+* **Bounded memory** — each session holds at most ``limit`` seeds in
+  least-recently-used order.  Synthesis runs touch a handful of circuit
+  structures so eviction never fires there, but long scripted sessions
+  (sweeps over many testbenches inside one scope) stay bounded; each
+  eviction counts ``dc.warm_start.evicted``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import telemetry
+
 Key = Tuple[Tuple[str, ...], Tuple[str, ...]]
 
+#: Seeds a session may hold before evicting its least-recently-used one.
+DEFAULT_LIMIT = 64
+
+
+class _Session:
+    """One warm-start scope: an LRU-ordered seed store with a cap."""
+
+    __slots__ = ("seeds", "limit", "evicted")
+
+    def __init__(self, limit: Optional[int]):
+        self.seeds: "OrderedDict[Key, np.ndarray]" = OrderedDict()
+        self.limit = limit
+        self.evicted = 0
+
+    def record(self, key: Key, voltages: np.ndarray) -> None:
+        self.seeds[key] = np.array(voltages, dtype=float, copy=True)
+        self.seeds.move_to_end(key)
+        while self.limit is not None and len(self.seeds) > self.limit:
+            self.seeds.popitem(last=False)
+            self.evicted += 1
+            telemetry.count("dc.warm_start.evicted")
+
+    def lookup(self, key: Key) -> Optional[np.ndarray]:
+        seed = self.seeds.get(key)
+        if seed is not None:
+            self.seeds.move_to_end(key)
+        return seed
+
+
 #: Stack of active sessions (innermost last); solves consult the top only.
-_sessions: List[Dict[Key, np.ndarray]] = []
+_sessions: List[_Session] = []
 
 
 @contextmanager
-def session() -> Iterator[None]:
-    """Open a warm-start scope; seeds recorded inside die with it."""
-    _sessions.append({})
+def session(limit: Optional[int] = DEFAULT_LIMIT) -> Iterator[None]:
+    """Open a warm-start scope; seeds recorded inside die with it.
+
+    ``limit`` caps the number of live seeds (LRU eviction past it);
+    ``None`` means unbounded.
+    """
+    _sessions.append(_Session(limit))
     try:
         yield
     finally:
@@ -56,13 +97,20 @@ def lookup(key: Key) -> Optional[np.ndarray]:
     """Seed voltages for ``key`` from the innermost session, or None."""
     if not _sessions:
         return None
-    return _sessions[-1].get(key)
+    return _sessions[-1].lookup(key)
 
 
 def record(key: Key, voltages: np.ndarray) -> None:
     """Store converged ``voltages`` under ``key`` (no-op outside sessions)."""
     if _sessions:
-        _sessions[-1][key] = np.array(voltages, dtype=float, copy=True)
+        _sessions[-1].record(key, voltages)
+
+
+def evictions() -> int:
+    """Seeds evicted from the innermost session so far (0 outside)."""
+    if not _sessions:
+        return 0
+    return _sessions[-1].evicted
 
 
 def snapshot() -> Dict[Key, np.ndarray]:
@@ -71,13 +119,14 @@ def snapshot() -> Dict[Key, np.ndarray]:
     The run journal stores one snapshot per synthesis round so a resumed
     run re-enters each round with exactly the seeds the original run had
     — the warm-start chain, and therefore every Newton iterate, replays
-    bit-identically.
+    bit-identically.  Recency order is preserved, so eviction decisions
+    replay identically too.
     """
     if not _sessions:
         return {}
     return {
         key: np.array(value, dtype=float, copy=True)
-        for key, value in _sessions[-1].items()
+        for key, value in _sessions[-1].seeds.items()
     }
 
 
@@ -88,6 +137,6 @@ def restore(seeds: Dict[Key, np.ndarray]) -> None:
     synthesis run.
     """
     if _sessions:
-        _sessions[-1].clear()
+        _sessions[-1].seeds.clear()
         for key, value in seeds.items():
-            _sessions[-1][key] = np.array(value, dtype=float, copy=True)
+            _sessions[-1].seeds[key] = np.array(value, dtype=float, copy=True)

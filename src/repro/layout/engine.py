@@ -10,6 +10,13 @@ flow.  The layout path has two independently selectable accelerators:
 * **drc** — ``"grid"`` resolves pair checks through the shared
   :class:`~repro.layout.geometry.GridIndex`; ``"allpairs"`` keeps the
   original sorted-sweep scan as the reference.
+* **incremental** — ``"on"`` serves layout work (per-module extraction
+  contributions, whole layout calls, sizing rounds) from process-wide
+  content-keyed caches (:mod:`repro.layout.incremental`); ``"off"``
+  recomputes everything from scratch.  Unlike the other switches this
+  one is bit-exact by construction — a cache hit returns the stored
+  result of an identical earlier computation — so flipping it changes
+  wall-clock only, never a single output bit.
 
 ``None`` (the default everywhere) resolves to the process-wide default,
 so a single ``use(...)`` context flips a whole flow — this is how
@@ -25,6 +32,8 @@ VECTOR = "vector"
 SCALAR = "scalar"
 GRID = "grid"
 ALLPAIRS = "allpairs"
+INCREMENTAL = "on"
+FROM_SCRATCH = "off"
 
 
 class EngineSwitch:
@@ -71,3 +80,6 @@ class EngineSwitch:
 
 extraction_engine = EngineSwitch("extraction", VECTOR, (VECTOR, SCALAR))
 drc_engine = EngineSwitch("drc", GRID, (GRID, ALLPAIRS))
+incremental_engine = EngineSwitch(
+    "incremental", INCREMENTAL, (INCREMENTAL, FROM_SCRATCH)
+)

@@ -31,6 +31,7 @@ regardless of shape iteration order.
 
 from __future__ import annotations
 
+import weakref
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -243,20 +244,122 @@ def _rect_array(rects: List[Rect]) -> Optional[np.ndarray]:
     return np.array([(r.x0, r.y0, r.x1, r.y1) for r in rects])
 
 
+class ExtractionWorkspace:
+    """Shared numpy buffers for one cell's extraction passes.
+
+    The wire-cap and coupling passes used to rebuild identical
+    ``(N, 4)`` coordinate arrays for every layer on every call, and the
+    diffusion pass its own rect arrays — per synthesis round, for clean
+    and dirty layers alike.  The workspace builds each array once and
+    hands the *same* buffers to every pass; it is keyed by the cell's
+    subtree version stamp (the layer-content version the flatten/bbox
+    memos already use), so an unchanged cell re-extracted under a
+    different engine or window also reuses its buffers, while any
+    geometry change invalidates them.
+
+    The buffers are read-only by convention: every consumer indexes or
+    reduces them, none writes.
+    """
+
+    def __init__(self, shapes: List[Shape], interconnect: List[Shape]):
+        self.shapes = shapes
+        self.interconnect = interconnect
+        self.names, self.codes = _net_codes(interconnect)
+        self.by_layer = _group_by_layer(interconnect)
+        self._layer_cache: Dict[Layer, Tuple[np.ndarray, np.ndarray]] = {}
+        self._sorted_cache: Dict[Layer, Tuple[np.ndarray, np.ndarray]] = {}
+        self.actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
+        self._rects: Dict[str, Optional[np.ndarray]] = {}
+        self.contacts = [
+            s for s in shapes if s.layer is Layer.CONTACT and s.net
+        ]
+
+    def layer_arrays(self, layer: Layer) -> Tuple[np.ndarray, np.ndarray]:
+        """Coordinate rows + net codes for one interconnect layer."""
+        found = self._layer_cache.get(layer)
+        if found is None:
+            found = _layer_arrays(self.by_layer[layer], self.codes)
+            self._layer_cache[layer] = found
+        return found
+
+    def sorted_layer_arrays(
+        self, layer: Layer
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The same arrays stably ordered by x0 (the coupling sweep)."""
+        found = self._sorted_cache.get(layer)
+        if found is None:
+            coords, net_codes = self.layer_arrays(layer)
+            order = np.argsort(coords[:, 0], kind="stable")
+            found = (coords[order], net_codes[order])
+            self._sorted_cache[layer] = found
+        return found
+
+    def rect_arrays(self, kind: str) -> Optional[np.ndarray]:
+        """Rect array of one geometry class used by the diffusion pass."""
+        if kind not in self._rects:
+            if kind == "active":
+                rects = self.actives
+            elif kind == "poly":
+                rects = [
+                    s.rect for s in self.shapes if s.layer is Layer.POLY
+                ]
+            elif kind == "contact":
+                rects = [s.rect for s in self.contacts]
+            elif kind == "nimplant":
+                rects = [
+                    s.rect for s in self.shapes if s.layer is Layer.NIMPLANT
+                ]
+            else:  # pragma: no cover - internal misuse
+                raise KeyError(kind)
+            self._rects[kind] = _rect_array(rects)
+        return self._rects[kind]
+
+
+#: cell -> (subtree stamp, workspace); weak keys so dropped cells free
+#: their buffers with them.
+_workspaces: "weakref.WeakKeyDictionary[Cell, Tuple[object, ExtractionWorkspace]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _workspace_for(
+    cell: Cell, shapes: List[Shape], interconnect: List[Shape]
+) -> ExtractionWorkspace:
+    stamp = cell._stamp()
+    cached = _workspaces.get(cell)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    workspace = ExtractionWorkspace(shapes, interconnect)
+    _workspaces[cell] = (stamp, workspace)
+    return workspace
+
+
 def _wire_capacitance_vec(
-    tech: Technology, shapes: List[Shape], actives: List[Rect]
+    tech: Technology,
+    shapes: List[Shape],
+    actives: List[Rect],
+    ws: Optional[ExtractionWorkspace] = None,
 ) -> Dict[str, float]:
     """Array form of :func:`_wire_capacitance` (inputs pre-filtered to
     netted interconnect shapes)."""
     if not shapes:
         return {}
-    names, codes = _net_codes(shapes)
+    if ws is not None:
+        names, codes = ws.names, ws.codes
+        active_arr = ws.rect_arrays("active")
+        groups = ws.by_layer
+    else:
+        names, codes = _net_codes(shapes)
+        active_arr = _rect_array(actives)
+        groups = _group_by_layer(shapes)
     totals = np.zeros(len(names))
     touched = np.zeros(len(names), dtype=bool)
-    active_arr = _rect_array(actives)
-    for layer, members in _group_by_layer(shapes).items():
+    for layer, members in groups.items():
         metal = tech.metal(metal_name(layer))
-        coords, net_codes = _layer_arrays(members, codes)
+        if ws is not None:
+            coords, net_codes = ws.layer_arrays(layer)
+        else:
+            coords, net_codes = _layer_arrays(members, codes)
         width = coords[:, 2] - coords[:, 0]
         height = coords[:, 3] - coords[:, 1]
         area = width * height
@@ -287,21 +390,32 @@ def _wire_capacitance_vec(
 
 
 def _coupling_vec(
-    tech: Technology, shapes: List[Shape], window_factor: float = 3.0
+    tech: Technology,
+    shapes: List[Shape],
+    window_factor: float = 3.0,
+    ws: Optional[ExtractionWorkspace] = None,
 ) -> Dict[Tuple[str, str], float]:
     """Array form of :func:`_coupling` via the shared interval sweep."""
     result: Dict[Tuple[str, str], float] = {}
     if not shapes:
         return result
-    names, codes = _net_codes(shapes)
+    if ws is not None:
+        names = ws.names
+        groups = ws.by_layer
+    else:
+        names, codes = _net_codes(shapes)
+        groups = _group_by_layer(shapes)
     n_names = len(names)
-    for layer, members in _group_by_layer(shapes).items():
+    for layer, members in groups.items():
         metal = tech.metal(metal_name(layer))
         window = window_factor * metal.min_spacing
-        coords, net_codes = _layer_arrays(members, codes)
-        order = np.argsort(coords[:, 0], kind="stable")
-        coords = coords[order]
-        net_codes = net_codes[order]
+        if ws is not None:
+            coords, net_codes = ws.sorted_layer_arrays(layer)
+        else:
+            coords, net_codes = _layer_arrays(members, codes)
+            order = np.argsort(coords[:, 0], kind="stable")
+            coords = coords[order]
+            net_codes = net_codes[order]
         ii, jj = interval_pairs(coords[:, 0], coords[:, 2], window)
         if ii.size == 0:
             continue
@@ -345,7 +459,9 @@ def _coupling_vec(
 
 
 def _diffusion_strips_vec(
-    tech: Technology, shapes: List[Shape]
+    tech: Technology,
+    shapes: List[Shape],
+    ws: Optional[ExtractionWorkspace] = None,
 ) -> Dict[Tuple[str, str], Tuple[float, float]]:
     """Array form of :func:`_diffusion_strips`.
 
@@ -353,15 +469,22 @@ def _diffusion_strips_vec(
     hot inner scans — gate finding over all polys and net resolution over
     all contacts — run as array tests.
     """
-    actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
-    polys = [s.rect for s in shapes if s.layer is Layer.POLY]
-    contacts = [s for s in shapes if s.layer is Layer.CONTACT and s.net]
-    nimplants = [s.rect for s in shapes if s.layer is Layer.NIMPLANT]
+    if ws is not None:
+        actives = ws.actives
+        poly_arr = ws.rect_arrays("poly")
+        contact_arr = ws.rect_arrays("contact")
+        contact_nets = [s.net for s in ws.contacts]
+        nimp_arr = ws.rect_arrays("nimplant")
+    else:
+        actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
+        polys = [s.rect for s in shapes if s.layer is Layer.POLY]
+        contacts = [s for s in shapes if s.layer is Layer.CONTACT and s.net]
+        nimplants = [s.rect for s in shapes if s.layer is Layer.NIMPLANT]
 
-    poly_arr = _rect_array(polys)
-    contact_arr = _rect_array([s.rect for s in contacts])
-    contact_nets = [s.net for s in contacts]
-    nimp_arr = _rect_array(nimplants)
+        poly_arr = _rect_array(polys)
+        contact_arr = _rect_array([s.rect for s in contacts])
+        contact_nets = [s.net for s in contacts]
+        nimp_arr = _rect_array(nimplants)
 
     result: Dict[Tuple[str, str], Tuple[float, float]] = defaultdict(
         lambda: (0.0, 0.0)
@@ -439,7 +562,20 @@ def extract_cell(
     annotation (and everything solved from it) is independent of shape
     iteration order.
     """
+    from repro.layout import incremental
+
     engine = extraction_engine.resolve(engine)
+    reuse_key = incremental.extraction_key(cell, tech, engine)
+    cached = incremental.lookup_extraction(reuse_key)
+    if cached is not None:
+        # The differential fast path: this cell's content (motif, folds,
+        # technology) already went through these exact passes.  Still a
+        # logical extraction, so traces keep one span per call.
+        with telemetry.span(
+            "layout.extract", cell=cell.name, engine=engine, cached=True
+        ):
+            telemetry.count("layout.extract")
+        return cached
     shapes = list(cell.flattened())
     actives = [s.rect for s in shapes if s.layer is Layer.ACTIVE]
     interconnect = [
@@ -456,15 +592,18 @@ def extract_cell(
             coupling = _coupling(tech, interconnect)
             diffusion = _diffusion_strips(tech, shapes)
         else:
-            wire = _wire_capacitance_vec(tech, interconnect, actives)
-            coupling = _coupling_vec(tech, interconnect)
-            diffusion = _diffusion_strips_vec(tech, shapes)
-        return ExtractedParasitics(
+            ws = _workspace_for(cell, shapes, interconnect)
+            wire = _wire_capacitance_vec(tech, interconnect, actives, ws)
+            coupling = _coupling_vec(tech, interconnect, ws=ws)
+            diffusion = _diffusion_strips_vec(tech, shapes, ws)
+        result = ExtractedParasitics(
             net_wire_cap=dict(sorted(wire.items())),
             coupling=dict(sorted(coupling.items())),
             diffusion=dict(sorted(diffusion.items())),
             well=dict(sorted(_wells(shapes).items())),
         )
+        incremental.store_extraction(reuse_key, result)
+        return result
 
 
 def annotate_circuit(

@@ -13,7 +13,7 @@ output device, Miller capacitor.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.errors import LayoutError
@@ -141,19 +141,47 @@ def _finalise(
     return TwoStageLayoutResult(report=report, fold_config=fold_config)
 
 
+def _request_key(request: TwoStageLayoutRequest) -> Optional[str]:
+    """Content digest of every field the generator reads, or None."""
+    from repro.layout.incremental import layout_key
+
+    return layout_key(
+        "two_stage",
+        request.technology.fingerprint(),
+        tuple(sorted(dict(request.sizes).items())),
+        tuple(sorted(dict(request.currents).items())),
+        request.cc,
+        request.aspect,
+        request.prefer_even_folds,
+    )
+
+
 def generate_two_stage_layout(
     request: TwoStageLayoutRequest, mode: str = "estimate"
 ) -> TwoStageLayoutResult:
-    """Run the two-stage generator in either of the paper's modes."""
+    """Run the two-stage generator in either of the paper's modes.
+
+    Like the folded-cascode generator, both modes assemble the same
+    geometry internally, so with the incremental engine on the fully
+    drawn result is stored once per request content and later calls
+    (the converged round's ``generate`` pass, warm re-runs) are served
+    without a rebuild.
+    """
+    from repro.layout import incremental
+
     if mode not in ("estimate", "generate"):
         raise LayoutError(f"mode must be 'estimate' or 'generate', got {mode!r}")
-    program, fold_config = _program(request)
-    if mode == "estimate":
-        report = program.calculate_parasitics()
-        result = _finalise(request, report, fold_config)
-    else:
+    key = _request_key(request)
+    cached = incremental.lookup_layout(key)
+    if cached is None:
+        program, fold_config = _program(request)
         cell, report = program.generate()
-        result = _finalise(request, report, fold_config)
-        result.cell = cell
-        result.mode = "generate"
-    return result
+        cached = _finalise(request, report, fold_config)
+        cached.cell = cell
+        cached.mode = "generate"
+        incremental.store_layout(key, cached)
+    return replace(
+        cached,
+        cell=cached.cell if mode == "generate" else None,
+        mode=mode,
+    )

@@ -1,0 +1,180 @@
+"""Speculative candidate evaluation on the persistent pool.
+
+The synthesis loop is serial by construction — round *r+1*'s sizing
+needs round *r*'s parasitic report — but every round's work is a pure
+function of content-keyed inputs.  That makes the next round's likely
+layout estimate safe to compute *ahead of need* on the persistent
+executor (:mod:`repro.runtime.pool`): a worker replays the sizing from
+the same specs, feedback and warm-start snapshot the main thread is
+about to use (bit-identical, as the shared-memory Monte-Carlo dispatch
+already relies on) and returns the finished estimate under the same
+content key the main thread will derive.
+
+Determinism rules:
+
+* a speculative result is only ever consumed through its content key —
+  if the worker's predicted inputs diverged from the main thread's
+  actual inputs (a degraded round, a budget clamp), the key misses and
+  the main thread computes locally, so speculation can change
+  wall-clock but never a bit of output, for any worker count;
+* mis-speculation is never wasted: every result that lands is also
+  written through to the cross-run artifact cache
+  (:mod:`repro.runtime.artifacts`) when one is active, so a resumed or
+  re-run flow gets it for free;
+* a failed or dead speculative task is dropped silently — the main
+  thread's local computation is always the fallback.
+
+Counters: ``runtime.speculate.hit`` (a consumed speculative result),
+``runtime.speculate.waste`` (landed or in-flight results never
+consumed, counted when the session closes).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro import telemetry
+from repro.runtime import pool
+
+#: Stack of open sessions (innermost last), mirroring warmstart.
+_sessions: List["SpeculationSession"] = []
+
+
+class SpeculationSession:
+    """One synthesis run's claim on speculative workers.
+
+    ``submit(fn, payload)`` dispatches ``fn(payload)`` — a picklable
+    module-level function returning ``(key, value)`` — to the leased
+    executor.  ``collect(key, wait_s)`` returns the value for ``key``
+    if a speculative task produced it (optionally waiting for in-flight
+    tasks), else ``None``.
+    """
+
+    def __init__(self, workers: int, wait_s: float = 30.0):
+        self.workers = workers
+        self.wait_s = wait_s
+        self._lease: Optional[pool.PoolLease] = None
+        self._futures: List[Any] = []
+        self._landed: Dict[Any, Any] = {}
+        self._consumed: set = set()
+        self._lander: Optional[Callable[[Any, Any], None]] = None
+        self.hits = 0
+        self.wastes = 0
+
+    def set_lander(self, fn: Callable[[Any, Any], None]) -> None:
+        """Install the write-through callback for landed results."""
+        self._lander = fn
+
+    def submit(self, fn: Callable[[Any], Tuple[Any, Any]], payload: Any) -> bool:
+        """Dispatch one speculative task; False when the pool is broken."""
+        if self._lease is None:
+            try:
+                self._lease = pool.acquire(self.workers)
+            except Exception:
+                return False
+        try:
+            future = self._lease.executor.submit(fn, payload)
+        except Exception:
+            return False
+        self._futures.append(future)
+        telemetry.count("runtime.speculate.submit")
+        return True
+
+    def _absorb(self, future: Any) -> None:
+        """Land one finished future's (key, value) pair."""
+        try:
+            key, value = future.result()
+        except Exception:
+            return
+        self._landed[key] = value
+        if self._lander is not None:
+            try:
+                self._lander(key, value)
+            except Exception:
+                pass
+
+    def _poll(self, wait_s: float) -> None:
+        """Absorb finished futures, waiting up to ``wait_s`` in total."""
+        import concurrent.futures
+
+        pending = [f for f in self._futures if not f.cancelled()]
+        if not pending:
+            return
+        done, not_done = concurrent.futures.wait(pending, timeout=wait_s)
+        for future in done:
+            self._absorb(future)
+        self._futures = list(not_done)
+
+    def collect(self, key: Any, wait_s: Optional[float] = None) -> Optional[Any]:
+        """The speculative result for ``key``, or None.
+
+        ``wait_s=None`` polls without blocking; a positive value waits
+        for in-flight tasks up to that long (useful when the caller
+        knows a matching task was just submitted).  The wait absorbs
+        futures one at a time and stops as soon as ``key`` lands, so an
+        unrelated slow task never holds up a hit.
+        """
+        import concurrent.futures
+        import time
+
+        self._poll(0.0)
+        if key not in self._landed and wait_s:
+            deadline = time.monotonic() + wait_s
+            while key not in self._landed and self._futures:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                done, not_done = concurrent.futures.wait(
+                    self._futures,
+                    timeout=remaining,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                if not done:
+                    break
+                for future in done:
+                    self._absorb(future)
+                self._futures = list(not_done)
+        if key in self._landed:
+            value = self._landed[key]
+            if key not in self._consumed:
+                self._consumed.add(key)
+                self.hits += 1
+                telemetry.count("runtime.speculate.hit")
+            return value
+        return None
+
+    def close(self) -> None:
+        """Drain outstanding work, account waste, return the lease."""
+        try:
+            self._poll(self.wait_s)
+        finally:
+            for future in self._futures:
+                future.cancel()
+            wasted = len(self._futures) + sum(
+                1 for key in self._landed if key not in self._consumed
+            )
+            self._futures = []
+            self.wastes += wasted
+            if wasted:
+                telemetry.count("runtime.speculate.waste", wasted)
+            if self._lease is not None:
+                self._lease.release()
+                self._lease = None
+
+
+def active() -> Optional[SpeculationSession]:
+    """The innermost open session, or None."""
+    return _sessions[-1] if _sessions else None
+
+
+@contextmanager
+def session(workers: int, wait_s: float = 30.0) -> Iterator[SpeculationSession]:
+    """Open a speculation scope (no-op consumer API outside of one)."""
+    scope = SpeculationSession(workers, wait_s=wait_s)
+    _sessions.append(scope)
+    try:
+        yield scope
+    finally:
+        _sessions.pop()
+        scope.close()

@@ -1,0 +1,324 @@
+"""Incremental synthesis hot path.
+
+Pins the tentpole contract: the differential/incremental caches, the
+speculative evaluator and the chord-Newton rung change wall-clock, never
+output bits — synthesis fingerprints are identical across incremental
+on/off, any cache temperature and any speculation worker count, and the
+chord solver's fixed point matches full Newton.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.analysis import warmstart
+from repro.analysis.engine import newton_engine
+from repro.analysis.stamps import StampProgram
+from repro.core.synthesis import LayoutOrientedSynthesizer
+from repro.layout import incremental
+from repro.layout.engine import incremental_engine
+from repro.layout.incremental import LruStore
+from repro.layout.ota import OtaLayoutRequest, generate_ota_layout
+from repro.layout.two_stage_ota import (
+    TwoStageLayoutRequest,
+    generate_two_stage_layout,
+)
+from repro.runtime import speculate
+from repro.sizing.plans.folded_cascode import FoldedCascodePlan
+from repro.sizing.plans.two_stage import TwoStagePlan
+from repro.sizing.specs import OtaSpecs, ParasiticMode
+from repro.telemetry import trace_run
+from repro.units import PF
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stores():
+    """Each test starts (and leaves) the process-wide stores empty."""
+    incremental.clear()
+    yield
+    incremental.clear()
+
+
+def _reports_equal(a, b, rel=1e-12):
+    """Two parasitic reports agree to ``rel`` on every entry."""
+    assert set(a.devices) == set(b.devices)
+    for name, info in a.devices.items():
+        other = b.devices[name]
+        assert info.nf == other.nf
+        assert info.actual_width == pytest.approx(
+            other.actual_width, rel=rel
+        )
+        assert info.geometry.ad == pytest.approx(other.geometry.ad, rel=rel)
+    for field in ("net_capacitance", "coupling", "well_capacitance"):
+        left, right = getattr(a, field), getattr(b, field)
+        assert set(left) == set(right)
+        for key, value in left.items():
+            assert value == pytest.approx(right[key], rel=rel)
+    assert a.width == pytest.approx(b.width, rel=rel)
+    assert a.height == pytest.approx(b.height, rel=rel)
+
+
+class TestLruStore:
+    def test_hit_miss_and_eviction(self):
+        store = LruStore(capacity=2)
+        assert store.get("a") is None
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1  # refreshes "a"
+        store.put("c", 3)  # evicts "b", the least recently used
+        assert store.get("b") is None
+        assert store.get("a") == 1
+        assert store.get("c") == 3
+        assert store.evictions == 1
+        assert store.hits == 3
+        assert store.misses == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LruStore(capacity=0)
+
+
+class TestExtractionParity:
+    """Incremental extraction returns the bits a full pass produces."""
+
+    def test_folded_cascode_incremental_matches_full(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        request = OtaLayoutRequest(
+            technology=tech, sizes=sizes, currents=currents, aspect=1.0
+        )
+        with incremental_engine.use("off"):
+            full = generate_ota_layout(request, mode="estimate")
+        cold = generate_ota_layout(request, mode="estimate")
+        warm = generate_ota_layout(request, mode="estimate")
+        _reports_equal(full.report, cold.report)
+        _reports_equal(full.report, warm.report)
+        assert full.fold_config == cold.fold_config == warm.fold_config
+        # The warm repeat was served from the layout-call store.
+        assert incremental.stats()["layout"]["hits"] >= 1
+
+    def test_two_stage_incremental_matches_full(self, tech):
+        specs = OtaSpecs(
+            vdd=3.3, gbw=30e6, phase_margin=60.0, cload=2 * PF,
+            input_cm_range=(1.0, 2.0), output_range=(0.4, 2.9),
+        )
+        result = TwoStagePlan(tech).size(specs, ParasiticMode.SINGLE_FOLD)
+        request = TwoStageLayoutRequest(
+            technology=tech,
+            sizes=result.sizes,
+            currents=result.currents,
+            cc=result.biases["_cc"],
+        )
+        with incremental_engine.use("off"):
+            full = generate_two_stage_layout(request, mode="estimate")
+        cold = generate_two_stage_layout(request, mode="estimate")
+        warm = generate_two_stage_layout(request, mode="estimate")
+        _reports_equal(full.report, cold.report)
+        _reports_equal(full.report, warm.report)
+        assert incremental.stats()["layout"]["hits"] >= 1
+
+    def test_generate_mode_shares_the_estimate_build(self, tech, hand_sized):
+        """Both modes project one cached full build; generate after
+        estimate does not rebuild and still carries the cell."""
+        sizes, currents = hand_sized
+        request = OtaLayoutRequest(
+            technology=tech, sizes=sizes, currents=currents, aspect=1.0
+        )
+        estimate = generate_ota_layout(request, mode="estimate")
+        builds = incremental.stats()["layout"]["misses"]
+        generated = generate_ota_layout(request, mode="generate")
+        assert incremental.stats()["layout"]["misses"] == builds
+        assert estimate.cell is None
+        assert generated.cell is not None
+        _reports_equal(estimate.report, generated.report)
+
+
+class TestDirtyInvalidation:
+    """Changing one device re-extracts its module; the rest reuse."""
+
+    def test_one_device_change_dirties_few_modules(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        base = OtaLayoutRequest(
+            technology=tech, sizes=sizes, currents=currents, aspect=1.0
+        )
+        generate_ota_layout(base, mode="estimate")
+        before = incremental.stats()["extraction"]
+        total_modules = before["misses"]
+
+        # mp5 is the tail source — the one device whose drawn width is
+        # not slaved to a matched partner, so the perturbation reaches
+        # the geometry.
+        touched = dict(sizes)
+        w, l = touched["mp5"]
+        touched["mp5"] = (w * 2.0, l)
+        dirty_request = OtaLayoutRequest(
+            technology=tech, sizes=touched, currents=currents, aspect=1.0
+        )
+        generate_ota_layout(dirty_request, mode="estimate")
+        after = incremental.stats()["extraction"]
+
+        reused = after["hits"] - before["hits"]
+        dirty = after["misses"] - before["misses"]
+        assert reused > 0, "unchanged modules must reuse their extraction"
+        assert dirty > 0, "the resized device's module must re-extract"
+        assert dirty < total_modules, (
+            "a single-device change must not re-extract every module"
+        )
+
+    def test_identical_request_reuses_every_module(self, tech, hand_sized):
+        sizes, currents = hand_sized
+        request = OtaLayoutRequest(
+            technology=tech, sizes=sizes, currents=currents, aspect=1.0
+        )
+        generate_ota_layout(request, mode="estimate")
+        before = incremental.stats()["extraction"]
+        # Bypass the whole-call store with a fresh but content-identical
+        # request after clearing only the layout store: every module
+        # extraction must hit.
+        incremental._layout_store.clear()
+        generate_ota_layout(request, mode="estimate")
+        after = incremental.stats()["extraction"]
+        assert after["misses"] == before["misses"]
+        assert after["hits"] > before["hits"]
+
+    def test_fault_injection_bypasses_stores(self, tech, hand_sized):
+        from repro.resilience import faults
+
+        sizes, currents = hand_sized
+        request = OtaLayoutRequest(
+            technology=tech, sizes=sizes, currents=currents, aspect=1.0
+        )
+        generate_ota_layout(request, mode="estimate")
+        with faults.inject("test.unreached"):
+            assert not incremental.enabled()
+            generate_ota_layout(request, mode="estimate")
+        assert incremental.stats()["layout"]["hits"] == 0
+
+
+class TestChordNewton:
+    def test_max_reuse_zero_is_bitwise_full_newton(self, hand_testbench):
+        program = StampProgram(hand_testbench.circuit)
+        start = program.initial_guess()
+        full = program.newton(start, 1e-12)
+        chord = program.newton_chord(start, 1e-12, max_reuse=0)
+        assert (full[0] == chord[0]).all()
+        assert full[1:] == chord[1:]
+
+    def test_chord_solution_matches_full(self, hand_testbench):
+        full = StampProgram(hand_testbench.circuit)
+        v_full, _, gmin_full = full.solve_voltages()
+        chord = StampProgram(hand_testbench.circuit)
+        with newton_engine.use("chord"):
+            v_chord, _, gmin_chord = chord.solve_voltages()
+        assert chord.last_convergence.strategy == "chord-newton"
+        assert gmin_full == gmin_chord
+        np.testing.assert_allclose(v_chord, v_full, rtol=1e-9, atol=1e-12)
+
+    def test_refactor_counter_counts_refreshes(self, hand_testbench):
+        with trace_run("chord") as tracer:
+            program = StampProgram(hand_testbench.circuit)
+            with newton_engine.use("chord"):
+                program.solve_voltages()
+        assert tracer.counters.get("newton.refactor", 0) >= 1
+
+    def test_full_engine_never_refactors(self, hand_testbench):
+        with trace_run("full") as tracer:
+            StampProgram(hand_testbench.circuit).solve_voltages()
+        assert "newton.refactor" not in tracer.counters
+
+    def test_ensemble_chord_matches_full(self, hand_testbench):
+        from repro.analysis.montecarlo import run_monte_carlo
+
+        full = run_monte_carlo(hand_testbench, runs=8, seed=11)
+        with newton_engine.use("chord"):
+            chord = run_monte_carlo(hand_testbench, runs=8, seed=11)
+        for key, values in full.samples.items():
+            np.testing.assert_allclose(
+                chord.samples[key], values, rtol=1e-6, err_msg=key
+            )
+
+
+class TestSynthesisDeterminism:
+    """The acceptance contract: fingerprints are independent of the
+    incremental engine, cache temperature and speculation workers."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, tech, specs):
+        incremental.clear()
+        with incremental_engine.use("off"):
+            synthesizer = LayoutOrientedSynthesizer(
+                tech, plan=FoldedCascodePlan(tech)
+            )
+            outcome = synthesizer.run(
+                specs, ParasiticMode.FULL, generate=True
+            )
+        return outcome.fingerprint()
+
+    def _run(self, tech, specs):
+        synthesizer = LayoutOrientedSynthesizer(
+            tech, plan=FoldedCascodePlan(tech)
+        )
+        return synthesizer.run(specs, ParasiticMode.FULL, generate=True)
+
+    def test_cold_and_warm_match_from_scratch(self, tech, specs, reference):
+        cold = self._run(tech, specs)
+        assert cold.fingerprint() == reference
+        warm = self._run(tech, specs)
+        assert warm.fingerprint() == reference
+        stats = incremental.stats()
+        assert stats["sizing"]["hits"] > 0, (
+            "a warm repeat must serve sizing rounds from the memo"
+        )
+        assert stats["layout"]["hits"] > 0
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_speculative_hits_are_deterministic(
+        self, tech, specs, reference, workers
+    ):
+        incremental.clear()
+        with speculate.session(workers) as scope:
+            outcome = self._run(tech, specs)
+        assert outcome.fingerprint() == reference
+        assert scope.hits >= 1, (
+            "the loop must consume at least one speculative estimate"
+        )
+
+
+class TestWarmStartLru:
+    def test_session_cap_evicts_lru(self):
+        voltages = np.zeros(3)
+        with trace_run("warm") as tracer:
+            with warmstart.session(limit=2):
+                key_a = (("a",), ())
+                key_b = (("b",), ())
+                key_c = (("c",), ())
+                warmstart.record(key_a, voltages)
+                warmstart.record(key_b, voltages)
+                assert warmstart.lookup(key_a) is not None  # refresh a
+                warmstart.record(key_c, voltages)  # evicts b
+                assert warmstart.lookup(key_b) is None
+                assert warmstart.lookup(key_a) is not None
+                assert warmstart.lookup(key_c) is not None
+                assert warmstart.evictions() == 1
+        assert tracer.counters["dc.warm_start.evicted"] == 1
+
+    def test_snapshot_restore_preserves_order(self):
+        with warmstart.session(limit=2):
+            key_a = (("a",), ())
+            key_b = (("b",), ())
+            warmstart.record(key_a, np.zeros(2))
+            warmstart.record(key_b, np.ones(2))
+            snap = warmstart.snapshot()
+            warmstart.restore(snap)
+            # "a" is still the LRU entry after a restore: recording a
+            # third key evicts it, not "b".
+            warmstart.record((("c",), ()), np.zeros(2))
+            assert warmstart.lookup(key_a) is None
+            assert warmstart.lookup(key_b) is not None
+
+    def test_unbounded_session(self):
+        with warmstart.session(limit=None):
+            for i in range(100):
+                warmstart.record(((str(i),), ()), np.zeros(1))
+            assert warmstart.evictions() == 0
